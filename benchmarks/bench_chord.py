@@ -1,0 +1,28 @@
+"""E9 -- Section 4: DRR-gossip vs uniform gossip over Chord (Theorem 14)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import run_chord_comparison
+
+
+def test_chord_drr_vs_uniform_gossip(benchmark, full_sweep):
+    ns = (128, 256, 512, 1024) if full_sweep else (128, 256)
+    result = benchmark.pedantic(
+        run_chord_comparison,
+        kwargs=dict(ns=ns, repetitions=2, seed=7),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    ratios = [row["message_ratio_uniform_over_drr"] for row in result.rows]
+    # Section 4: uniform gossip needs O(n log^2 n) messages on Chord while
+    # DRR-gossip needs O(n log n) -- uniform must cost strictly more, and the
+    # gap must not shrink as n grows (it grows like log n asymptotically).
+    assert all(r > 1.5 for r in ratios)
+    assert ratios[-1] >= 0.9 * ratios[0]
+    for row in result.rows:
+        # both normalised ratios stay bounded across the sweep
+        assert row["drr_msgs_over_nlogn"] < 8.0
+        assert row["uniform_msgs_over_nlog2n"] < 4.0

@@ -1,0 +1,59 @@
+"""E2-E4 -- Theorems 2-4: DRR forest statistics and complexity."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import run_forest_statistics
+from repro.harness.experiments import run_ablation
+
+
+def test_tree_count_and_size(benchmark, full_sweep):
+    ns = (256, 512, 1024, 2048, 4096, 8192) if full_sweep else (256, 512, 1024, 2048)
+    result = benchmark.pedantic(
+        run_forest_statistics,
+        kwargs=dict(ns=ns, repetitions=3, seed=2),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    for row in result.rows:
+        # Theorem 2: #trees = Theta(n / log n); the measured/predicted ratio
+        # stays within a constant band across the sweep.
+        assert 0.3 < row["trees_over_n_div_logn"] < 3.0
+        # Theorem 3: max tree size = O(log n).
+        assert row["max_tree_size_over_logn"] < 20.0
+        # Theorem 4: rounds <= log2(n) and messages grow like n log log n.
+        assert row["rounds_over_logn"] <= 1.2
+        assert row["messages_over_nloglogn"] < 6.0
+
+
+def test_drr_complexity_is_quasilinear(benchmark):
+    result = benchmark.pedantic(
+        run_forest_statistics,
+        kwargs=dict(ns=(512, 1024, 2048, 4096), repetitions=2, seed=12),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    # messages per node must grow much slower than log n: going from n=512 to
+    # n=4096 multiplies log n by 1.33 but log log n only by ~1.10.
+    first, last = result.rows[0], result.rows[-1]
+    growth = last["messages_per_node"] / first["messages_per_node"]
+    assert growth < 1.25
+
+
+def test_probe_budget_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_ablation, kwargs=dict(n=2048, repetitions=2, seed=10), iterations=1, rounds=1
+    )
+    emit(result)
+    by_variant = {row["variant"]: row for row in result.rows}
+    # Halving the probe budget increases the number of trees; doubling it
+    # decreases them (more chances to find a higher-ranked parent).
+    assert by_variant["probe budget (half budget)"]["trees"] > by_variant["probe budget (paper: log2(n)-1)"]["trees"]
+    assert by_variant["probe budget (double budget)"]["trees"] < by_variant["probe budget (half budget)"]["trees"]
+    # The rank domain ([0,1] vs [1,n^3]) does not change the structure.
+    a = by_variant["rank domain (ranks in [0,1])"]["trees"]
+    b = by_variant["rank domain (ranks in [1,n^3])"]["trees"]
+    assert abs(a - b) < 0.5 * max(a, b)

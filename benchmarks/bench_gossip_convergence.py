@@ -1,0 +1,42 @@
+"""E5 & E6 -- Theorems 5-7, 10: Gossip-max and Gossip-ave convergence."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import run_gossip_ave_convergence, run_gossip_max_convergence
+
+
+def test_gossip_max_reaches_all_roots(benchmark, full_sweep):
+    ns = (256, 1024, 4096) if full_sweep else (256, 1024)
+    result = benchmark.pedantic(
+        run_gossip_max_convergence,
+        kwargs=dict(ns=ns, deltas=(0.0, 0.05, 0.1), repetitions=3, seed=3),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    for row in result.rows:
+        # Theorem 5: a constant fraction of roots holds Max after the gossip
+        # procedure; Theorem 6: all roots hold it after the sampling procedure.
+        assert row["roots_with_max_after_gossip"] > 0.3
+        assert row["roots_with_max_after_sampling"] > 0.99
+        # Phase III stays O(n) messages.
+        assert row["gossip_max_messages_per_node"] < 14.0
+
+
+def test_gossip_ave_relative_error(benchmark, full_sweep):
+    ns = (256, 1024, 4096) if full_sweep else (256, 1024)
+    result = benchmark.pedantic(
+        run_gossip_ave_convergence,
+        kwargs=dict(ns=ns, workloads=("uniform", "bimodal", "signed", "zero-mean"), repetitions=2, seed=4),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    for row in result.rows:
+        # Theorem 7: the largest-tree root converges to tiny relative error
+        # within O(log n) rounds, for every value distribution including
+        # mixed-sign and zero-average inputs.
+        assert row["final_rel_error_mean"] < 1e-3
+        assert row["rounds_to_1pct_over_logn"] < 6.0

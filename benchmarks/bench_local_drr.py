@@ -1,0 +1,24 @@
+"""E8 -- Theorems 11 & 13: Local-DRR on sparse graphs."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import run_local_drr_statistics
+
+
+def test_local_drr_height_and_tree_count(benchmark, full_sweep):
+    ns = (256, 1024, 4096) if full_sweep else (256, 1024)
+    families = ("ring", "grid", "regular4", "hypercube", "erdos-renyi")
+    result = benchmark.pedantic(
+        run_local_drr_statistics,
+        kwargs=dict(ns=ns, families=families, repetitions=3, seed=6),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    for row in result.rows:
+        # Theorem 11: tree height is O(log n) on every family.
+        assert row["height_over_logn"] < 4.0
+        # Theorem 13: #trees concentrates around sum 1/(d_i + 1).
+        assert 0.5 < row["trees_over_predicted"] < 1.8

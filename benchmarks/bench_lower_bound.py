@@ -1,0 +1,34 @@
+"""E10 -- Theorem 15: the Omega(n log n) address-oblivious lower bound."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import run_lower_bound_experiment
+
+
+def test_address_oblivious_gap(benchmark, full_sweep):
+    ns = (128, 256, 512, 1024) if full_sweep else (128, 256, 512)
+    result = benchmark.pedantic(
+        run_lower_bound_experiment,
+        kwargs=dict(ns=ns, repetitions=2, seed=8),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    rows = result.rows
+    # Address-oblivious aggregate computation pays Theta(log n) messages per
+    # node: the per-node count grows noticeably across the sweep ...
+    assert rows[-1]["oblivious_messages_per_node"] > rows[0]["oblivious_messages_per_node"]
+    # ... and tracks the n log n bound within a constant band.
+    for row in rows:
+        assert 0.2 < row["oblivious_over_nlogn"] < 3.0
+    # Rumor spreading (a single rumor, address-oblivious) stays near
+    # n log log n: per-node messages grow far slower than the oblivious
+    # aggregate cost across the same sweep.
+    rumor_growth = rows[-1]["rumor_messages_per_node"] / rows[0]["rumor_messages_per_node"]
+    oblivious_growth = rows[-1]["oblivious_messages_per_node"] / rows[0]["oblivious_messages_per_node"]
+    assert rumor_growth < oblivious_growth + 0.25
+    # DRR-gossip (non-address-oblivious) also stays on the n log log n track.
+    for row in rows:
+        assert row["drr_over_nloglogn"] < 10.0

@@ -1,0 +1,27 @@
+"""E11 -- Section 3.5 accounting: per-phase message breakdown of DRR-gossip."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import run_phase_breakdown
+
+
+def test_phase_breakdown(benchmark, full_sweep):
+    ns = (256, 1024, 4096) if full_sweep else (256, 1024)
+    result = benchmark.pedantic(
+        run_phase_breakdown,
+        kwargs=dict(ns=ns, repetitions=2, seed=9),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    for row in result.rows:
+        shares = {k: v for k, v in row.items() if k.endswith("_share")}
+        assert abs(sum(shares.values()) - 1.0) < 1e-6
+        # The convergecast / broadcast phases are O(n) with constant ~1, so
+        # they are always a small slice of the budget.
+        assert row["convergecast_share"] < 0.15
+        assert row["broadcast-root_share"] < 0.15
+    # The DRR share grows with n (it is the only Theta(n log log n) phase).
+    assert result.rows[-1]["drr_share"] >= result.rows[0]["drr_share"] - 0.02

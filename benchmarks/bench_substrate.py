@@ -1,0 +1,35 @@
+"""Micro-benchmarks of the substrate itself (engine, DRR fast path, push-sum).
+
+These are not paper experiments; they track the wall-clock cost of the
+building blocks so performance regressions in the simulator show up in the
+benchmark history (the usual pytest-benchmark use case).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import push_sum
+from repro.core import run_drr, run_drr_engine
+from repro.harness import make_values
+
+
+def test_bench_drr_fast_path(benchmark):
+    benchmark(run_drr, 4096, rng=1)
+
+
+def test_bench_drr_engine_path(benchmark):
+    benchmark(run_drr_engine, 512, rng=1)
+
+
+def test_bench_push_sum(benchmark):
+    values = make_values("uniform", 4096, np.random.default_rng(0))
+    benchmark(push_sum, values, rng=2)
+
+
+def test_bench_full_average_pipeline(benchmark):
+    from repro.core import drr_gossip_average
+
+    values = make_values("normal", 2048, np.random.default_rng(0))
+    result = benchmark(drr_gossip_average, values, rng=3)
+    assert result.max_relative_error < 1e-2

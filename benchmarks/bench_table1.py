@@ -1,0 +1,56 @@
+"""E1 -- Table 1: DRR-gossip vs uniform gossip vs efficient gossip."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core import Aggregate
+from repro.harness import run_table1
+
+
+def test_table1_average(benchmark, full_sweep):
+    ns = (256, 512, 1024, 2048, 4096) if full_sweep else (256, 512, 1024)
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs=dict(ns=ns, repetitions=2, seed=1, aggregate=Aggregate.AVERAGE),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    by_algo = {}
+    for row in result.rows:
+        by_algo.setdefault(row["algorithm"], []).append(row)
+    # Reproduction criteria (shape, not constants):
+    # 1. uniform gossip spends more messages than DRR-gossip at the largest n,
+    largest = max(ns)
+    drr_msgs = [r["messages"] for r in by_algo["drr-gossip"] if r["n"] == largest]
+    uni_msgs = [r["messages"] for r in by_algo["uniform-gossip"] if r["n"] == largest]
+    assert sum(drr_msgs) < sum(uni_msgs)
+    # 2. DRR-gossip and uniform gossip rounds stay O(log n): the normalised
+    #    ratio may not blow up across the sweep,
+    for algo in ("drr-gossip", "uniform-gossip"):
+        ratios = [r["rounds_over_logn"] for r in by_algo[algo]]
+        assert max(ratios) < 3.0 * min(ratios) + 1e-9
+    # 3. efficient gossip pays the log log n time penalty: it always needs
+    #    more rounds than the time-optimal uniform gossip.  (DRR-gossip is
+    #    also Theta(log n) rounds -- checked by the flatness above -- but its
+    #    implemented constant is larger than uniform gossip's, so the
+    #    asymptotic DRR-vs-efficient time gap only opens beyond laptop-scale
+    #    n; EXPERIMENTS.md discusses this.)
+    for n in ns:
+        eff = [r["rounds"] for r in by_algo["efficient-gossip"] if r["n"] == n]
+        uni = [r["rounds"] for r in by_algo["uniform-gossip"] if r["n"] == n]
+        assert min(eff) > max(uni)
+
+
+def test_table1_max(benchmark, full_sweep):
+    ns = (512, 2048) if full_sweep else (512, 1024)
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs=dict(ns=ns, repetitions=1, seed=2, aggregate=Aggregate.MAX),
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+    for row in result.rows:
+        assert row["max_rel_error"] == 0.0  # Max is exact for every protocol

@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one table/figure of
+EXPERIMENTS.md (experiment ids E1-E12 in DESIGN.md).  The drivers live in
+:mod:`repro.harness.experiments`; the benchmark layer adds wall-clock timing
+through pytest-benchmark and prints the measured table so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces both the numbers and the timings.  Sweeps here use deliberately
+small ``n`` so the whole suite finishes in minutes; the CLI (``drr-gossip
+report``) runs the full-size sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-sweep",
+        action="store_true",
+        default=False,
+        help="run the benchmark experiments at the paper-scale sweep sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_sweep(request) -> bool:
+    return bool(request.config.getoption("--full-sweep"))
+
+
+def emit(result) -> None:
+    """Print an experiment table beneath the benchmark output."""
+    print()
+    print(result.table())
+    for note in result.notes:
+        print(f"note: {note}")

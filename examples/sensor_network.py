@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Sensor-network scenario: aggregate battery statistics under failures.
+
+The paper motivates aggregate computation with sensor networks: "knowing the
+average or maximum remaining battery power among the sensor nodes is a
+critical statistic".  This example models a deployment of battery-powered
+sensors where
+
+* a fraction of the sensors has already died (initial crashes),
+* the radio links are lossy (per-message loss probability delta), and
+* the operators want the minimum, average, and the rank of a low-battery
+  threshold (how many sensors are at or below 20%), comparing DRR-gossip
+  against the uniform-gossip baseline on both accuracy and message cost.
+
+Run with::
+
+    python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DRRGossipConfig, FailureModel, drr_gossip_average, drr_gossip_min, drr_gossip_rank
+from repro.baselines import push_sum
+
+
+def main() -> None:
+    n = 2048
+    rng = np.random.default_rng(42)
+    # battery levels in percent: a mixture of fresh and ageing sensors
+    battery = np.clip(np.concatenate([
+        rng.normal(80, 10, size=n // 2),
+        rng.normal(35, 15, size=n - n // 2),
+    ]), 1.0, 100.0)
+    rng.shuffle(battery)
+
+    failure_model = FailureModel(loss_probability=0.05, crash_fraction=0.08)
+    config = DRRGossipConfig(failure_model=failure_model)
+
+    print(f"{n} sensors, 8% already dead, 5% message loss")
+    print(f"ground truth over all deployed sensors: min={battery.min():.1f}%, mean={battery.mean():.1f}%\n")
+
+    minimum = drr_gossip_min(battery, rng=1, config=config)
+    print("minimum remaining battery (DRR-gossip-min)")
+    print(f"  survivors' true minimum : {minimum.exact:.1f}%")
+    learned = minimum.estimates[minimum.learned]
+    print(f"  nodes with the exact answer: {np.mean(learned == minimum.exact) * 100:.1f}% of reachable nodes")
+    print(f"  cost: {minimum.rounds} rounds, {minimum.messages / n:.1f} messages/sensor\n")
+
+    average = drr_gossip_average(battery, rng=2, config=config)
+    print("average remaining battery (DRR-gossip-ave)")
+    print(f"  survivors' true average : {average.exact:.2f}%")
+    print(f"  worst relative error    : {average.max_relative_error * 100:.2f}%")
+    print(f"  cost: {average.messages / n:.1f} messages/sensor\n")
+
+    threshold = 20.0
+    rank = drr_gossip_rank(battery, query=threshold, rng=3, config=config)
+    print(f"sensors at or below {threshold:.0f}% battery (DRR-gossip-rank)")
+    print(f"  true count among survivors: {int(rank.exact)}")
+    print(f"  estimate at node 0 (if reached): {rank.estimates[0] if rank.learned[0] else 'not reached'}\n")
+
+    baseline = push_sum(battery, rng=4, failure_model=failure_model)
+    print("baseline: uniform gossip (Kempe et al. push-sum) for the average")
+    print(f"  worst relative error    : {baseline.max_relative_error * 100:.2f}%")
+    print(f"  cost: {baseline.messages / n:.1f} messages/sensor "
+          f"({baseline.messages / max(1, average.messages):.1f}x the DRR-gossip cost)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on minimal offline environments where the
+``wheel`` package (needed for PEP 517 editable builds with older setuptools)
+is not available and pip falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Analysis toolkit: theory predictions, scaling fits, statistics, lower bound."""
+
+from .fitting import CANDIDATE_SHAPES, FitResult, best_shape, fit_shape, power_law_exponent
+from .lower_bound import (
+    AdversarialSpreadResult,
+    adversarial_push_max_messages,
+    knowledge_spread_after,
+)
+from .statistics import (
+    SummaryStats,
+    bootstrap_mean_ci,
+    summarize,
+    whp_satisfied,
+    wilson_interval,
+)
+from . import theory
+
+__all__ = [
+    "CANDIDATE_SHAPES",
+    "FitResult",
+    "best_shape",
+    "fit_shape",
+    "power_law_exponent",
+    "AdversarialSpreadResult",
+    "adversarial_push_max_messages",
+    "knowledge_spread_after",
+    "SummaryStats",
+    "bootstrap_mean_ci",
+    "summarize",
+    "whp_satisfied",
+    "wilson_interval",
+    "theory",
+]

@@ -1,0 +1,128 @@
+"""Statistical helpers shared by the experiments.
+
+Most claims in the paper hold "with high probability", i.e. with probability
+``1 - n^{-alpha}``.  Empirically we estimate the success frequency over
+repeated trials and report a Wilson confidence interval; an experiment
+"reproduces" a whp claim when the lower confidence bound stays above the
+target frequency across the ``n`` sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize", "wilson_interval", "whp_satisfied", "bootstrap_mean_ci"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary used in experiment reports."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def summarize(samples: Sequence[float]) -> SummaryStats:
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because whp experiments often
+    observe 0 failures in a modest number of trials, where the Wald interval
+    degenerates to [1, 1].
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not (0 <= successes <= trials):
+        raise ValueError("successes must lie in [0, trials]")
+    # two-sided z for the requested confidence (0.95 -> 1.96), via the
+    # rational approximation of the normal quantile to avoid a SciPy import.
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    phat = successes / trials
+    denom = 1.0 + z**2 / trials
+    centre = (phat + z**2 / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(phat * (1 - phat) / trials + z**2 / (4 * trials**2))
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def _normal_quantile(p: float) -> float:
+    """Acklam's rational approximation of the standard normal quantile."""
+    if not (0.0 < p < 1.0):
+        raise ValueError("p must be in (0, 1)")
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    plow, phigh = 0.02425, 1 - 0.02425
+    if p < plow:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p > phigh:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )
+
+
+def whp_satisfied(successes: int, trials: int, target: float = 0.9, confidence: float = 0.95) -> bool:
+    """True when the lower Wilson bound of the success rate exceeds ``target``."""
+    lower, _ = wilson_interval(successes, trials, confidence)
+    return lower >= target
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    lo = float(np.quantile(means, (1 - confidence) / 2))
+    hi = float(np.quantile(means, 1 - (1 - confidence) / 2))
+    return (lo, hi)

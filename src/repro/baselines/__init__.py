@@ -1,0 +1,31 @@
+"""Baseline protocols the paper compares DRR-gossip against."""
+
+from .efficient_gossip import EfficientGossipResult, efficient_gossip
+from .flooding import FloodingResult, flood_max
+from .rumor_spreading import RumorResult, push_pull_rumor, push_rumor
+from .uniform_gossip import (
+    PushMaxNode,
+    PushSumNode,
+    UniformGossipResult,
+    default_push_rounds,
+    push_max,
+    push_sum,
+    push_sum_engine,
+)
+
+__all__ = [
+    "EfficientGossipResult",
+    "efficient_gossip",
+    "FloodingResult",
+    "flood_max",
+    "RumorResult",
+    "push_pull_rumor",
+    "push_rumor",
+    "PushMaxNode",
+    "PushSumNode",
+    "UniformGossipResult",
+    "default_push_rounds",
+    "push_max",
+    "push_sum",
+    "push_sum_engine",
+]

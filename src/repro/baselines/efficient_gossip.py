@@ -1,0 +1,245 @@
+"""Efficient gossip baseline (Kashyap, Deb, Naidu, Rastogi & Srinivasan, PODS 2006).
+
+Kashyap et al. were the first to reduce the message complexity of
+gossip-based aggregation: their algorithm uses ``O(n log log n)`` messages
+but takes ``O(log n log log n)`` rounds.  The structure, as summarised by the
+paper under reproduction (Section 1.1), is:
+
+1. randomly cluster the nodes into groups of size ``Theta(log n)``,
+2. elect one representative per group and aggregate within the group,
+3. have the representatives run uniform gossip (push-sum) among themselves,
+4. disseminate the result back inside each group.
+
+Reproduction note (documented substitution)
+-------------------------------------------
+The exact PODS'06 grouping protocol is intricate (it interleaves sampling,
+balanced allocation, and group merging over ``Theta(log log n)`` stages).
+For the Table 1 comparison what matters is its *cost shape*: grouping spends
+``O(log log n)`` messages per node spread over ``Theta(log n log log n)``
+rounds, and every later stage is ``O(n)`` messages and ``O(log n)`` or
+``O(log n log log n)`` rounds.  We therefore implement a protocol with the
+same structure and the same asymptotic accounting:
+
+* grouping: ``ceil(log2 log2 n)`` stages; in each stage every unattached node
+  spends one message probing for a group leader (leaders were self-elected
+  with probability ``1/log2 n``), and each stage is padded to ``log2 n``
+  rounds, reflecting the stage length of the original protocol -- this gives
+  ``Theta(n log log n)`` messages and ``Theta(log n log log n)`` rounds;
+  nodes still unattached after the last stage become singleton leaders;
+* aggregation within groups, gossip among leaders, and dissemination follow
+  the DRR-gossip Phase II/III machinery (convergecast over stars, push-sum
+  among leaders, broadcast back), all ``O(n)`` messages.
+
+The measured rows reproduce Kashyap et al.'s complexity *shape* -- which is
+what Table 1 compares -- not their exact constants.  DESIGN.md lists this as
+substitution S1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulator.failures import FailureModel
+from ..simulator.message import MessageKind
+from ..simulator.metrics import MetricsCollector
+from ..simulator.rng import make_rng
+from ..core.aggregates import Aggregate, exact_aggregate
+
+__all__ = ["EfficientGossipResult", "efficient_gossip"]
+
+
+@dataclass
+class EfficientGossipResult:
+    """Outcome of the efficient-gossip baseline."""
+
+    aggregate: Aggregate
+    estimates: np.ndarray
+    exact: float
+    rounds: int
+    messages: int
+    metrics: MetricsCollector
+    group_count: int
+    max_group_size: int
+
+    @property
+    def max_relative_error(self) -> float:
+        finite = np.isfinite(self.estimates)
+        if not finite.any():
+            return float("inf")
+        if self.exact == 0.0:
+            return float(np.max(np.abs(self.estimates[finite])))
+        return float(np.max(np.abs(self.estimates[finite] - self.exact) / abs(self.exact)))
+
+    @property
+    def all_correct(self) -> bool:
+        finite = np.isfinite(self.estimates)
+        return bool(finite.any()) and bool(np.all(self.estimates[finite] == self.exact))
+
+
+def efficient_gossip(
+    values: np.ndarray,
+    aggregate: Aggregate | str = Aggregate.AVERAGE,
+    rng: np.random.Generator | int | None = None,
+    failure_model: FailureModel | None = None,
+    metrics: MetricsCollector | None = None,
+    leader_probability: float | None = None,
+) -> EfficientGossipResult:
+    """Run the Kashyap-style cluster-then-gossip baseline.
+
+    Supports ``Aggregate.AVERAGE`` (push-sum among leaders weighted by group
+    size) and ``Aggregate.MAX`` / ``Aggregate.MIN`` (push-max among leaders).
+    """
+    aggregate = Aggregate(aggregate)
+    values = np.asarray(values, dtype=float)
+    n = values.size
+    if n == 0:
+        raise ValueError("values must be non-empty")
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+
+    log_n = max(1.0, math.log2(max(2, n)))
+    loglog_n = max(1, int(math.ceil(math.log2(log_n))))
+    p_leader = leader_probability if leader_probability is not None else 1.0 / log_n
+
+    alive = ~failure_model.sample_crashes(n, rng)
+    alive_idx = np.flatnonzero(alive)
+
+    # ------------------------------------------------------------------ #
+    # stage 1: grouping (Theta(log n log log n) rounds, Theta(n log log n) msgs)
+    # ------------------------------------------------------------------ #
+    metrics.begin_phase("grouping")
+    leaders = alive & (rng.random(n) < p_leader)
+    if not leaders[alive].any():
+        leaders[alive_idx[0]] = True
+    leader_idx = np.flatnonzero(leaders)
+    group_of = np.full(n, -1, dtype=np.int64)
+    group_of[leader_idx] = leader_idx
+
+    unattached = alive & ~leaders
+    # Theta(log log n) stages, plus a small constant so the unattached
+    # fraction (which shrinks as f -> 2f - f^2 per stage) drops below 1/log n
+    # and stragglers do not inflate the leader population.
+    for _stage in range(loglog_n + 4):
+        if int(unattached.sum()) <= max(1, int(n / log_n)) // 4:
+            break
+        # Each stage is padded to Theta(log n) rounds -- the stage length of
+        # the original protocol -- even though our probe itself is one round.
+        metrics.record_round(int(math.ceil(log_n)))
+        pending = np.flatnonzero(unattached)
+        if pending.size == 0:
+            continue
+        probes = rng.integers(0, n, size=pending.size)
+        metrics.record_messages(MessageKind.PROBE, pending.size, payload_words=1)
+        probe_ok = ~failure_model.sample_losses(pending.size, rng) & alive[probes]
+        # A probe succeeds when it lands on a node that already belongs to a
+        # group (leader or member); the prober joins that group.
+        target_group = group_of[probes]
+        joins = probe_ok & (target_group >= 0)
+        metrics.record_messages(MessageKind.DATA, int(joins.sum()), payload_words=1)
+        group_of[pending[joins]] = target_group[joins]
+        unattached[pending[joins]] = False
+    # Still-unattached nodes become singleton leaders.
+    stragglers = np.flatnonzero(unattached)
+    group_of[stragglers] = stragglers
+    leaders[stragglers] = True
+    leader_idx = np.flatnonzero(leaders)
+
+    group_sizes = np.bincount(group_of[alive], minlength=n)
+    max_group_size = int(group_sizes.max()) if alive.any() else 0
+
+    # ------------------------------------------------------------------ #
+    # stage 2: in-group aggregation to the leader (O(n) messages)
+    # ------------------------------------------------------------------ #
+    metrics.begin_phase("group-aggregate")
+    members = alive & ~leaders
+    member_ids = np.flatnonzero(members)
+    metrics.record_messages(MessageKind.CONVERGECAST, member_ids.size, payload_words=2)
+    member_ok = ~failure_model.sample_losses(member_ids.size, rng)
+    metrics.record_round(int(math.ceil(log_n)))
+
+    group_sum = np.zeros(n, dtype=float)
+    group_cnt = np.zeros(n, dtype=float)
+    group_max = np.full(n, -np.inf, dtype=float)
+    for i in leader_idx:
+        group_sum[i] = values[i]
+        group_cnt[i] = 1.0
+        group_max[i] = values[i]
+    received = member_ids[member_ok]
+    np.add.at(group_sum, group_of[received], values[received])
+    np.add.at(group_cnt, group_of[received], 1.0)
+    np.maximum.at(group_max, group_of[received], values[received])
+
+    # ------------------------------------------------------------------ #
+    # stage 3: gossip among leaders (O(n) messages, O(log n) rounds)
+    # ------------------------------------------------------------------ #
+    metrics.begin_phase("leader-gossip")
+    m = leader_idx.size
+    # Push-sum / push-max among the m = Theta(n / log n) leaders needs
+    # O(log m + log 1/eps) rounds; epsilon = 1/n keeps the Average accurate
+    # far beyond what the comparison needs.
+    gossip_rounds = int(math.ceil(2 * math.log2(max(2, m)) + math.log2(max(2, n)) / 2 + 8))
+    if aggregate in (Aggregate.MAX, Aggregate.MIN):
+        # Gossip the extremum among leaders; MIN is MAX on negated values.
+        if aggregate == Aggregate.MAX:
+            current = group_max[leader_idx].copy()
+        else:
+            group_min = np.full(n, np.inf, dtype=float)
+            for i in leader_idx:
+                group_min[i] = values[i]
+            np.minimum.at(group_min, group_of[received], values[received])
+            current = -group_min[leader_idx]
+        for _ in range(gossip_rounds):
+            metrics.record_round()
+            targets = rng.integers(0, m, size=m)
+            metrics.record_messages(MessageKind.PUSH, m, payload_words=1)
+            delivered = ~failure_model.sample_losses(m, rng)
+            np.maximum.at(current, targets[delivered], current[delivered])
+        leader_estimate = current if aggregate == Aggregate.MAX else -current
+    else:
+        s = group_sum[leader_idx].copy()
+        w = group_cnt[leader_idx].copy()
+        w[w == 0] = 1e-12
+        for _ in range(gossip_rounds):
+            metrics.record_round()
+            targets = rng.integers(0, m, size=m)
+            metrics.record_messages(MessageKind.PUSH, m, payload_words=2)
+            send_s, send_w = s / 2.0, w / 2.0
+            s -= send_s
+            w -= send_w
+            delivered = ~failure_model.sample_losses(m, rng)
+            np.add.at(s, targets[delivered], send_s[delivered])
+            np.add.at(w, targets[delivered], send_w[delivered])
+        leader_estimate = np.where(w > 0, s / np.where(w > 0, w, 1.0), np.nan)
+
+    # ------------------------------------------------------------------ #
+    # stage 4: dissemination back into the groups (O(n) messages)
+    # ------------------------------------------------------------------ #
+    metrics.begin_phase("dissemination")
+    estimates = np.full(n, np.nan, dtype=float)
+    estimates[leader_idx] = leader_estimate
+    metrics.record_messages(MessageKind.BROADCAST, member_ids.size, payload_words=1)
+    broadcast_ok = ~failure_model.sample_losses(member_ids.size, rng)
+    reached = member_ids[broadcast_ok]
+    leader_pos = {int(l): i for i, l in enumerate(leader_idx)}
+    estimates[reached] = leader_estimate[[leader_pos[int(g)] for g in group_of[reached]]]
+    metrics.record_round(int(math.ceil(log_n)))
+
+    if aggregate in (Aggregate.MAX, Aggregate.MIN):
+        exact = exact_aggregate(aggregate, values[alive])
+    else:
+        exact = exact_aggregate(Aggregate.AVERAGE, values[alive])
+
+    return EfficientGossipResult(
+        aggregate=aggregate,
+        estimates=estimates,
+        exact=float(exact),
+        rounds=metrics.total_rounds,
+        messages=metrics.total_messages,
+        metrics=metrics,
+        group_count=int(m),
+        max_group_size=max_group_size,
+    )

@@ -1,0 +1,309 @@
+"""Uniform gossip baselines (Kempe, Dobra & Gehrke, FOCS 2003).
+
+These are the address-oblivious protocols DRR-gossip is compared against in
+Table 1:
+
+* **Push-sum** -- every node keeps a pair ``(s, w)`` initialised to
+  ``(value, 1)``; in every round it keeps half and pushes half to a node
+  chosen uniformly at random.  ``s/w`` converges to the global average at
+  every node in ``O(log n + log 1/eps)`` rounds, so with all ``n`` nodes
+  pushing every round the message complexity is ``Theta(n log n)``.
+* **Push-max** -- every node pushes its current maximum to a random node
+  every round; ``O(log n)`` rounds suffice for every node to hold the global
+  maximum whp, again ``Theta(n log n)`` messages.
+
+Both are *address-oblivious*: the decision to send never depends on the
+partner's address, which is exactly the class the Section 5 lower bound says
+cannot beat ``Omega(n log n)`` messages.
+
+Both a vectorised implementation (used by the Table 1 sweeps) and an
+engine-backed implementation (used by fidelity and failure-injection tests)
+are provided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulator.engine import EngineConfig, SynchronousEngine
+from ..simulator.failures import FailureModel
+from ..simulator.message import Message, MessageKind, Send
+from ..simulator.metrics import MetricsCollector
+from ..simulator.network import Network
+from ..simulator.node import ProtocolNode, RoundContext
+from ..simulator.rng import make_rng
+
+__all__ = [
+    "UniformGossipResult",
+    "push_sum",
+    "push_max",
+    "push_sum_engine",
+    "PushSumNode",
+    "PushMaxNode",
+    "default_push_rounds",
+]
+
+
+def default_push_rounds(n: int, epsilon: float | None = None) -> int:
+    """``O(log n + log 1/eps)`` rounds; default target error ``1/n``."""
+    epsilon = epsilon if epsilon is not None else 1.0 / max(2, n)
+    return int(math.ceil(2.0 * math.log2(max(2, n)) + math.log2(1.0 / max(1e-300, epsilon)) + 4.0))
+
+
+@dataclass
+class UniformGossipResult:
+    """Outcome of a uniform-gossip baseline run."""
+
+    #: per-node estimate of the aggregate
+    estimates: np.ndarray
+    #: exact reference value over alive nodes
+    exact: float
+    rounds: int
+    messages: int
+    metrics: MetricsCollector
+    #: per-round fraction of nodes holding the exact answer (push-max) or the
+    #: per-round maximum relative error (push-sum); used by convergence plots
+    convergence: list[float] = field(default_factory=list)
+
+    @property
+    def max_relative_error(self) -> float:
+        if self.exact == 0.0:
+            return float(np.nanmax(np.abs(self.estimates)))
+        return float(np.nanmax(np.abs(self.estimates - self.exact) / abs(self.exact)))
+
+    @property
+    def all_correct(self) -> bool:
+        return bool(np.all(self.estimates == self.exact))
+
+
+# --------------------------------------------------------------------------- #
+# vectorised implementations
+# --------------------------------------------------------------------------- #
+def push_sum(
+    values: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    rounds: int | None = None,
+    epsilon: float | None = None,
+    failure_model: FailureModel | None = None,
+    metrics: MetricsCollector | None = None,
+) -> UniformGossipResult:
+    """Kempe et al. push-sum for the Average aggregate."""
+    values = np.asarray(values, dtype=float)
+    n = values.size
+    if n == 0:
+        raise ValueError("values must be non-empty")
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase("push-sum")
+
+    alive = ~failure_model.sample_crashes(n, rng)
+    total_rounds = rounds if rounds is not None else default_push_rounds(n, epsilon)
+
+    s = np.where(alive, values, 0.0).astype(float)
+    w = alive.astype(float).copy()
+    exact = float(values[alive].mean())
+    convergence: list[float] = []
+    alive_idx = np.flatnonzero(alive)
+
+    for _ in range(total_rounds):
+        metrics.record_round()
+        senders = alive_idx
+        targets = rng.integers(0, n, size=senders.size)
+        metrics.record_messages(MessageKind.PUSH, senders.size, payload_words=2)
+        send_s = s[senders] / 2.0
+        send_w = w[senders] / 2.0
+        s[senders] -= send_s
+        w[senders] -= send_w
+        delivered = ~failure_model.sample_losses(senders.size, rng) & alive[targets]
+        np.add.at(s, targets[delivered], send_s[delivered])
+        np.add.at(w, targets[delivered], send_w[delivered])
+        with np.errstate(invalid="ignore", divide="ignore"):
+            est = np.where(w > 0, s / np.where(w > 0, w, 1.0), np.nan)
+        err = np.nanmax(np.abs(est[alive] - exact) / max(1e-300, abs(exact))) if exact != 0 else np.nanmax(np.abs(est[alive]))
+        convergence.append(float(err))
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        estimates = np.where(w > 0, s / np.where(w > 0, w, 1.0), np.nan)
+    estimates[~alive] = np.nan
+    return UniformGossipResult(
+        estimates=estimates,
+        exact=exact,
+        rounds=total_rounds,
+        messages=metrics.total_messages,
+        metrics=metrics,
+        convergence=convergence,
+    )
+
+
+def push_max(
+    values: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    rounds: int | None = None,
+    failure_model: FailureModel | None = None,
+    metrics: MetricsCollector | None = None,
+    stop_when_converged: bool = False,
+) -> UniformGossipResult:
+    """Address-oblivious push-max: every node pushes its running maximum.
+
+    ``stop_when_converged`` is used by the lower-bound experiment, which
+    wants the number of messages spent until every node knows the maximum
+    (an oracle stopping rule that only *under*-counts what a real protocol
+    would need, making the measured lower bound conservative).
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.size
+    if n == 0:
+        raise ValueError("values must be non-empty")
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase("push-max")
+
+    alive = ~failure_model.sample_crashes(n, rng)
+    total_rounds = rounds if rounds is not None else int(math.ceil(2.0 * math.log2(max(2, n)) + 6))
+
+    current = np.where(alive, values, -np.inf).astype(float)
+    exact = float(values[alive].max())
+    alive_idx = np.flatnonzero(alive)
+    convergence: list[float] = []
+
+    executed = 0
+    for _ in range(total_rounds):
+        metrics.record_round()
+        executed += 1
+        targets = rng.integers(0, n, size=alive_idx.size)
+        metrics.record_messages(MessageKind.PUSH, alive_idx.size, payload_words=1)
+        delivered = ~failure_model.sample_losses(alive_idx.size, rng) & alive[targets]
+        np.maximum.at(current, targets[delivered], current[alive_idx][delivered])
+        informed = float(np.mean(current[alive] >= exact))
+        convergence.append(informed)
+        if stop_when_converged and informed >= 1.0:
+            break
+
+    estimates = current.copy()
+    estimates[~alive] = np.nan
+    return UniformGossipResult(
+        estimates=estimates,
+        exact=exact,
+        rounds=executed,
+        messages=metrics.total_messages,
+        metrics=metrics,
+        convergence=convergence,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# engine-backed implementation
+# --------------------------------------------------------------------------- #
+class PushSumNode(ProtocolNode):
+    """Per-node push-sum state machine (Kempe et al., address-oblivious)."""
+
+    def __init__(self, node_id: int, value: float, rounds: int) -> None:
+        super().__init__(node_id)
+        self.s = float(value)
+        self.w = 1.0
+        self.rounds = rounds
+        self.rounds_done = 0
+
+    def begin_round(self, ctx: RoundContext) -> list[Send]:
+        if self.rounds_done >= self.rounds:
+            return []
+        self.rounds_done += 1
+        target = ctx.random_node()
+        send_s, send_w = self.s / 2.0, self.w / 2.0
+        self.s -= send_s
+        self.w -= send_w
+        return [
+            Send(
+                recipient=target,
+                kind=MessageKind.PUSH,
+                payload={"s": send_s, "w": send_w},
+                payload_words=2,
+            )
+        ]
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        for message in messages:
+            if message.kind == MessageKind.PUSH.value:
+                self.s += float(message.get("s"))
+                self.w += float(message.get("w"))
+        return []
+
+    def is_complete(self) -> bool:
+        return self.rounds_done >= self.rounds
+
+    def result(self) -> float:
+        return self.s / self.w if self.w > 0 else float("nan")
+
+
+class PushMaxNode(ProtocolNode):
+    """Per-node push-max state machine (address-oblivious)."""
+
+    def __init__(self, node_id: int, value: float, rounds: int) -> None:
+        super().__init__(node_id)
+        self.value = float(value)
+        self.rounds = rounds
+        self.rounds_done = 0
+
+    def begin_round(self, ctx: RoundContext) -> list[Send]:
+        if self.rounds_done >= self.rounds:
+            return []
+        self.rounds_done += 1
+        return [
+            Send(recipient=ctx.random_node(), kind=MessageKind.PUSH, payload={"value": self.value})
+        ]
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        for message in messages:
+            if message.kind == MessageKind.PUSH.value:
+                self.value = max(self.value, float(message.get("value")))
+        return []
+
+    def is_complete(self) -> bool:
+        return self.rounds_done >= self.rounds
+
+    def result(self) -> float:
+        return self.value
+
+
+def push_sum_engine(
+    values: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    rounds: int | None = None,
+    failure_model: FailureModel | None = None,
+    metrics: MetricsCollector | None = None,
+) -> UniformGossipResult:
+    """Message-level push-sum on the simulator substrate."""
+    values = np.asarray(values, dtype=float)
+    n = values.size
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase("push-sum")
+    total_rounds = rounds if rounds is not None else default_push_rounds(n)
+
+    network = Network(n, failure_model=failure_model, rng=rng)
+    nodes = [PushSumNode(i, float(values[i]), total_rounds) for i in range(n)]
+    engine = SynchronousEngine(
+        network=network,
+        nodes=nodes,
+        rng=rng,
+        metrics=metrics,
+        config=EngineConfig(max_substeps=2, max_rounds=total_rounds + 4),
+    )
+    outcome = engine.run()
+    alive = network.alive
+    estimates = np.array([node.result() for node in nodes], dtype=float)
+    estimates[~alive] = np.nan
+    exact = float(values[alive].mean())
+    return UniformGossipResult(
+        estimates=estimates,
+        exact=exact,
+        rounds=outcome.rounds,
+        messages=metrics.total_messages,
+        metrics=metrics,
+    )

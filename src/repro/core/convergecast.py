@@ -1,0 +1,444 @@
+"""Phase II -- Convergecast and Broadcast (Algorithms 2 and 3).
+
+After Phase I every node knows its parent and (if its connection message
+arrived) its parent knows it.  Phase II computes the *local* aggregate of
+every tree at its root:
+
+* **Convergecast-max** (Algorithm 2): leaves send their value to their
+  parent; intermediate nodes wait for their children, take the max of the
+  received values and their own, and forward it; the root ends up with the
+  tree's maximum.
+* **Convergecast-sum** (Algorithm 3): identical structure, but nodes forward
+  a pair ``(sum of values, count of nodes)`` so the root learns the tree's
+  local sum and its size -- the size is the weight Gossip-ave needs.
+* **Broadcast**: the root pushes a payload (its own address after Phase II,
+  the global aggregate after Phase III) down the tree.  A node can call only
+  one node per round, so a parent serves its children one per round; this is
+  why the paper bounds Phase II time by the tree *size* rather than height.
+
+Semantics under failures (both implementations):
+
+* A parent only waits for, and only incorporates, the children whose
+  CONNECT message it actually received in Phase I ("known children").
+* If a convergecast message is lost, that child's whole subtree contribution
+  is missing from the root's local aggregate; there are no retransmissions,
+  matching the paper's model.  The engine implementation uses a timeout so a
+  lost message cannot deadlock a waiting parent.
+* If a broadcast message is lost, the child's subtree never learns the
+  payload (such nodes cannot forward Phase III gossip to their root).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..simulator.engine import EngineConfig, SynchronousEngine
+from ..simulator.failures import FailureModel
+from ..simulator.message import Message, MessageKind, Send
+from ..simulator.metrics import MetricsCollector
+from ..simulator.network import Network
+from ..simulator.node import ProtocolNode, RoundContext
+from ..simulator.rng import make_rng
+from .drr import DRRResult
+from .forest import Forest
+
+__all__ = [
+    "ConvergecastResult",
+    "BroadcastResult",
+    "run_convergecast",
+    "run_broadcast",
+    "run_convergecast_engine",
+    "run_broadcast_engine",
+]
+
+Op = Literal["max", "min", "sum"]
+
+
+@dataclass
+class ConvergecastResult:
+    """Per-root local aggregates computed by a convergecast pass.
+
+    ``local_value[r]`` is the local Max/Min (op="max"/"min") or local Sum
+    (op="sum") of the tree rooted at ``r``; ``local_weight[r]`` is the number
+    of nodes whose value actually reached the root (equal to the tree size on
+    a reliable network).  Dictionaries are keyed by root id.
+    """
+
+    op: str
+    local_value: dict[int, float]
+    local_weight: dict[int, int]
+    rounds: int
+    metrics: MetricsCollector
+
+    def value_vector(self, roots: np.ndarray) -> np.ndarray:
+        return np.array([self.local_value[int(r)] for r in roots], dtype=float)
+
+    def weight_vector(self, roots: np.ndarray) -> np.ndarray:
+        return np.array([self.local_weight[int(r)] for r in roots], dtype=float)
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of a root-to-tree broadcast.
+
+    ``received[i]`` is True when node ``i`` got the payload;
+    ``payload[i]`` is the delivered value (NaN / -1 when not received).
+    """
+
+    received: np.ndarray
+    payload: np.ndarray
+    rounds: int
+    metrics: MetricsCollector
+
+    @property
+    def coverage(self) -> float:
+        return float(self.received.mean())
+
+
+def _known_children(drr: DRRResult) -> tuple[tuple[int, ...], ...]:
+    return drr.known_children
+
+
+def _reduce(op: str, a: float, b: float) -> float:
+    if op == "max":
+        return max(a, b)
+    if op == "min":
+        return min(a, b)
+    if op == "sum":
+        return a + b
+    raise ValueError(f"unknown convergecast op {op!r}")
+
+
+# --------------------------------------------------------------------------- #
+# fast implementation
+# --------------------------------------------------------------------------- #
+def run_convergecast(
+    drr: DRRResult,
+    values: np.ndarray,
+    op: Op = "max",
+    failure_model: FailureModel | None = None,
+    rng: np.random.Generator | int | None = None,
+    metrics: MetricsCollector | None = None,
+) -> ConvergecastResult:
+    """Compute local per-tree aggregates at the roots (Algorithms 2 / 3)."""
+    forest = drr.forest
+    n = forest.n
+    values = np.asarray(values, dtype=float)
+    if values.shape != (n,):
+        raise ValueError(f"values must have shape ({n},), got {values.shape}")
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase("convergecast")
+
+    alive = forest.alive if forest.alive is not None else np.ones(n, dtype=bool)
+    known = _known_children(drr)
+
+    # Accumulators: every alive node starts with its own value and weight 1.
+    acc_value = values.astype(float).copy()
+    acc_weight = np.ones(n, dtype=np.int64)
+    acc_weight[~alive] = 0
+
+    # send_round[i]: round in which non-root i transmits its accumulated
+    # aggregate to its parent (leaves send in round 1, a parent one round
+    # after its last known child).
+    send_round = np.zeros(n, dtype=np.int64)
+
+    # Process nodes bottom-up so children are folded in before parents send.
+    order = forest.topological_order()[::-1]
+    payload_words = 1 if op in ("max", "min") else 2
+    for node in order:
+        node = int(node)
+        if not alive[node]:
+            continue
+        parent = int(forest.parent[node])
+        kids = [k for k in known[node] if alive[k]]
+        send_round[node] = 1 + max((int(send_round[k]) for k in kids), default=0)
+        if parent < 0:
+            continue
+        # The upward message is charged whether or not it arrives.
+        metrics.record_message(MessageKind.CONVERGECAST, payload_words=payload_words)
+        lost = failure_model.message_lost(rng) or not alive[parent]
+        known_to_parent = bool(drr.connect_delivered[node])
+        if lost or not known_to_parent:
+            continue
+        acc_value[parent] = _reduce(op, float(acc_value[parent]), float(acc_value[node]))
+        acc_weight[parent] += acc_weight[node]
+
+    alive_roots = [int(r) for r in forest.roots if alive[r]]
+    local_value = {r: float(acc_value[r]) for r in alive_roots}
+    local_weight = {r: int(acc_weight[r]) for r in alive_roots}
+    rounds = int(max((send_round[i] for i in range(n) if alive[i] and forest.parent[i] >= 0), default=0))
+    metrics.record_round(rounds)
+    return ConvergecastResult(
+        op=op,
+        local_value=local_value,
+        local_weight=local_weight,
+        rounds=rounds,
+        metrics=metrics,
+    )
+
+
+def run_broadcast(
+    drr: DRRResult,
+    root_payload: dict[int, float],
+    failure_model: FailureModel | None = None,
+    rng: np.random.Generator | int | None = None,
+    metrics: MetricsCollector | None = None,
+    phase_name: str = "broadcast",
+) -> BroadcastResult:
+    """Push a per-root payload down every tree (one child served per round)."""
+    forest = drr.forest
+    n = forest.n
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase(phase_name)
+
+    alive = forest.alive if forest.alive is not None else np.ones(n, dtype=bool)
+    known = _known_children(drr)
+
+    received = np.zeros(n, dtype=bool)
+    payload = np.full(n, np.nan, dtype=float)
+    receive_round = np.full(n, -1, dtype=np.int64)
+
+    # Seed the roots that have something to broadcast.
+    frontier: list[int] = []
+    for root, value in root_payload.items():
+        root = int(root)
+        if not forest.is_root(root):
+            raise ValueError(f"node {root} is not a root")
+        if not alive[root]:
+            continue
+        received[root] = True
+        payload[root] = float(value)
+        receive_round[root] = 0
+        frontier.append(root)
+
+    # Breadth-first down the trees; a node forwards to its known children one
+    # per round, in ascending id order, starting the round after it received.
+    max_round = 0
+    stack = list(frontier)
+    while stack:
+        node = stack.pop()
+        kids = [k for k in known[node] if alive[k]]
+        for index, child in enumerate(sorted(kids), start=1):
+            metrics.record_message(MessageKind.BROADCAST, payload_words=1)
+            arrival = int(receive_round[node]) + index
+            max_round = max(max_round, arrival)
+            if failure_model.message_lost(rng):
+                continue
+            received[child] = True
+            payload[child] = payload[node]
+            receive_round[child] = arrival
+            stack.append(child)
+
+    metrics.record_round(max_round)
+    return BroadcastResult(received=received, payload=payload, rounds=max_round, metrics=metrics)
+
+
+# --------------------------------------------------------------------------- #
+# engine-backed implementation
+# --------------------------------------------------------------------------- #
+class ConvergecastNode(ProtocolNode):
+    """Per-node convergecast state machine (Algorithms 2 and 3)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        value: float,
+        parent: int | None,
+        known_children: tuple[int, ...],
+        op: str,
+        timeout: int,
+    ) -> None:
+        super().__init__(node_id)
+        self.value = float(value)
+        self.weight = 1
+        self.parent = parent
+        self.waiting_for = set(known_children)
+        self.op = op
+        self.timeout = timeout
+        self.sent = False
+        self._rounds_seen = 0
+
+    def _ready(self, ctx: RoundContext) -> bool:
+        return not self.waiting_for or ctx.round_index >= self.timeout
+
+    def begin_round(self, ctx: RoundContext) -> list[Send]:
+        self._rounds_seen = ctx.round_index
+        if self.parent is None or self.sent or not self._ready(ctx):
+            return []
+        self.sent = True
+        return [
+            Send(
+                recipient=self.parent,
+                kind=MessageKind.CONVERGECAST,
+                payload={"value": self.value, "weight": self.weight, "child": self.node_id},
+                payload_words=1 if self.op in ("max", "min") else 2,
+            )
+        ]
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        for message in messages:
+            if message.kind != MessageKind.CONVERGECAST.value:
+                continue
+            child = int(message.get("child", message.sender))
+            if child not in self.waiting_for:
+                # Unknown child (its CONNECT was lost): ignore, see module
+                # docstring for the rationale.
+                continue
+            self.waiting_for.discard(child)
+            self.value = _reduce(self.op, self.value, float(message.get("value")))
+            self.weight += int(message.get("weight", 1))
+        return []
+
+    def is_complete(self) -> bool:
+        if self.parent is None:
+            # A root waiting for a child whose message was lost gives up at
+            # the same timeout its descendants use, so loss never deadlocks.
+            return not self.waiting_for or self._rounds_seen >= self.timeout
+        return self.sent
+
+    def result(self) -> dict:
+        return {"value": self.value, "weight": self.weight}
+
+
+class BroadcastNode(ProtocolNode):
+    """Per-node broadcast state machine (root address / final aggregate)."""
+
+    def __init__(self, node_id: int, known_children: tuple[int, ...], payload: float | None) -> None:
+        super().__init__(node_id)
+        self.pending_children = sorted(known_children)
+        self.payload = payload
+        self.received = payload is not None
+
+    def begin_round(self, ctx: RoundContext) -> list[Send]:
+        if not self.received or not self.pending_children:
+            return []
+        child = self.pending_children.pop(0)
+        return [
+            Send(recipient=child, kind=MessageKind.BROADCAST, payload={"value": self.payload})
+        ]
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        for message in messages:
+            if message.kind == MessageKind.BROADCAST.value and not self.received:
+                self.received = True
+                self.payload = float(message.get("value"))
+        return []
+
+    def is_complete(self) -> bool:
+        # A node that never receives the payload (lost broadcast upstream, or
+        # simply not in any seeded tree) cannot forward; it is "complete" in
+        # the sense that it will never act again.
+        return not self.received or not self.pending_children
+
+    def result(self) -> dict:
+        return {"received": self.received, "payload": self.payload}
+
+
+def run_convergecast_engine(
+    drr: DRRResult,
+    values: np.ndarray,
+    op: Op = "max",
+    failure_model: FailureModel | None = None,
+    rng: np.random.Generator | int | None = None,
+    metrics: MetricsCollector | None = None,
+    network: Network | None = None,
+) -> ConvergecastResult:
+    """Message-level convergecast on the simulator substrate."""
+    forest = drr.forest
+    n = forest.n
+    values = np.asarray(values, dtype=float)
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase("convergecast")
+    if network is None:
+        network = Network(n, failure_model=failure_model, rng=rng)
+        network.alive = (forest.alive if forest.alive is not None else np.ones(n, dtype=bool)).copy()
+
+    known = _known_children(drr)
+    # Timeout after which a parent stops waiting for lost child messages.
+    timeout = 4 * max(4, int(math.ceil(math.log2(max(2, n)))))
+    nodes = [
+        ConvergecastNode(
+            node_id=i,
+            value=float(values[i]),
+            parent=(int(forest.parent[i]) if forest.parent[i] >= 0 else None),
+            known_children=known[i],
+            op=op,
+            timeout=timeout,
+        )
+        for i in range(n)
+    ]
+    engine = SynchronousEngine(
+        network=network,
+        nodes=nodes,
+        rng=rng,
+        metrics=metrics,
+        config=EngineConfig(max_substeps=2, max_rounds=timeout + n + 4, strict=False),
+    )
+    outcome = engine.run()
+
+    alive = network.alive
+    alive_roots = [int(r) for r in forest.roots if alive[r]]
+    local_value = {r: float(nodes[r].value) for r in alive_roots}
+    local_weight = {r: int(nodes[r].weight) for r in alive_roots}
+    return ConvergecastResult(
+        op=op,
+        local_value=local_value,
+        local_weight=local_weight,
+        rounds=outcome.rounds,
+        metrics=metrics,
+    )
+
+
+def run_broadcast_engine(
+    drr: DRRResult,
+    root_payload: dict[int, float],
+    failure_model: FailureModel | None = None,
+    rng: np.random.Generator | int | None = None,
+    metrics: MetricsCollector | None = None,
+    network: Network | None = None,
+    phase_name: str = "broadcast",
+) -> BroadcastResult:
+    """Message-level broadcast on the simulator substrate."""
+    forest = drr.forest
+    n = forest.n
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase(phase_name)
+    if network is None:
+        network = Network(n, failure_model=failure_model, rng=rng)
+        network.alive = (forest.alive if forest.alive is not None else np.ones(n, dtype=bool)).copy()
+
+    known = _known_children(drr)
+    nodes = [
+        BroadcastNode(
+            node_id=i,
+            known_children=known[i],
+            payload=(float(root_payload[i]) if i in root_payload else None),
+        )
+        for i in range(n)
+    ]
+    engine = SynchronousEngine(
+        network=network,
+        nodes=nodes,
+        rng=rng,
+        metrics=metrics,
+        config=EngineConfig(max_substeps=2, max_rounds=4 * n + 16, strict=False),
+    )
+    outcome = engine.run()
+
+    received = np.array([node.received for node in nodes], dtype=bool)
+    payload = np.array(
+        [node.payload if node.payload is not None else np.nan for node in nodes], dtype=float
+    )
+    return BroadcastResult(received=received, payload=payload, rounds=outcome.rounds, metrics=metrics)

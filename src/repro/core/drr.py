@@ -1,0 +1,318 @@
+"""Phase I -- Distributed Random Ranking (Algorithm 1 of the paper).
+
+Every node draws a rank uniformly at random from [0, 1] and then probes up to
+``log2(n) - 1`` random nodes, one per round, until it finds a node of higher
+rank; it connects to the first such node (sending it a *connection message*)
+or becomes a root if the probe budget is exhausted.  Because every edge goes
+from a lower rank to a strictly higher rank, the result is a forest.
+
+Two interchangeable implementations are provided:
+
+* :class:`DRRNode` + :func:`run_drr_engine` -- the reference implementation
+  as per-node message handlers on the simulator substrate.  Probes, rank
+  replies, and connection messages are real messages subject to the failure
+  model; this is the implementation the failure-injection tests exercise.
+* :func:`run_drr` -- a vectorised implementation of the same random process
+  with identical message accounting, used for the large-``n`` scaling sweeps
+  (Theorems 2-4 experiments, E2-E4 in DESIGN.md).
+
+Message accounting (both paths): each probe is one PROBE message plus one
+RANK reply (if the probe arrived), and each successful attachment sends one
+CONNECT message.  Total messages are therefore ~2x the number of probes,
+which keeps the ``O(n log log n)`` shape of Theorem 4 (the paper charges one
+message per probe; the factor of two is explicitly called out in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulator.engine import EngineConfig, SynchronousEngine
+from ..simulator.failures import FailureModel
+from ..simulator.message import Message, MessageKind, Send
+from ..simulator.metrics import MetricsCollector
+from ..simulator.network import Network
+from ..simulator.node import ProtocolNode, RoundContext
+from ..simulator.rng import make_rng
+from .forest import Forest
+
+__all__ = ["DRRResult", "DRRNode", "run_drr", "run_drr_engine", "default_probe_budget"]
+
+
+def default_probe_budget(n: int) -> int:
+    """The paper's probe budget: ``log2(n) - 1`` samples per node (at least 1)."""
+    return max(1, int(math.ceil(math.log2(max(2, n)))) - 1)
+
+
+@dataclass
+class DRRResult:
+    """Output of Phase I.
+
+    Attributes
+    ----------
+    forest:
+        The ranking forest (child-side view: ``parent[i]`` is the node ``i``
+        believes is its parent, or ``-1``).
+    connect_delivered:
+        ``connect_delivered[i]`` is True when node ``i``'s connection message
+        reached its parent.  Under message loss a parent may not know about a
+        child; Phase II uses this mask so convergecast only waits for the
+        children the parent actually learned about (exactly what happens in
+        the message-level implementation).
+    probes:
+        Number of probes each node sent.
+    rounds:
+        Rounds Phase I took (= max probes over nodes).
+    metrics:
+        Message/round accounting for the phase.
+    """
+
+    forest: Forest
+    connect_delivered: np.ndarray
+    probes: np.ndarray
+    rounds: int
+    metrics: MetricsCollector
+
+    @property
+    def known_children(self) -> tuple[tuple[int, ...], ...]:
+        """Children lists as seen by parents (connection message arrived)."""
+        kids: list[list[int]] = [[] for _ in range(self.forest.n)]
+        for child, parent in enumerate(self.forest.parent):
+            if parent >= 0 and self.connect_delivered[child]:
+                kids[parent].append(child)
+        return tuple(tuple(k) for k in kids)
+
+
+# --------------------------------------------------------------------------- #
+# fast (vectorised) implementation
+# --------------------------------------------------------------------------- #
+def run_drr(
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    probe_budget: int | None = None,
+    failure_model: FailureModel | None = None,
+    alive: np.ndarray | None = None,
+    metrics: MetricsCollector | None = None,
+    ranks: np.ndarray | None = None,
+) -> DRRResult:
+    """Run DRR over ``n`` nodes and return the ranking forest.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    rng:
+        Seed or generator.
+    probe_budget:
+        Maximum probes per node; defaults to the paper's ``log2(n) - 1``.
+    failure_model:
+        Message-loss / crash model; defaults to a reliable network.
+    alive:
+        Optional precomputed liveness mask (overrides the failure model's
+        crash sampling so composite pipelines can share one mask).
+    metrics:
+        Optional collector to accumulate into (a new one is created
+        otherwise); the phase is recorded under the name ``"drr"``.
+    ranks:
+        Optional externally drawn ranks (used by ablation experiments that
+        compare the [0,1] rank domain against the [1, n^3] integer domain).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    budget = probe_budget if probe_budget is not None else default_probe_budget(n)
+    if budget < 1:
+        raise ValueError("probe budget must be at least 1")
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase("drr")
+
+    if alive is None:
+        alive = ~failure_model.sample_crashes(n, rng)
+    alive = np.asarray(alive, dtype=bool)
+    if ranks is None:
+        ranks = rng.random(n)
+    else:
+        ranks = np.asarray(ranks, dtype=float)
+        if ranks.shape != (n,):
+            raise ValueError("ranks must have shape (n,)")
+
+    parent = np.full(n, -1, dtype=np.int64)
+    connect_delivered = np.zeros(n, dtype=bool)
+    probes_used = np.zeros(n, dtype=np.int64)
+    delta = failure_model.loss_probability
+
+    # Probe targets for all nodes and all potential attempts, excluding self
+    # (probing yourself can never find a higher rank, and excluding it
+    # matches the engine implementation).
+    targets = rng.integers(0, n - 1, size=(n, budget)) if n > 1 else np.zeros((n, budget), dtype=np.int64)
+    if n > 1:
+        self_ids = np.arange(n)[:, None]
+        targets = np.where(targets >= self_ids, targets + 1, targets)
+
+    probe_lost = rng.random((n, budget)) < delta if delta > 0 else np.zeros((n, budget), dtype=bool)
+    reply_lost = rng.random((n, budget)) < delta if delta > 0 else np.zeros((n, budget), dtype=bool)
+
+    for i in range(n):
+        if not alive[i]:
+            continue
+        for k in range(budget):
+            probes_used[i] += 1
+            target = int(targets[i, k])
+            # The probe is charged to the sender whether or not it arrives.
+            metrics.record_message(MessageKind.PROBE, payload_words=1)
+            if probe_lost[i, k] or not alive[target]:
+                continue
+            # Rank reply from the probed node.
+            metrics.record_message(MessageKind.RANK, payload_words=1)
+            if reply_lost[i, k]:
+                continue
+            if ranks[target] > ranks[i]:
+                parent[i] = target
+                # Connection message to the chosen parent.
+                metrics.record_message(MessageKind.CONNECT, payload_words=1)
+                connect_lost = failure_model.message_lost(rng) or not alive[target]
+                connect_delivered[i] = not connect_lost
+                break
+
+    rounds = int(probes_used.max(initial=0)) if alive.any() else 0
+    metrics.record_round(rounds)
+    forest = Forest(parent=parent, rank=ranks, alive=alive)
+    forest.validate()
+    return DRRResult(
+        forest=forest,
+        connect_delivered=connect_delivered,
+        probes=probes_used,
+        rounds=rounds,
+        metrics=metrics,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# engine-backed (message-level) implementation
+# --------------------------------------------------------------------------- #
+class DRRNode(ProtocolNode):
+    """Per-node state machine for Algorithm 1 on the simulator substrate."""
+
+    def __init__(self, node_id: int, rank: float, probe_budget: int) -> None:
+        super().__init__(node_id)
+        self.rank = float(rank)
+        self.probe_budget = int(probe_budget)
+        self.parent: int | None = None
+        self.children: list[int] = []
+        self.probes_sent = 0
+        self.found = False
+        #: round index in which this node stopped probing (for diagnostics)
+        self.finished_round: int | None = None
+
+    # -- engine callbacks ------------------------------------------------ #
+    def begin_round(self, ctx: RoundContext) -> list[Send]:
+        if self.found or self.probes_sent >= self.probe_budget:
+            if self.finished_round is None:
+                self.finished_round = ctx.round_index
+            return []
+        self.probes_sent += 1
+        target = ctx.random_node(exclude=self.node_id)
+        return [Send(recipient=target, kind=MessageKind.PROBE, payload={"rank": self.rank})]
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        replies: list[Send] = []
+        for message in messages:
+            if message.kind == MessageKind.PROBE.value:
+                replies.append(
+                    Send(
+                        recipient=message.sender,
+                        kind=MessageKind.RANK,
+                        payload={"rank": self.rank},
+                    )
+                )
+            elif message.kind == MessageKind.RANK.value:
+                if not self.found and float(message.get("rank")) > self.rank:
+                    self.found = True
+                    self.parent = message.sender
+                    self.finished_round = ctx.round_index
+                    replies.append(
+                        Send(
+                            recipient=message.sender,
+                            kind=MessageKind.CONNECT,
+                            payload={"child": self.node_id},
+                        )
+                    )
+            elif message.kind == MessageKind.CONNECT.value:
+                child = int(message.get("child", message.sender))
+                if child not in self.children:
+                    self.children.append(child)
+        return replies
+
+    def is_complete(self) -> bool:
+        return self.found or self.probes_sent >= self.probe_budget
+
+    def result(self) -> dict:
+        return {
+            "parent": self.parent,
+            "children": tuple(sorted(self.children)),
+            "rank": self.rank,
+            "probes": self.probes_sent,
+        }
+
+
+def run_drr_engine(
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    probe_budget: int | None = None,
+    failure_model: FailureModel | None = None,
+    metrics: MetricsCollector | None = None,
+    network: Network | None = None,
+    ranks: np.ndarray | None = None,
+) -> DRRResult:
+    """Message-level DRR on the simulator substrate.
+
+    Semantically identical to :func:`run_drr`; the returned
+    :class:`DRRResult` has the same shape so Phase II accepts either.
+    """
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    budget = probe_budget if probe_budget is not None else default_probe_budget(n)
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase("drr")
+
+    if network is None:
+        network = Network(n, failure_model=failure_model, rng=rng)
+    if ranks is None:
+        ranks = rng.random(n)
+    nodes = [DRRNode(i, float(ranks[i]), budget) for i in range(n)]
+
+    engine = SynchronousEngine(
+        network=network,
+        nodes=nodes,
+        rng=rng,
+        metrics=metrics,
+        # One extra sub-step so a probe is answered within the round it was
+        # placed, matching "sample a node ... and get its rank" in Algorithm 1.
+        config=EngineConfig(max_substeps=3, max_rounds=budget + 4),
+    )
+    outcome = engine.run()
+
+    parent = np.full(n, -1, dtype=np.int64)
+    connect_delivered = np.zeros(n, dtype=bool)
+    probes = np.zeros(n, dtype=np.int64)
+    for node in nodes:
+        probes[node.node_id] = node.probes_sent
+        if node.parent is not None:
+            parent[node.node_id] = node.parent
+    for node in nodes:
+        for child in node.children:
+            connect_delivered[child] = True
+
+    forest = Forest(parent=parent, rank=np.asarray(ranks, dtype=float), alive=network.alive)
+    forest.validate()
+    return DRRResult(
+        forest=forest,
+        connect_delivered=connect_delivered,
+        probes=probes,
+        rounds=outcome.rounds,
+        metrics=metrics,
+    )

@@ -1,0 +1,255 @@
+"""The ranking forest produced by DRR / Local-DRR (Phase I output).
+
+Both ranking schemes produce the same object: every node either points to a
+parent of strictly higher rank or is a root, so the parent pointers form a
+forest of disjoint trees.  :class:`Forest` stores the parent array together
+with the ranks, derives children lists / tree ids / sizes / heights, and
+validates the structural invariants that the analysis of Theorems 2-4 and
+11-13 relies on:
+
+* acyclicity (guaranteed by the rank-increase property, checked anyway),
+* every non-root's parent has strictly higher rank,
+* tree ids partition the node set.
+
+The convergecast, broadcast, and gossip phases all consume a ``Forest``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Forest", "ForestInvariantError"]
+
+NO_PARENT = -1
+
+
+class ForestInvariantError(ValueError):
+    """Raised when a claimed forest violates a structural invariant."""
+
+
+@dataclass(frozen=True)
+class Forest:
+    """A forest over nodes ``0 .. n-1`` defined by parent pointers.
+
+    Parameters
+    ----------
+    parent:
+        ``parent[i]`` is the parent node of ``i`` or ``-1`` when ``i`` is a
+        root.
+    rank:
+        The random rank each node drew in Phase I.  Only used for invariant
+        checking and analysis; the later phases never look at ranks.
+    alive:
+        Optional liveness mask; crashed nodes are recorded as isolated roots
+        so downstream phases can skip them uniformly.
+    """
+
+    parent: np.ndarray
+    rank: np.ndarray
+    alive: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        parent = np.asarray(self.parent, dtype=np.int64)
+        rank = np.asarray(self.rank, dtype=float)
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "rank", rank)
+        if parent.ndim != 1 or rank.ndim != 1 or parent.size != rank.size:
+            raise ForestInvariantError("parent and rank must be 1-D arrays of equal length")
+        if self.alive is not None:
+            alive = np.asarray(self.alive, dtype=bool)
+            if alive.shape != parent.shape:
+                raise ForestInvariantError("alive mask must match parent length")
+            object.__setattr__(self, "alive", alive)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        return int(self.parent.size)
+
+    @cached_property
+    def roots(self) -> np.ndarray:
+        """Node ids that have no parent (the set V-tilde of the paper)."""
+        return np.flatnonzero(self.parent == NO_PARENT)
+
+    @property
+    def root_count(self) -> int:
+        return int(self.roots.size)
+
+    def is_root(self, node_id: int) -> bool:
+        return self.parent[node_id] == NO_PARENT
+
+    @cached_property
+    def children(self) -> tuple[tuple[int, ...], ...]:
+        """Children lists, index-aligned with node ids."""
+        kids: list[list[int]] = [[] for _ in range(self.n)]
+        for child, par in enumerate(self.parent):
+            if par != NO_PARENT:
+                kids[par].append(child)
+        return tuple(tuple(c) for c in kids)
+
+    def is_leaf(self, node_id: int) -> bool:
+        return self.parent[node_id] != NO_PARENT and not self.children[node_id]
+
+    # ------------------------------------------------------------------ #
+    # derived structure
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def tree_id(self) -> np.ndarray:
+        """``tree_id[i]`` is the root of the tree containing node ``i``.
+
+        Computed by iterative pointer-jumping so deep trees (Local-DRR on a
+        ring can produce Theta(log n) depth) never hit the recursion limit.
+        """
+        roots = self.parent.copy()
+        roots[roots == NO_PARENT] = np.flatnonzero(self.parent == NO_PARENT)
+        # Pointer jumping: after k iterations every pointer has jumped 2^k
+        # levels, so ceil(log2(max depth)) + 1 iterations suffice.
+        for _ in range(max(1, int(np.ceil(np.log2(max(2, self.n)))) + 1)):
+            new_roots = roots[roots]
+            if np.array_equal(new_roots, roots):
+                break
+            roots = new_roots
+        else:  # pragma: no cover - only reachable on a cyclic "forest"
+            raise ForestInvariantError("parent pointers contain a cycle")
+        return roots
+
+    @cached_property
+    def depth(self) -> np.ndarray:
+        """``depth[i]`` = number of edges from node ``i`` up to its root."""
+        depth = np.zeros(self.n, dtype=np.int64)
+        order = self.topological_order()
+        for node in order:
+            par = self.parent[node]
+            if par != NO_PARENT:
+                depth[node] = depth[par] + 1
+        return depth
+
+    @cached_property
+    def tree_sizes(self) -> dict[int, int]:
+        """Mapping root id -> number of nodes in its tree (Theorem 3 quantity)."""
+        ids, counts = np.unique(self.tree_id, return_counts=True)
+        return {int(r): int(c) for r, c in zip(ids, counts)}
+
+    @cached_property
+    def tree_heights(self) -> dict[int, int]:
+        """Mapping root id -> height (max depth) of its tree (Theorem 11 quantity)."""
+        heights: dict[int, int] = {int(r): 0 for r in self.roots}
+        for node in range(self.n):
+            root = int(self.tree_id[node])
+            heights[root] = max(heights[root], int(self.depth[node]))
+        return heights
+
+    @property
+    def max_tree_size(self) -> int:
+        return max(self.tree_sizes.values())
+
+    @property
+    def max_tree_height(self) -> int:
+        return max(self.tree_heights.values())
+
+    def tree_members(self, root: int) -> np.ndarray:
+        """All node ids in the tree rooted at ``root`` (including the root)."""
+        if not self.is_root(root):
+            raise ValueError(f"node {root} is not a root")
+        return np.flatnonzero(self.tree_id == root)
+
+    def size_of(self, root: int) -> int:
+        return self.tree_sizes[int(root)]
+
+    def largest_root(self) -> int:
+        """Root of the largest tree; ties broken by smaller node id.
+
+        DRR-gossip-ave needs this node: only the largest tree's root is
+        guaranteed (Theorem 7) to converge, and it then Data-spreads the
+        answer to the other roots.
+        """
+        best_root, best_size = -1, -1
+        for root in sorted(self.tree_sizes):
+            size = self.tree_sizes[root]
+            if size > best_size:
+                best_root, best_size = root, size
+        return best_root
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> np.ndarray:
+        """Nodes ordered so parents precede children (roots first)."""
+        order = np.argsort(self.depth_by_bfs(), kind="stable")
+        return order
+
+    def depth_by_bfs(self) -> np.ndarray:
+        """Depths computed by BFS from the roots (does not use ``self.depth``)."""
+        depth = np.full(self.n, -1, dtype=np.int64)
+        children = self.children
+        frontier = list(int(r) for r in self.roots)
+        for r in frontier:
+            depth[r] = 0
+        level = 0
+        while frontier:
+            level += 1
+            nxt: list[int] = []
+            for node in frontier:
+                for child in children[node]:
+                    depth[child] = level
+                    nxt.append(child)
+            frontier = nxt
+        if (depth < 0).any():
+            raise ForestInvariantError("parent pointers contain a cycle or dangling reference")
+        return depth
+
+    def leaves(self) -> Iterator[int]:
+        for node in range(self.n):
+            if self.is_leaf(node):
+                yield node
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self, require_rank_increase: bool = True) -> None:
+        """Check all structural invariants, raising on the first violation."""
+        if ((self.parent < NO_PARENT) | (self.parent >= self.n)).any():
+            raise ForestInvariantError("parent pointer out of range")
+        if (self.parent == np.arange(self.n)).any():
+            raise ForestInvariantError("a node cannot be its own parent")
+        # depth_by_bfs raises if there is a cycle.
+        self.depth_by_bfs()
+        if require_rank_increase:
+            non_roots = np.flatnonzero(self.parent != NO_PARENT)
+            parents = self.parent[non_roots]
+            bad = ~(self.rank[parents] > self.rank[non_roots])
+            if bad.any():
+                offender = int(non_roots[np.argmax(bad)])
+                raise ForestInvariantError(
+                    f"node {offender} has rank {self.rank[offender]} but its parent "
+                    f"{int(self.parent[offender])} has rank {self.rank[int(self.parent[offender])]}"
+                )
+        if self.root_count == 0:
+            raise ForestInvariantError("a forest must contain at least one root")
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict:
+        sizes = np.array(list(self.tree_sizes.values()), dtype=float)
+        heights = np.array(list(self.tree_heights.values()), dtype=float)
+        return {
+            "n": self.n,
+            "roots": self.root_count,
+            "max_tree_size": int(sizes.max()),
+            "mean_tree_size": float(sizes.mean()),
+            "max_tree_height": int(heights.max()),
+            "mean_tree_height": float(heights.mean()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Forest(n={self.n}, roots={self.root_count}, "
+            f"max_size={self.max_tree_size}, max_height={self.max_tree_height})"
+        )

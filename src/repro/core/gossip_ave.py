@@ -1,0 +1,197 @@
+"""Phase III -- Gossip-ave, the non-uniform push-sum over the roots (Algorithm 6).
+
+Every root starts with the pair ``(s, g)`` produced by Convergecast-sum: the
+local sum of the values in its tree and the tree size.  In every round each
+root halves its pair, keeps one half, and pushes the other half to a node
+chosen uniformly at random from the *whole* network; non-roots forward the
+push to their own root.  A root's estimate of the global average is always
+``s / g``.
+
+Because pushes are addressed uniformly over all ``n`` nodes but land (after
+forwarding) on roots, a root is selected with probability proportional to its
+*tree size* -- the non-uniform selection the paper analyses.  Theorem 7 shows
+that the root of the largest tree reaches relative error ``<= 2 / n^(alpha-1)``
+within ``O(log n)`` rounds; the other roots then learn the answer through
+Data-spread (Algorithm 5), not through their own convergence.
+
+Mass conservation: with a reliable network the invariant
+``sum_i s_i = S`` and ``sum_i g_i = n_alive`` holds in every round; lost
+messages remove mass, exactly like the paper's failure model (the factor
+``(1 - delta)`` inside ``P_i`` of Lemma 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulator.failures import FailureModel
+from ..simulator.message import MessageKind
+from ..simulator.metrics import MetricsCollector
+from ..simulator.rng import make_rng
+
+__all__ = ["GossipAveResult", "default_ave_rounds", "run_gossip_ave"]
+
+
+def default_ave_rounds(n: int, epsilon: float | None = None, loss_probability: float = 0.0) -> int:
+    """Round budget ``O(log m + log(1/epsilon))`` of Theorem 7.
+
+    The default target error is ``epsilon = 1/n`` (i.e. ``alpha = 1``), which
+    is far below what any downstream consumer of Average needs and still only
+    costs ``~3 log2 n`` rounds.
+    """
+    epsilon = epsilon if epsilon is not None else 1.0 / max(2, n)
+    rho = 1.0 - (1.0 - loss_probability) ** 2
+    base = math.log2(max(2, n)) + math.log2(1.0 / max(1e-300, epsilon)) + 8.0
+    return int(math.ceil(base / max(1e-9, 1.0 - rho)))
+
+
+@dataclass
+class GossipAveResult:
+    """Outcome of Gossip-ave over the roots.
+
+    Attributes
+    ----------
+    estimates:
+        Mapping root id -> that root's final ``s/g`` estimate.
+    sums / weights:
+        Final ``s`` and ``g`` values per root id (useful to derive Sum and
+        Count estimates: see :mod:`repro.core.drr_gossip`).
+    history:
+        Per-round estimate of the traced root (empty when not requested);
+        the E6 experiment uses this to plot convergence.
+    rounds:
+        Rounds executed.
+    """
+
+    estimates: dict[int, float]
+    sums: dict[int, float]
+    weights: dict[int, float]
+    rounds: int
+    metrics: MetricsCollector
+    traced_root: int | None = None
+    history: list[float] = field(default_factory=list)
+
+    def estimate_at(self, root: int) -> float:
+        return self.estimates[int(root)]
+
+
+def run_gossip_ave(
+    roots: np.ndarray,
+    local_sums: np.ndarray,
+    local_weights: np.ndarray,
+    root_of: np.ndarray,
+    n: int,
+    failure_model: FailureModel | None = None,
+    rng: np.random.Generator | int | None = None,
+    metrics: MetricsCollector | None = None,
+    rounds: int | None = None,
+    epsilon: float | None = None,
+    phase_name: str = "gossip-ave",
+    alive: np.ndarray | None = None,
+    trace_root: int | None = None,
+) -> GossipAveResult:
+    """Run Gossip-ave (Algorithm 6) over the forest's roots.
+
+    Parameters
+    ----------
+    roots, local_sums, local_weights:
+        Root ids and their Convergecast-sum output ``(s, g)``, aligned.
+    root_of:
+        Forwarding table over all ``n`` nodes (-1 when the node does not know
+        its root; pushes landing there are dropped).
+    rounds:
+        Number of gossip rounds; ``None`` selects
+        :func:`default_ave_rounds` for the requested ``epsilon``.
+    trace_root:
+        If given, the estimate of this root is recorded after every round.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    local_sums = np.asarray(local_sums, dtype=float)
+    local_weights = np.asarray(local_weights, dtype=float)
+    root_of = np.asarray(root_of, dtype=np.int64)
+    if roots.size == 0:
+        raise ValueError("gossip-ave needs at least one root")
+    if local_sums.shape != roots.shape or local_weights.shape != roots.shape:
+        raise ValueError("local_sums and local_weights must align with roots")
+    # Weights are tree sizes when computing Average, and an indicator vector
+    # (1 at one designated root) when the pipeline derives Sum or Count, so
+    # zeros are allowed -- but mass must exist somewhere and never be negative.
+    if (local_weights < 0).any():
+        raise ValueError("root weights must be non-negative")
+    if float(local_weights.sum()) <= 0.0:
+        raise ValueError("at least one root must start with positive weight")
+
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase(phase_name)
+    if alive is None:
+        alive = np.ones(n, dtype=bool)
+
+    delta = failure_model.loss_probability
+    m = roots.size
+    position = np.full(n, -1, dtype=np.int64)
+    position[roots] = np.arange(m)
+
+    total_rounds = rounds if rounds is not None else default_ave_rounds(n, epsilon, delta)
+
+    s = local_sums.copy()
+    g = local_weights.copy()
+    history: list[float] = []
+    trace_pos = int(position[trace_root]) if trace_root is not None else None
+
+    for _ in range(total_rounds):
+        metrics.record_round()
+        targets = rng.integers(0, n, size=m)
+        metrics.record_messages(MessageKind.GOSSIP, m, payload_words=2)
+
+        # Each root keeps half and ships half, whether or not the shipment
+        # survives (lost mass is lost -- that is the paper's model).
+        send_s = s / 2.0
+        send_g = g / 2.0
+        s -= send_s
+        g -= send_g
+
+        # Resolve each shipment to the root that finally receives it.
+        receiver = np.full(m, -1, dtype=np.int64)
+        first_hop_ok = ~failure_model.sample_losses(m, rng) & alive[targets]
+        is_root_target = position[targets] >= 0
+        direct = first_hop_ok & is_root_target
+        receiver[direct] = position[targets[direct]]
+        needs_forward = first_hop_ok & ~is_root_target
+        forward_targets = root_of[targets[needs_forward]]
+        knows_root = forward_targets >= 0
+        metrics.record_messages(MessageKind.FORWARD, int(knows_root.sum()), payload_words=2)
+        second_hop_ok = ~failure_model.sample_losses(int(needs_forward.sum()), rng)
+        ok = knows_root & second_hop_ok
+        ok_roots = forward_targets[ok]
+        ok_alive = alive[ok_roots]
+        idx = np.flatnonzero(needs_forward)[ok][ok_alive]
+        receiver[idx] = position[forward_targets[ok][ok_alive]]
+
+        delivered = receiver >= 0
+        if delivered.any():
+            np.add.at(s, receiver[delivered], send_s[delivered])
+            np.add.at(g, receiver[delivered], send_g[delivered])
+
+        if trace_pos is not None:
+            history.append(float(s[trace_pos] / g[trace_pos]) if g[trace_pos] > 0 else float("nan"))
+
+    estimates = {
+        int(root): (float(s[i] / g[i]) if g[i] > 0 else float("nan"))
+        for i, root in enumerate(roots)
+    }
+    sums = {int(root): float(s[i]) for i, root in enumerate(roots)}
+    weights = {int(root): float(g[i]) for i, root in enumerate(roots)}
+    return GossipAveResult(
+        estimates=estimates,
+        sums=sums,
+        weights=weights,
+        rounds=total_rounds,
+        metrics=metrics,
+        traced_root=trace_root,
+        history=history,
+    )

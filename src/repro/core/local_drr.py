@@ -1,0 +1,120 @@
+"""Local-DRR -- the ranking scheme for sparse networks (Section 4).
+
+On an arbitrary undirected graph, point-to-point calls between random pairs
+are not available; instead the standard message-passing assumption holds: a
+node can send (possibly different) messages to *all* of its neighbours in one
+round.  Local-DRR exploits it:
+
+1. every node draws a rank uniformly at random from [0, 1];
+2. every node exchanges its rank with all neighbours (one round, two messages
+   per edge);
+3. every node whose highest-ranked neighbour out-ranks it connects to that
+   neighbour (one connection message); a node that out-ranks all of its
+   neighbours becomes a root.
+
+The output is a forest with the properties the paper proves:
+
+* height of every tree is ``O(log n)`` whp on any graph (Theorem 11);
+* the number of trees concentrates around ``sum_i 1/(d_i + 1)`` (Theorem 13),
+  i.e. ``O(n/d)`` on d-regular graphs.
+
+Phase I therefore costs ``O(1)`` rounds and ``O(|E|)`` messages, and the rest
+of DRR-gossip proceeds as before with a routing protocol supplying random
+peers (Theorem 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulator.failures import FailureModel
+from ..simulator.message import MessageKind
+from ..simulator.metrics import MetricsCollector
+from ..simulator.rng import make_rng
+from ..topology.base import Topology
+from .drr import DRRResult
+from .forest import Forest
+
+__all__ = ["run_local_drr"]
+
+
+def run_local_drr(
+    topology: Topology,
+    rng: np.random.Generator | int | None = None,
+    failure_model: FailureModel | None = None,
+    metrics: MetricsCollector | None = None,
+    ranks: np.ndarray | None = None,
+    alive: np.ndarray | None = None,
+) -> DRRResult:
+    """Run Local-DRR over ``topology`` and return the ranking forest.
+
+    The result uses the same :class:`~repro.core.drr.DRRResult` container as
+    complete-graph DRR so Phase II (convergecast / broadcast) is reused
+    unchanged.
+
+    Failure semantics: a lost rank-exchange message means the recipient does
+    not know that neighbour's rank and simply ignores it when choosing a
+    parent; a lost connection message leaves the parent unaware of the child
+    exactly as in complete-graph DRR.
+    """
+    n = topology.n
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase("local-drr")
+
+    if alive is None:
+        alive = ~failure_model.sample_crashes(n, rng)
+    alive = np.asarray(alive, dtype=bool)
+    if ranks is None:
+        ranks = rng.random(n)
+    else:
+        ranks = np.asarray(ranks, dtype=float)
+        if ranks.shape != (n,):
+            raise ValueError("ranks must have shape (n,)")
+
+    parent = np.full(n, -1, dtype=np.int64)
+    connect_delivered = np.zeros(n, dtype=bool)
+    degrees = topology.degrees()
+
+    # Round 1: every alive node sends its rank to every alive neighbour.
+    # Message count: one per directed (alive -> any) edge; losses are sampled
+    # per directed edge below when deciding what each node learned.
+    for node in range(n):
+        if not alive[node]:
+            continue
+        neighbors = topology.neighbors(node)
+        metrics.record_messages(MessageKind.RANK, len(neighbors), payload_words=1)
+
+    # What each node learned, and its choice of parent.
+    for node in range(n):
+        if not alive[node]:
+            continue
+        best_rank = ranks[node]
+        best_neighbor = -1
+        for neighbor in topology.neighbors(node):
+            if not alive[neighbor]:
+                continue
+            # The neighbour's rank announcement to `node` may be lost.
+            if failure_model.message_lost(rng):
+                continue
+            if ranks[neighbor] > best_rank:
+                best_rank = ranks[neighbor]
+                best_neighbor = neighbor
+        if best_neighbor >= 0:
+            parent[node] = best_neighbor
+            metrics.record_message(MessageKind.CONNECT, payload_words=1)
+            connect_delivered[node] = not failure_model.message_lost(rng)
+
+    # Two rounds: rank exchange, then connection messages.
+    metrics.record_round(2)
+    forest = Forest(parent=parent, rank=ranks, alive=alive)
+    forest.validate()
+    probes = degrees.astype(np.int64)
+    return DRRResult(
+        forest=forest,
+        connect_delivered=connect_delivered,
+        probes=probes,
+        rounds=2,
+        metrics=metrics,
+    )

@@ -1,0 +1,169 @@
+"""Command-line interface: ``drr-gossip <command>``.
+
+The CLI is a thin veneer over :mod:`repro.harness.experiments`; it exists so
+a downstream user can regenerate any table of EXPERIMENTS.md (or run a quick
+aggregate computation) without writing Python.
+
+Examples
+--------
+Run a quick average computation over synthetic values::
+
+    drr-gossip run --n 4096 --aggregate average
+
+Regenerate the Table 1 measurement at small scale::
+
+    drr-gossip table1 --ns 256 512 1024 --reps 2
+
+Run every experiment and write a markdown report::
+
+    drr-gossip report --output results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from ..core import Aggregate, DRRGossipConfig, drr_gossip
+from ..simulator import FailureModel
+from . import experiments
+from .report import write_json, write_markdown_report
+from .workloads import make_values, workload_names
+
+__all__ = ["main", "build_parser"]
+
+#: experiment name -> callable returning an ExperimentResult
+EXPERIMENTS = {
+    "table1": experiments.run_table1,
+    "forest": experiments.run_forest_statistics,
+    "gossip-max": experiments.run_gossip_max_convergence,
+    "gossip-ave": experiments.run_gossip_ave_convergence,
+    "end-to-end": experiments.run_end_to_end_accuracy,
+    "local-drr": experiments.run_local_drr_statistics,
+    "chord": experiments.run_chord_comparison,
+    "lower-bound": experiments.run_lower_bound_experiment,
+    "phase-breakdown": experiments.run_phase_breakdown,
+    "ablation": experiments.run_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="drr-gossip",
+        description="Reproduction harness for 'Optimal Gossip-Based Aggregate Computation' (SPAA 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one DRR-gossip aggregate computation on synthetic values")
+    run.add_argument("--n", type=int, default=1024, help="number of nodes")
+    run.add_argument("--aggregate", choices=[a.value for a in Aggregate], default="average")
+    run.add_argument("--workload", choices=workload_names(), default="uniform")
+    run.add_argument("--delta", type=float, default=0.0, help="per-message loss probability")
+    run.add_argument("--crash", type=float, default=0.0, help="initial crash fraction")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--query", type=float, default=None, help="query value for the rank aggregate")
+
+    for name, fn in EXPERIMENTS.items():
+        exp = sub.add_parser(name, help=fn.__doc__.splitlines()[0] if fn.__doc__ else name)
+        exp.add_argument("--seed", type=int, default=None)
+        exp.add_argument("--reps", type=int, default=None, help="repetitions per configuration")
+        exp.add_argument("--ns", type=int, nargs="+", default=None, help="network sizes to sweep")
+        exp.add_argument("--json", type=str, default=None, help="write the result to this JSON path")
+
+    report = sub.add_parser("report", help="run every experiment and write a markdown report")
+    report.add_argument("--output", type=str, default="results", help="output directory")
+    report.add_argument("--quick", action="store_true", help="use small sweeps (CI-sized)")
+    report.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    values = make_values(args.workload, args.n, rng)
+    config = DRRGossipConfig(
+        failure_model=FailureModel(loss_probability=args.delta, crash_fraction=args.crash)
+    )
+    result = drr_gossip(values, args.aggregate, rng=args.seed, config=config, query=args.query)
+    print(f"aggregate        : {result.aggregate.value}")
+    print(f"n                : {result.n}")
+    print(f"exact value      : {result.exact:.6g}")
+    print(f"max rel. error   : {result.max_relative_error:.3g}")
+    print(f"coverage         : {result.coverage:.3f}")
+    print(f"rounds           : {result.rounds}")
+    print(f"messages         : {result.messages} ({result.messages / result.n:.2f} per node)")
+    print("messages by phase:")
+    for phase, count in result.messages_by_phase().items():
+        if count:
+            print(f"  {phase:<18} {count}")
+    return 0
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> int:
+    fn = EXPERIMENTS[name]
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.reps is not None:
+        if name == "ablation":
+            kwargs["repetitions"] = args.reps
+        else:
+            kwargs["repetitions"] = args.reps
+    if args.ns is not None:
+        if name == "ablation":
+            kwargs["n"] = args.ns[0]
+        else:
+            kwargs["ns"] = tuple(args.ns)
+    result = fn(**kwargs)
+    print(result.table())
+    for note in result.notes:
+        print(f"note: {note}")
+    if args.json:
+        path = write_json(result, args.json)
+        print(f"wrote {path}")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    output = Path(args.output)
+    quick = args.quick
+    results = []
+    plans = {
+        "table1": {"ns": (256, 512, 1024), "repetitions": 2} if quick else {},
+        "forest": {"ns": (256, 512, 1024, 2048), "repetitions": 3} if quick else {},
+        "gossip-max": {"ns": (256, 1024), "repetitions": 3} if quick else {},
+        "gossip-ave": {"ns": (256, 1024), "repetitions": 2} if quick else {},
+        "end-to-end": {"ns": (256,), "repetitions": 2} if quick else {},
+        "local-drr": {"ns": (256, 1024), "repetitions": 2} if quick else {},
+        "chord": {"ns": (128, 256), "repetitions": 2} if quick else {},
+        "lower-bound": {"ns": (128, 256, 512), "repetitions": 2} if quick else {},
+        "phase-breakdown": {"ns": (256, 1024), "repetitions": 2} if quick else {},
+        "ablation": {"n": 1024, "repetitions": 2} if quick else {},
+    }
+    for name, kwargs in plans.items():
+        print(f"running {name} ...", flush=True)
+        result = EXPERIMENTS[name](seed=args.seed, **kwargs)
+        write_json(result, output / f"{result.experiment}.json")
+        results.append(result)
+    path = write_markdown_report(results, output / "report.md")
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _run_single(args)
+    if args.command == "report":
+        return _run_report(args)
+    if args.command in EXPERIMENTS:
+        return _run_experiment(args.command, args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

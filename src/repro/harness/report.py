@@ -1,0 +1,66 @@
+"""Serialisation of experiment results (JSON / CSV / markdown).
+
+The benchmark harness writes one JSON file per experiment plus an aggregate
+markdown report; EXPERIMENTS.md is generated from the same renderer so the
+numbers in the documentation can always be regenerated with one command
+(``drr-gossip report``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .experiments import ExperimentResult
+
+__all__ = ["write_json", "write_csv", "write_markdown_report", "load_json"]
+
+
+def write_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one experiment result to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.as_dict(), indent=2, default=float) + "\n")
+    return path
+
+
+def load_json(path: str | Path) -> dict:
+    """Load a previously written experiment result."""
+    return json.loads(Path(path).read_text())
+
+
+def write_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write the experiment rows to a CSV file with the experiment's headers."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=result.headers, extrasaction="ignore")
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(row)
+    return path
+
+
+def write_markdown_report(results: Iterable[ExperimentResult], path: str | Path, title: str = "Experiment report") -> Path:
+    """Write a single markdown document containing every experiment's table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sections = [f"# {title}", ""]
+    for result in results:
+        sections.append(f"## {result.experiment}")
+        sections.append("")
+        sections.append(result.description)
+        sections.append("")
+        sections.append(result.markdown())
+        sections.append("")
+        if result.notes:
+            sections.append("Notes:")
+            for note in result.notes:
+                sections.append(f"- {note}")
+            sections.append("")
+        sections.append(f"Parameters: `{json.dumps(result.parameters, default=str)}` (seed {result.seed})")
+        sections.append("")
+    path.write_text("\n".join(sections))
+    return path

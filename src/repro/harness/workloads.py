@@ -1,0 +1,93 @@
+"""Workload (node value) generators for the experiments.
+
+The paper's protocols are value-agnostic, but convergence of the averaging
+pipeline and the tie structure of Max/Min depend on the value distribution,
+so the experiments sweep several distributions, including the two the paper
+calls out explicitly in the Gossip-ave analysis (values of mixed sign and the
+zero-average corner case).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["WORKLOADS", "make_values", "workload_names"]
+
+
+def _uniform(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform values in [0, 100) -- e.g. per-node file counts in a P2P system."""
+    return rng.uniform(0.0, 100.0, size=n)
+
+
+def _normal(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Gaussian values -- e.g. sensor temperature readings around 20C."""
+    return rng.normal(20.0, 5.0, size=n)
+
+
+def _bimodal(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Two clusters -- e.g. battery levels of two hardware generations."""
+    low = rng.normal(10.0, 1.0, size=n)
+    high = rng.normal(90.0, 1.0, size=n)
+    pick = rng.random(n) < 0.5
+    return np.where(pick, low, high)
+
+
+def _signed(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Values of mixed sign (the relaxed assumption in Theorem 7's proof)."""
+    return rng.normal(0.0, 10.0, size=n) + rng.choice([-50.0, 50.0], size=n)
+
+
+def _zero_mean(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Values whose true average is exactly zero (absolute-error regime)."""
+    half = n // 2
+    values = np.concatenate([rng.uniform(1.0, 10.0, size=half), -rng.uniform(1.0, 10.0, size=half)])
+    if values.size < n:
+        values = np.concatenate([values, [0.0]])
+    balanced = values - values.mean()
+    return rng.permutation(balanced)
+
+
+def _heavy_tail(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Pareto-like values -- e.g. file sizes; stresses Max and Sum pipelines."""
+    return (rng.pareto(1.5, size=n) + 1.0) * 10.0
+
+
+def _constant(n: int, rng: np.random.Generator) -> np.ndarray:
+    """All-equal values -- degenerate case where every aggregate is trivial."""
+    return np.full(n, 42.0)
+
+
+def _single_spike(n: int, rng: np.random.Generator) -> np.ndarray:
+    """One outlier holds the maximum -- the adversarial placement for Max."""
+    values = rng.uniform(0.0, 1.0, size=n)
+    values[int(rng.integers(0, n))] = 1000.0
+    return values
+
+
+WORKLOADS: dict[str, Callable[[int, np.random.Generator], np.ndarray]] = {
+    "uniform": _uniform,
+    "normal": _normal,
+    "bimodal": _bimodal,
+    "signed": _signed,
+    "zero-mean": _zero_mean,
+    "heavy-tail": _heavy_tail,
+    "constant": _constant,
+    "single-spike": _single_spike,
+}
+
+
+def workload_names() -> list[str]:
+    return sorted(WORKLOADS)
+
+
+def make_values(name: str, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Generate ``n`` node values from the named workload."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown workload {name!r}; known: {workload_names()}") from exc
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return factory(n, rng)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the gossip simulator substrate.
+
+Every error raised by :mod:`repro.simulator` derives from
+:class:`SimulationError` so callers can catch substrate problems without
+accidentally swallowing protocol-level bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "ConfigurationError",
+    "ProtocolViolation",
+    "RoundLimitExceeded",
+    "UnknownNodeError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all simulator-substrate errors."""
+
+
+class ConfigurationError(SimulationError):
+    """Raised when an engine, network, or failure model is misconfigured.
+
+    Examples: negative loss probability, empty node set, a crash fraction
+    outside ``[0, 1)``, or a non-positive round limit.
+    """
+
+
+class ProtocolViolation(SimulationError):
+    """Raised when a protocol node violates the communication model.
+
+    The random phone-call model allows each node to *initiate* at most one
+    call per round (receiving any number of calls is permitted).  Protocols
+    that ask the engine to send more than their per-round initiation budget,
+    address a message to a crashed/unknown node, or send from a node that is
+    not part of the network trigger this error.
+    """
+
+
+class RoundLimitExceeded(SimulationError):
+    """Raised when a protocol fails to terminate within the round budget.
+
+    Gossip protocols in this repository are all ``O(log n)`` or
+    ``O(polylog n)`` rounds; hitting the limit almost always indicates a bug
+    (for instance a convergecast waiting for a child message that was lost
+    and never retransmitted) rather than slow convergence.  The engine can be
+    configured with :attr:`repro.simulator.engine.EngineConfig.strict` set to
+    ``False`` to return a partial result instead of raising.
+    """
+
+    def __init__(self, rounds: int, message: str | None = None) -> None:
+        self.rounds = rounds
+        super().__init__(
+            message
+            or f"protocol did not terminate within the {rounds}-round budget"
+        )
+
+
+class UnknownNodeError(SimulationError):
+    """Raised when a message references a node id outside the network."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        super().__init__(f"node id {node_id} is not part of the network")

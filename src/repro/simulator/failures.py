@@ -1,0 +1,111 @@
+"""Failure model of Section 2 of the paper.
+
+The paper's model tolerates two kinds of failure:
+
+1. **Initial crashes** -- a fraction of nodes may be down before the protocol
+   starts.  Nodes do not crash once the algorithm is running.
+2. **Lossy links** -- each transmitted message is lost independently with
+   probability ``delta``.  The paper assumes ``1/log n < delta < 1/8`` for its
+   analysis (larger deltas only need ``O(1/log(1/delta))`` repetitions,
+   smaller ones only help), but the simulator accepts any ``delta`` in
+   ``[0, 1)`` so experiments can explore the whole range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = ["FailureModel", "paper_delta_range"]
+
+
+def paper_delta_range(n: int) -> tuple[float, float]:
+    """Return the (open) interval of loss probabilities assumed by the paper.
+
+    Section 2: "Without loss of generality, 1/log n < delta < 1/8".
+    """
+    if n < 4:
+        raise ConfigurationError("paper delta range is only meaningful for n >= 4")
+    return (1.0 / math.log2(n), 1.0 / 8.0)
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Immutable description of the failure behaviour of a network.
+
+    Parameters
+    ----------
+    loss_probability:
+        Probability ``delta`` that any individual message transmission is
+        lost.  ``0.0`` gives a perfectly reliable network.
+    crash_fraction:
+        Fraction of nodes crashed before round 1.  Crashed nodes never send,
+        never receive, and are excluded from the "all nodes learn the
+        aggregate" success criterion (matching the paper, where crashed
+        nodes simply do not participate).
+    """
+
+    loss_probability: float = 0.0
+    crash_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.loss_probability < 1.0):
+            raise ConfigurationError(
+                f"loss_probability must be in [0, 1), got {self.loss_probability}"
+            )
+        if not (0.0 <= self.crash_fraction < 1.0):
+            raise ConfigurationError(
+                f"crash_fraction must be in [0, 1), got {self.crash_fraction}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def reliable(self) -> bool:
+        """True when no message can be lost and no node crashes."""
+        return self.loss_probability == 0.0 and self.crash_fraction == 0.0
+
+    def two_hop_loss_probability(self) -> float:
+        """Loss probability ``rho`` of a two-hop relay (Theorem 5).
+
+        A Phase-III gossip message reaches a root through at most two hops
+        (call a random node, that node forwards to its root); the relay
+        fails if either hop fails, so ``rho = 1 - (1 - delta)^2 <= 2 delta``.
+        """
+        return 1.0 - (1.0 - self.loss_probability) ** 2
+
+    def sample_crashes(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean array marking the initially crashed nodes."""
+        if n <= 0:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        crashed = np.zeros(n, dtype=bool)
+        count = int(round(self.crash_fraction * n))
+        count = min(count, n - 1)  # at least one node must survive
+        if count > 0:
+            crashed[rng.choice(n, size=count, replace=False)] = True
+        return crashed
+
+    def message_lost(self, rng: np.random.Generator) -> bool:
+        """Sample whether a single transmission is lost."""
+        if self.loss_probability == 0.0:
+            return False
+        return bool(rng.random() < self.loss_probability)
+
+    def sample_losses(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Vectorised loss sampling for fast-path implementations."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        if self.loss_probability == 0.0:
+            return np.zeros(count, dtype=bool)
+        return rng.random(count) < self.loss_probability
+
+    def describe(self) -> str:
+        if self.reliable:
+            return "reliable (delta=0, no crashes)"
+        return (
+            f"lossy (delta={self.loss_probability:g}, "
+            f"crash_fraction={self.crash_fraction:g})"
+        )

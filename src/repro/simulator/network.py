@@ -1,0 +1,147 @@
+"""The network: node population, topology view, and message delivery.
+
+``Network`` owns the things that exist independently of any one protocol:
+which nodes exist, which of them crashed before round 1, which pairs may
+communicate directly, and the failure model applied to every transmission.
+The :class:`~repro.simulator.engine.SynchronousEngine` drives protocols on
+top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError, UnknownNodeError
+from .failures import FailureModel
+from .message import Message
+from .metrics import MetricsCollector
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A population of ``n`` nodes with a topology and a failure model.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Node ids are ``0 .. n-1``.
+    failure_model:
+        The :class:`FailureModel` applied to every transmission; defaults to
+        a perfectly reliable network.
+    neighbor_fn:
+        Optional callable mapping a node id to the sequence of ids it can
+        contact directly.  ``None`` means the complete graph (the model of
+        Sections 2-3); Section 4 experiments pass an adjacency lookup from
+        :mod:`repro.topology`.
+    rng:
+        Generator used to sample initial crashes and message losses.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        failure_model: FailureModel | None = None,
+        neighbor_fn: Callable[[int], Sequence[int]] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"network needs at least one node, got n={n}")
+        self.n = int(n)
+        self.failure_model = failure_model or FailureModel()
+        self.neighbor_fn = neighbor_fn
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.alive = ~self.failure_model.sample_crashes(self.n, self._rng)
+
+    # ------------------------------------------------------------------ #
+    # population
+    # ------------------------------------------------------------------ #
+    @property
+    def alive_ids(self) -> np.ndarray:
+        """Ids of nodes that did not crash before round 1."""
+        return np.flatnonzero(self.alive)
+
+    @property
+    def alive_count(self) -> int:
+        return int(self.alive.sum())
+
+    def is_alive(self, node_id: int) -> bool:
+        self._check_id(node_id)
+        return bool(self.alive[node_id])
+
+    def crash(self, node_ids: Iterable[int]) -> None:
+        """Mark nodes as crashed (used by tests and failure-injection suites).
+
+        The paper's model only allows crashes *before* the algorithm starts;
+        the engine therefore refuses to run if this is called mid-execution,
+        but exposing it keeps the failure-injection tests honest about what
+        the protocols do and do not tolerate.
+        """
+        for node_id in node_ids:
+            self._check_id(node_id)
+            self.alive[node_id] = False
+        if not self.alive.any():
+            raise ConfigurationError("cannot crash every node in the network")
+
+    def _check_id(self, node_id: int) -> None:
+        if not (0 <= node_id < self.n):
+            raise UnknownNodeError(node_id)
+
+    # ------------------------------------------------------------------ #
+    # topology
+    # ------------------------------------------------------------------ #
+    @property
+    def is_complete_graph(self) -> bool:
+        return self.neighbor_fn is None
+
+    def neighbors(self, node_id: int) -> Sequence[int]:
+        """Nodes that ``node_id`` can contact directly."""
+        self._check_id(node_id)
+        if self.neighbor_fn is None:
+            # Complete graph: everyone except yourself.  Materialising the
+            # list is only done on demand; protocols on the complete graph
+            # normally use RoundContext.random_node instead.
+            return [i for i in range(self.n) if i != node_id]
+        return self.neighbor_fn(node_id)
+
+    # ------------------------------------------------------------------ #
+    # delivery
+    # ------------------------------------------------------------------ #
+    def deliver(
+        self,
+        messages: Sequence[Message],
+        metrics: MetricsCollector,
+        rng: np.random.Generator | None = None,
+    ) -> list[Message]:
+        """Apply the failure model to a batch of messages.
+
+        Every attempted transmission is recorded in ``metrics`` (lost or
+        not); the returned list contains only the messages that actually
+        arrive, and only those addressed to alive nodes.  Messages sent *to*
+        crashed nodes are charged to the sender but silently dropped, which
+        is exactly what a call to a dead host looks like.
+        """
+        rng = rng if rng is not None else self._rng
+        delivered: list[Message] = []
+        for message in messages:
+            self._check_id(message.recipient)
+            self._check_id(message.sender)
+            lost = self.failure_model.message_lost(rng)
+            dead_recipient = not self.alive[message.recipient]
+            metrics.record_message(
+                message.kind,
+                payload_words=message.payload_words,
+                lost=lost or dead_recipient,
+            )
+            if not lost and not dead_recipient:
+                delivered.append(message)
+        return delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        topo = "complete" if self.is_complete_graph else "sparse"
+        return (
+            f"Network(n={self.n}, topology={topo}, alive={self.alive_count}, "
+            f"failures={self.failure_model.describe()})"
+        )

@@ -1,0 +1,33 @@
+"""Topology substrate: graph families, Chord DHT, and peer sampling."""
+
+from .base import Topology
+from .chord import ChordNetwork, LookupResult
+from .graphs import (
+    GRAPH_FAMILIES,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    make_graph,
+    random_regular_graph,
+    ring_graph,
+)
+from .sampling import ChordSampler, RandomWalkSampler, SampleCost, uniformity_l1_error
+
+__all__ = [
+    "Topology",
+    "ChordNetwork",
+    "LookupResult",
+    "GRAPH_FAMILIES",
+    "complete_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "make_graph",
+    "random_regular_graph",
+    "ring_graph",
+    "ChordSampler",
+    "RandomWalkSampler",
+    "SampleCost",
+    "uniformity_l1_error",
+]

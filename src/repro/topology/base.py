@@ -1,0 +1,126 @@
+"""Topology abstraction used by the sparse-network experiments (Section 4).
+
+The complete-graph experiments of Sections 2-3 do not need an explicit
+topology (any node can call any other).  Section 4 runs Local-DRR and gossip
+over arbitrary undirected graphs, so we provide a small :class:`Topology`
+wrapper around an adjacency structure with the queries the protocols and the
+analysis need: neighbour lists, degrees, connectivity, and the
+``sum(1/(d_i+1))`` quantity of Theorem 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Topology"]
+
+
+@dataclass
+class Topology:
+    """An undirected graph over node ids ``0 .. n-1``.
+
+    The adjacency is stored as a tuple of sorted tuples so the object is
+    cheap to share between protocol nodes and safe from accidental mutation.
+    """
+
+    name: str
+    adjacency: tuple[tuple[int, ...], ...]
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(cls, name: str, n: int, edges: Iterable[tuple[int, int]]) -> "Topology":
+        """Build a topology from an undirected edge list.
+
+        Self-loops are rejected and duplicate edges are collapsed; both are
+        modelling errors rather than things a physical network would have.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        neighbor_sets: list[set[int]] = [set() for _ in range(n)]
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) references a node outside 0..{n - 1}")
+            if u == v:
+                raise ValueError(f"self-loop on node {u} is not allowed")
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+        adjacency = tuple(tuple(sorted(s)) for s in neighbor_sets)
+        return cls(name=name, adjacency=adjacency)
+
+    @classmethod
+    def from_networkx(cls, name: str, graph) -> "Topology":
+        """Build a topology from a ``networkx`` graph with integer-labelable nodes."""
+        nodes = sorted(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in graph.edges()]
+        return cls.from_edges(name, len(nodes), edges)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        return len(self.adjacency)
+
+    def neighbors(self, node_id: int) -> Sequence[int]:
+        return self.adjacency[node_id]
+
+    def degree(self, node_id: int) -> int:
+        return len(self.adjacency[node_id])
+
+    def degrees(self) -> np.ndarray:
+        return np.array([len(neigh) for neigh in self.adjacency], dtype=np.int64)
+
+    @property
+    def edge_count(self) -> int:
+        return int(self.degrees().sum() // 2)
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        for u, neigh in enumerate(self.adjacency):
+            for v in neigh:
+                if u < v:
+                    yield (u, v)
+
+    def is_regular(self) -> bool:
+        degs = self.degrees()
+        return bool(degs.size == 0 or (degs == degs[0]).all())
+
+    def expected_local_drr_trees(self) -> float:
+        """Theorem 13's expectation: ``E[#trees] = sum_i 1/(d_i + 1)``."""
+        return float(np.sum(1.0 / (self.degrees() + 1.0)))
+
+    def is_connected(self) -> bool:
+        """Breadth-first connectivity check (iterative; no recursion limit)."""
+        if self.n == 0:
+            return True
+        seen = np.zeros(self.n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        while stack:
+            u = stack.pop()
+            for v in self.adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        return bool(seen.all())
+
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` (lazy import keeps startup light)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def neighbor_fn(self):
+        """Return the lookup callable the simulator's ``Network`` expects."""
+        return self.neighbors
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Topology(name={self.name!r}, n={self.n}, edges={self.edge_count})"

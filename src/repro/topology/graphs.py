@@ -1,0 +1,165 @@
+"""Graph generators for the sparse-network experiments.
+
+Section 4 of the paper analyses Local-DRR on *arbitrary* undirected graphs and
+instantiates the result on d-regular graphs and on Chord.  The experiments in
+this repository exercise the theorems on a spread of standard topologies so
+that the ``O(log n)`` tree-height bound (Theorem 11) and the
+``sum 1/(d_i+1)`` tree-count bound (Theorem 13) are visibly topology
+independent:
+
+* ring / cycle (d = 2, the worst case for tree height intuition),
+* 2-D torus grid (d = 4),
+* hypercube (d = log n),
+* random d-regular graphs,
+* Erdős–Rényi G(n, p) graphs (non-regular degrees),
+* complete graph (sanity overlap with the Sections 2-3 model).
+
+Chord gets its own module because it also needs routing (finger tables).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Topology
+
+__all__ = [
+    "complete_graph",
+    "ring_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "GRAPH_FAMILIES",
+    "make_graph",
+]
+
+
+def complete_graph(n: int) -> Topology:
+    """Complete graph K_n: the model of Sections 2-3."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Topology.from_edges("complete", n, edges)
+
+
+def ring_graph(n: int) -> Topology:
+    """Cycle C_n; every node has degree 2 (n >= 3)."""
+    if n < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Topology.from_edges("ring", n, edges)
+
+
+def grid_graph(n: int) -> Topology:
+    """2-D torus on the largest r x c factorisation of n (degree 4).
+
+    ``n`` must factor as r*c with r, c >= 3 so the torus has no duplicate
+    edges; perfect squares are the usual choice in the experiments.
+    """
+    root = int(math.isqrt(n))
+    rows, cols = 0, 0
+    for r in range(root, 2, -1):
+        if n % r == 0 and n // r >= 3:
+            rows, cols = r, n // r
+            break
+    if rows == 0:
+        raise ValueError(
+            f"cannot factor n={n} as r*c with r, c >= 3; pick a composite n (e.g. a square)"
+        )
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append((node(r, c), node(r, (c + 1) % cols)))
+            edges.append((node(r, c), node((r + 1) % rows, c)))
+    return Topology.from_edges("grid", n, edges)
+
+
+def hypercube_graph(n: int) -> Topology:
+    """Boolean hypercube; requires n to be a power of two (degree log2 n)."""
+    if n < 2 or (n & (n - 1)) != 0:
+        raise ValueError(f"hypercube needs n to be a power of two, got {n}")
+    dims = n.bit_length() - 1
+    edges = []
+    for u in range(n):
+        for bit in range(dims):
+            v = u ^ (1 << bit)
+            if u < v:
+                edges.append((u, v))
+    return Topology.from_edges("hypercube", n, edges)
+
+
+def random_regular_graph(n: int, d: int, rng: np.random.Generator) -> Topology:
+    """Random d-regular simple graph via the configuration model with retries.
+
+    The pairing model occasionally produces self-loops or duplicate edges; we
+    simply resample (the success probability is bounded away from zero for
+    the small fixed degrees used in the experiments).  Falls back to
+    ``networkx.random_regular_graph`` after repeated failures so that large
+    degrees remain usable.
+    """
+    if d < 0 or d >= n:
+        raise ValueError(f"degree d={d} must satisfy 0 <= d < n={n}")
+    if (n * d) % 2 != 0:
+        raise ValueError("n*d must be even for a d-regular graph to exist")
+    if d == 0:
+        return Topology.from_edges("regular-0", n, [])
+    for _ in range(200):
+        stubs = np.repeat(np.arange(n), d)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        if (pairs[:, 0] == pairs[:, 1]).any():
+            continue
+        canon = np.sort(pairs, axis=1)
+        keys = canon[:, 0].astype(np.int64) * n + canon[:, 1]
+        if len(np.unique(keys)) != len(keys):
+            continue
+        return Topology.from_edges(f"regular-{d}", n, [tuple(map(int, p)) for p in pairs])
+    import networkx as nx
+
+    seed = int(rng.integers(0, 2**31 - 1))
+    graph = nx.random_regular_graph(d, n, seed=seed)
+    topo = Topology.from_networkx(f"regular-{d}", graph)
+    return topo
+
+
+def erdos_renyi_graph(n: int, p: float, rng: np.random.Generator) -> Topology:
+    """G(n, p) with the standard `p >= c ln n / n` connectivity caveat left to the caller."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    upper = np.triu_indices(n, k=1)
+    mask = rng.random(len(upper[0])) < p
+    edges = list(zip(upper[0][mask].tolist(), upper[1][mask].tolist()))
+    return Topology.from_edges("erdos-renyi", n, edges)
+
+
+#: Registry used by the CLI and the sweep drivers.  Values are callables
+#: ``(n, rng) -> Topology``; parameters beyond n use sensible defaults tied
+#: to the experiments in DESIGN.md.
+GRAPH_FAMILIES = {
+    "complete": lambda n, rng: complete_graph(n),
+    "ring": lambda n, rng: ring_graph(n),
+    "grid": lambda n, rng: grid_graph(n),
+    "hypercube": lambda n, rng: hypercube_graph(n),
+    "regular4": lambda n, rng: random_regular_graph(n, 4, rng),
+    "regular8": lambda n, rng: random_regular_graph(n, 8, rng),
+    "erdos-renyi": lambda n, rng: erdos_renyi_graph(
+        n, min(1.0, 3.0 * math.log(max(2, n)) / max(1, n)), rng
+    ),
+}
+
+
+def make_graph(family: str, n: int, rng: np.random.Generator) -> Topology:
+    """Instantiate a named graph family at size ``n``."""
+    try:
+        factory = GRAPH_FAMILIES[family]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown graph family {family!r}; known: {sorted(GRAPH_FAMILIES)}"
+        ) from exc
+    return factory(n, rng)

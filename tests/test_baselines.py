@@ -1,0 +1,175 @@
+"""Tests for the baseline protocols (Kempe, Kashyap, Karp, flooding)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    default_push_rounds,
+    efficient_gossip,
+    flood_max,
+    push_max,
+    push_pull_rumor,
+    push_rumor,
+    push_sum,
+    push_sum_engine,
+)
+from repro.core import Aggregate
+from repro.topology import grid_graph, ring_graph
+
+
+class TestPushSum:
+    def test_converges_to_average(self, rng):
+        values = rng.uniform(0, 100, size=1024)
+        result = push_sum(values, rng=1)
+        assert result.max_relative_error < 1e-3
+        assert result.exact == pytest.approx(values.mean())
+
+    def test_message_complexity_n_log_n_shape(self):
+        values = np.random.default_rng(0).uniform(size=2048)
+        result = push_sum(values, rng=2)
+        # n nodes push every round for Theta(log n) rounds
+        assert result.messages == 2048 * result.rounds
+        assert result.rounds >= math.log2(2048)
+
+    def test_convergence_history_monotone_trend(self, rng):
+        values = rng.uniform(0, 10, size=512)
+        result = push_sum(values, rng=3)
+        # the error after the last round is far below the error after round 1
+        assert result.convergence[-1] < result.convergence[0] * 1e-2
+
+    def test_default_rounds_grows_with_n(self):
+        assert default_push_rounds(2**16) > default_push_rounds(2**8)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            push_sum(np.array([]))
+
+    def test_engine_variant_matches_fast_statistically(self, rng):
+        values = rng.uniform(0, 10, size=128)
+        fast = push_sum(values, rng=4)
+        engine = push_sum_engine(values, rng=4)
+        assert fast.exact == pytest.approx(engine.exact)
+        assert engine.max_relative_error < 0.05
+        # both execute n pushes per round
+        assert abs(engine.messages - fast.messages) < 0.3 * fast.messages
+
+
+class TestPushMax:
+    def test_everyone_learns_max(self, rng):
+        values = rng.uniform(0, 100, size=1024)
+        result = push_max(values, rng=5)
+        assert result.all_correct
+
+    def test_oracle_stopping_counts_fewer_messages(self, rng):
+        values = rng.uniform(0, 100, size=1024)
+        full = push_max(values, rng=6)
+        oracle = push_max(values, rng=6, stop_when_converged=True)
+        assert oracle.messages <= full.messages
+
+    def test_convergence_curve_reaches_one(self, rng):
+        values = rng.uniform(0, 100, size=512)
+        result = push_max(values, rng=7)
+        assert result.convergence[-1] == pytest.approx(1.0)
+
+
+class TestEfficientGossip:
+    def test_average_accuracy(self, rng):
+        values = rng.uniform(0, 100, size=2048)
+        result = efficient_gossip(values, Aggregate.AVERAGE, rng=8)
+        assert result.max_relative_error < 0.01
+
+    def test_max_and_min_exact_for_learned_nodes(self, rng):
+        values = rng.uniform(0, 100, size=1024)
+        for aggregate in (Aggregate.MAX, Aggregate.MIN):
+            result = efficient_gossip(values, aggregate, rng=9)
+            assert result.all_correct
+
+    def test_group_sizes_logarithmic(self, rng):
+        values = rng.uniform(0, 100, size=4096)
+        result = efficient_gossip(values, Aggregate.AVERAGE, rng=10)
+        assert result.group_count > 0
+        assert result.max_group_size <= 30 * math.log2(4096)
+
+    def test_time_complexity_has_loglog_factor(self, rng):
+        # rounds should exceed the DRR-gossip style c*log n budget because of
+        # the log log n grouping stages
+        values = rng.uniform(0, 100, size=4096)
+        result = efficient_gossip(values, Aggregate.AVERAGE, rng=11)
+        assert result.rounds > 2 * math.log2(4096)
+
+    def test_message_complexity_below_n_log_n(self, rng):
+        n = 4096
+        values = rng.uniform(0, 100, size=n)
+        result = efficient_gossip(values, Aggregate.AVERAGE, rng=12)
+        assert result.messages < 0.8 * n * math.log2(n)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            efficient_gossip(np.array([]))
+
+
+class TestRumorSpreading:
+    def test_push_rumor_informs_everyone(self):
+        result = push_rumor(2048, rng=13)
+        assert result.everyone_informed
+
+    def test_push_pull_informs_everyone_with_fewer_messages(self):
+        n = 4096
+        push_only = push_rumor(n, rng=14)
+        push_pull = push_pull_rumor(n, rng=14)
+        assert push_pull.everyone_informed
+        assert push_pull.messages < push_only.messages
+
+    def test_push_pull_messages_per_node_grow_slowly(self):
+        small = push_pull_rumor(256, rng=15).messages / 256
+        large = push_pull_rumor(8192, rng=15).messages / 8192
+        # Theta(log log n): going from 2^8 to 2^13 should cost well under 2x
+        assert large < 2.0 * small
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            push_rumor(0)
+        with pytest.raises(ValueError):
+            push_pull_rumor(0)
+
+
+class TestFlooding:
+    def test_flood_max_exact_on_grid(self, rng):
+        topo = grid_graph(256)
+        values = rng.uniform(0, 100, size=256)
+        result = flood_max(topo, values, rng=16)
+        assert result.all_correct
+
+    def test_flood_rounds_close_to_diameter_on_ring(self, rng):
+        topo = ring_graph(64)
+        values = rng.uniform(0, 100, size=64)
+        result = flood_max(topo, values, rng=17)
+        assert result.all_correct
+        assert result.rounds <= 34  # diameter of C_64 is 32
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            flood_max(ring_graph(8), np.zeros(5))
+
+
+class TestBaselineProperties:
+    @given(st.integers(min_value=8, max_value=300), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_push_sum_mass_conservation_reliable(self, n, seed):
+        values = np.random.default_rng(seed).uniform(0, 10, size=n)
+        result = push_sum(values, rng=seed)
+        # with no failures the final estimates are all close to the average
+        assert result.max_relative_error < 0.05
+
+    @given(st.integers(min_value=8, max_value=300), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_push_max_never_invents_values(self, n, seed):
+        values = np.random.default_rng(seed).normal(size=n)
+        result = push_max(values, rng=seed)
+        assert np.all(np.isin(result.estimates, values))

@@ -1,0 +1,171 @@
+"""Tests for Phase I: distributed random ranking (fast and engine paths)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import default_probe_budget, run_drr, run_drr_engine
+from repro.simulator import FailureModel, MessageKind
+
+
+class TestProbeBudget:
+    def test_paper_budget(self):
+        assert default_probe_budget(1024) == 9  # log2(1024) - 1
+        assert default_probe_budget(2) == 1
+        assert default_probe_budget(1) == 1
+
+
+class TestRunDRRFast:
+    def test_forest_is_valid(self):
+        result = run_drr(256, rng=1)
+        result.forest.validate()
+        assert result.forest.n == 256
+
+    def test_every_non_root_has_higher_ranked_parent(self):
+        result = run_drr(512, rng=2)
+        forest = result.forest
+        for node in range(forest.n):
+            parent = forest.parent[node]
+            if parent != -1:
+                assert forest.rank[parent] > forest.rank[node]
+
+    def test_rounds_bounded_by_probe_budget(self):
+        result = run_drr(1024, rng=3)
+        assert result.rounds <= default_probe_budget(1024)
+        assert (result.probes <= default_probe_budget(1024)).all()
+
+    def test_message_kinds(self):
+        result = run_drr(256, rng=4)
+        kinds = result.metrics.messages_by_kind()
+        assert kinds[str(MessageKind.PROBE)] == int(result.probes.sum())
+        # every non-root sent exactly one connect message
+        assert kinds[str(MessageKind.CONNECT)] == 256 - result.forest.root_count
+
+    def test_reliable_network_all_connects_delivered(self):
+        result = run_drr(256, rng=5)
+        non_roots = result.forest.parent >= 0
+        assert result.connect_delivered[non_roots].all()
+        assert not result.connect_delivered[~non_roots].any()
+
+    def test_tree_count_near_n_over_logn(self):
+        n = 4096
+        counts = [run_drr(n, rng=seed).forest.root_count for seed in range(3)]
+        expected = n / math.log2(n)
+        assert 0.3 * expected < np.mean(counts) < 3.0 * expected
+
+    def test_max_tree_size_logarithmic(self):
+        n = 4096
+        sizes = [run_drr(n, rng=seed).forest.max_tree_size for seed in range(3)]
+        assert max(sizes) <= 20 * math.log2(n)
+
+    def test_message_complexity_well_below_nlogn(self):
+        n = 4096
+        result = run_drr(n, rng=6)
+        assert result.metrics.total_messages < 0.7 * n * math.log2(n)
+        assert result.metrics.total_messages >= n - result.forest.root_count
+
+    def test_custom_probe_budget(self):
+        result = run_drr(256, rng=7, probe_budget=1)
+        assert result.rounds <= 1
+        assert (result.probes <= 1).all()
+
+    def test_custom_ranks_used(self):
+        n = 64
+        ranks = np.linspace(0.0, 1.0, n)
+        result = run_drr(n, rng=8, ranks=ranks)
+        assert np.array_equal(result.forest.rank, ranks)
+        # the top-ranked node can never find a higher rank, so it is a root
+        assert result.forest.parent[n - 1] == -1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            run_drr(0)
+        with pytest.raises(ValueError):
+            run_drr(16, probe_budget=0)
+        with pytest.raises(ValueError):
+            run_drr(16, ranks=np.zeros(5))
+
+    def test_crashed_nodes_become_isolated_roots(self):
+        fm = FailureModel(crash_fraction=0.25)
+        result = run_drr(256, rng=9, failure_model=fm)
+        alive = result.forest.alive
+        dead = ~alive
+        assert dead.sum() == 64
+        # dead nodes never probed and never attached
+        assert (result.probes[dead] == 0).all()
+        assert (result.forest.parent[dead] == -1).all()
+
+    def test_lossy_network_still_produces_valid_forest(self):
+        fm = FailureModel(loss_probability=0.2)
+        result = run_drr(512, rng=10, failure_model=fm)
+        result.forest.validate()
+        # some connect messages should be lost at this loss rate
+        non_roots = result.forest.parent >= 0
+        assert result.connect_delivered[non_roots].sum() < non_roots.sum()
+
+    def test_known_children_consistent_with_connects(self):
+        result = run_drr(128, rng=11)
+        known = result.known_children
+        for parent, kids in enumerate(known):
+            for kid in kids:
+                assert result.forest.parent[kid] == parent
+
+    def test_deterministic_given_seed(self):
+        a = run_drr(256, rng=42)
+        b = run_drr(256, rng=42)
+        assert np.array_equal(a.forest.parent, b.forest.parent)
+        assert a.metrics.total_messages == b.metrics.total_messages
+
+
+class TestRunDRREngine:
+    def test_engine_forest_valid_and_consistent(self):
+        result = run_drr_engine(128, rng=1)
+        result.forest.validate()
+        non_roots = result.forest.parent >= 0
+        assert result.connect_delivered[non_roots].all()
+
+    def test_engine_and_fast_have_similar_structure(self):
+        n = 512
+        fast = run_drr(n, rng=3)
+        engine = run_drr_engine(n, rng=3)
+        # Not bit-identical (different RNG consumption order), but the forest
+        # statistics concentrate, so they must be in the same ballpark.
+        assert abs(fast.forest.root_count - engine.forest.root_count) < 0.6 * max(
+            fast.forest.root_count, engine.forest.root_count
+        )
+        ratio = fast.metrics.total_messages / engine.metrics.total_messages
+        assert 0.5 < ratio < 2.0
+
+    def test_engine_message_kinds_include_probe_and_rank(self):
+        result = run_drr_engine(64, rng=2)
+        kinds = result.metrics.messages_by_kind()
+        assert kinds[str(MessageKind.PROBE)] > 0
+        assert kinds[str(MessageKind.RANK)] > 0
+        assert kinds[str(MessageKind.CONNECT)] == 64 - result.forest.root_count
+
+    def test_engine_rounds_close_to_budget(self):
+        result = run_drr_engine(256, rng=4)
+        assert result.rounds <= default_probe_budget(256) + 4
+
+
+class TestDRRProperties:
+    @given(st.integers(min_value=2, max_value=300), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_forest_invariants_for_any_n_and_seed(self, n, seed):
+        result = run_drr(n, rng=seed)
+        forest = result.forest
+        forest.validate()
+        assert forest.root_count >= 1
+        assert sum(forest.tree_sizes.values()) == n
+        assert result.metrics.total_messages <= 2 * n * default_probe_budget(n) + n
+
+    @given(st.integers(min_value=4, max_value=200), st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=20, deadline=None)
+    def test_forest_valid_under_loss(self, n, delta):
+        result = run_drr(n, rng=1, failure_model=FailureModel(loss_probability=delta))
+        result.forest.validate()

@@ -1,0 +1,108 @@
+"""Failure-injection tests: lossy links and initial crashes (Section 2 model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DRRGossipConfig, drr_gossip_average, drr_gossip_max
+from repro.baselines import push_sum
+from repro.simulator import FailureModel, paper_delta_range
+
+
+class TestLossyLinks:
+    @pytest.mark.parametrize("delta", [0.02, 0.05, 0.1])
+    def test_max_pipeline_accuracy_under_loss(self, delta):
+        values = np.random.default_rng(1).uniform(0, 100, size=1024)
+        config = DRRGossipConfig(failure_model=FailureModel(loss_probability=delta))
+        result = drr_gossip_max(values, rng=2, config=config)
+        # Nodes that learned an answer overwhelmingly learned the right one;
+        # lost broadcast messages only reduce coverage.
+        learned = result.estimates[result.learned]
+        assert np.mean(learned == result.exact) > 0.95
+        # Coverage degrades with delta (lost broadcast edges cut off whole
+        # subtrees) but the large majority of nodes still learns the answer.
+        assert result.coverage > 0.55
+
+    def test_paper_delta_range_is_tolerated(self):
+        n = 1024
+        low, high = paper_delta_range(n)
+        values = np.random.default_rng(3).uniform(0, 100, size=n)
+        config = DRRGossipConfig(failure_model=FailureModel(loss_probability=(low + high) / 2))
+        result = drr_gossip_max(values, rng=4, config=config)
+        assert result.coverage > 0.6
+        learned = result.estimates[result.learned]
+        assert np.mean(learned == result.exact) > 0.9
+
+    def test_average_pipeline_bias_bounded_under_loss(self):
+        values = np.random.default_rng(5).uniform(10, 20, size=1024)
+        config = DRRGossipConfig(failure_model=FailureModel(loss_probability=0.05))
+        result = drr_gossip_average(values, rng=6, config=config)
+        learned = result.estimates[result.learned]
+        truth = values.mean()
+        # Loss removes mass, so estimates can drift, but they stay within a
+        # few percent at delta = 5%.
+        assert np.all(np.abs(learned - truth) / truth < 0.1)
+
+    def test_message_count_does_not_explode_under_loss(self):
+        values = np.random.default_rng(7).uniform(0, 1, size=1024)
+        reliable = drr_gossip_max(values, rng=8).messages
+        lossy = drr_gossip_max(
+            values, rng=8, config=DRRGossipConfig(failure_model=FailureModel(loss_probability=0.1))
+        ).messages
+        assert lossy < 1.5 * reliable
+
+
+class TestInitialCrashes:
+    def test_crashed_nodes_never_learn_and_never_send(self):
+        values = np.random.default_rng(9).uniform(0, 100, size=512)
+        config = DRRGossipConfig(failure_model=FailureModel(crash_fraction=0.2))
+        result = drr_gossip_max(values, rng=10, config=config)
+        alive = result.drr.forest.alive
+        assert (~result.learned[~alive]).all()
+        assert np.isnan(result.estimates[~alive]).all()
+
+    def test_exact_value_computed_over_survivors_only(self):
+        values = np.random.default_rng(11).uniform(0, 100, size=512)
+        # place the global maximum on a node and crash enough nodes that it
+        # sometimes dies; the protocol should then agree on the surviving max
+        config = DRRGossipConfig(failure_model=FailureModel(crash_fraction=0.3))
+        result = drr_gossip_max(values, rng=12, config=config)
+        alive = result.drr.forest.alive
+        assert result.exact == values[alive].max()
+        learned = result.estimates[result.learned]
+        assert np.mean(learned == result.exact) > 0.95
+
+    def test_average_over_survivors(self):
+        values = np.random.default_rng(13).uniform(10, 20, size=512)
+        config = DRRGossipConfig(failure_model=FailureModel(crash_fraction=0.25))
+        result = drr_gossip_average(values, rng=14, config=config)
+        alive = result.drr.forest.alive
+        truth = values[alive].mean()
+        learned = result.estimates[result.learned]
+        assert np.all(np.abs(learned - truth) / truth < 0.05)
+
+    def test_combined_crash_and_loss(self):
+        values = np.random.default_rng(15).uniform(0, 100, size=512)
+        config = DRRGossipConfig(
+            failure_model=FailureModel(loss_probability=0.05, crash_fraction=0.1)
+        )
+        result = drr_gossip_max(values, rng=16, config=config)
+        assert result.coverage > 0.6
+        learned = result.estimates[result.learned]
+        assert np.mean(learned == result.exact) > 0.9
+
+
+class TestBaselineFailures:
+    def test_push_sum_tolerates_loss(self):
+        values = np.random.default_rng(17).uniform(10, 20, size=1024)
+        result = push_sum(values, rng=18, failure_model=FailureModel(loss_probability=0.05))
+        finite = np.isfinite(result.estimates)
+        assert np.mean(np.abs(result.estimates[finite] - result.exact) / result.exact < 0.1) > 0.95
+
+    def test_push_sum_with_crashes_averages_survivors(self):
+        values = np.random.default_rng(19).uniform(10, 20, size=1024)
+        result = push_sum(values, rng=20, failure_model=FailureModel(crash_fraction=0.2))
+        finite = np.isfinite(result.estimates)
+        assert finite.sum() == 1024 - 204 or finite.sum() == 1024 - 205 or finite.sum() > 700
+        assert abs(np.nanmean(result.estimates[finite]) - result.exact) / result.exact < 0.05

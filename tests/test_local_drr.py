@@ -1,0 +1,114 @@
+"""Tests for Local-DRR on sparse topologies (Section 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_convergecast, run_drr, run_local_drr
+from repro.simulator import FailureModel
+from repro.topology import grid_graph, hypercube_graph, make_graph, ring_graph
+
+
+class TestLocalDRRStructure:
+    def test_forest_valid_on_ring(self, rng):
+        result = run_local_drr(ring_graph(128), rng=rng)
+        result.forest.validate()
+        assert result.rounds == 2
+
+    def test_parent_is_best_alive_neighbor(self):
+        topo = ring_graph(64)
+        result = run_local_drr(topo, rng=5)
+        forest = result.forest
+        for node in range(64):
+            parent = forest.parent[node]
+            neighbor_ranks = [forest.rank[v] for v in topo.neighbors(node)]
+            if parent == -1:
+                # a root out-ranks all of its neighbours
+                assert forest.rank[node] >= max(neighbor_ranks)
+            else:
+                assert parent in topo.neighbors(node)
+                assert forest.rank[parent] == max(neighbor_ranks)
+
+    def test_tree_count_near_sum_inverse_degree_plus_one(self):
+        topo = grid_graph(1024)  # 4-regular: expected trees = n/5
+        counts = [run_local_drr(topo, rng=seed).forest.root_count for seed in range(5)]
+        expected = topo.expected_local_drr_trees()
+        assert abs(np.mean(counts) - expected) < 0.25 * expected
+
+    def test_tree_height_logarithmic_on_ring(self):
+        n = 2048
+        heights = [run_local_drr(ring_graph(n), rng=seed).forest.max_tree_height for seed in range(3)]
+        assert max(heights) <= 4 * math.log2(n)
+
+    def test_message_count_proportional_to_edges(self):
+        topo = hypercube_graph(256)
+        result = run_local_drr(topo, rng=3)
+        rank_messages = 2 * topo.edge_count
+        non_roots = 256 - result.forest.root_count
+        assert result.metrics.total_messages == rank_messages + non_roots
+
+    def test_custom_ranks_respected(self):
+        topo = ring_graph(16)
+        ranks = np.arange(16, dtype=float) / 16.0
+        result = run_local_drr(topo, rng=1, ranks=ranks)
+        # node 15 has the global highest rank, so it must be a root
+        assert result.forest.parent[15] == -1
+        # node 0's neighbours are 1 and 15; 15 has the higher rank
+        assert result.forest.parent[0] == 15
+
+    def test_rank_shape_validated(self):
+        with pytest.raises(ValueError):
+            run_local_drr(ring_graph(8), ranks=np.zeros(3))
+
+    def test_lossy_rank_exchange_still_valid_forest(self):
+        topo = grid_graph(256)
+        result = run_local_drr(topo, rng=7, failure_model=FailureModel(loss_probability=0.3))
+        result.forest.validate()
+
+    def test_crashed_nodes_are_isolated(self):
+        topo = grid_graph(100)
+        result = run_local_drr(topo, rng=8, failure_model=FailureModel(crash_fraction=0.2))
+        dead = ~result.forest.alive
+        assert (result.forest.parent[dead] == -1).all()
+        # no alive node attaches to a dead neighbour
+        alive_non_roots = np.flatnonzero(result.forest.alive & (result.forest.parent >= 0))
+        assert result.forest.alive[result.forest.parent[alive_non_roots]].all()
+
+
+class TestLocalDRRIntegration:
+    def test_convergecast_works_on_local_drr_forest(self, rng):
+        topo = grid_graph(256)
+        values = rng.uniform(0, 50, size=256)
+        local = run_local_drr(topo, rng=3)
+        cov = run_convergecast(local, values, op="max", rng=4)
+        for root, value in cov.local_value.items():
+            members = local.forest.tree_members(root)
+            assert value == pytest.approx(values[members].max())
+
+    def test_complete_graph_local_drr_single_root(self, rng):
+        # On the complete graph every node sees everyone, so Local-DRR
+        # produces exactly one tree rooted at the global top-ranked node.
+        topo = make_graph("complete", 64, rng)
+        result = run_local_drr(topo, rng=9)
+        assert result.forest.root_count == 1
+        assert result.forest.parent[int(np.argmax(result.forest.rank))] == -1
+
+    @given(st.sampled_from(["ring", "grid", "hypercube", "regular4"]), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=12, deadline=None)
+    def test_forest_invariants_across_families(self, family, seed):
+        rng = np.random.default_rng(seed)
+        topo = make_graph(family, 64, rng)
+        result = run_local_drr(topo, rng=rng)
+        forest = result.forest
+        forest.validate()
+        assert sum(forest.tree_sizes.values()) == 64
+        # every non-root's parent is one of its graph neighbours
+        for node in range(64):
+            parent = forest.parent[node]
+            if parent != -1:
+                assert parent in topo.neighbors(node)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.simulator.failures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.errors import ConfigurationError
+from repro.simulator.failures import FailureModel, paper_delta_range
+
+
+class TestValidation:
+    @pytest.mark.parametrize("delta", [-0.1, 1.0, 1.5])
+    def test_invalid_loss_probability(self, delta):
+        with pytest.raises(ConfigurationError):
+            FailureModel(loss_probability=delta)
+
+    @pytest.mark.parametrize("crash", [-0.01, 1.0])
+    def test_invalid_crash_fraction(self, crash):
+        with pytest.raises(ConfigurationError):
+            FailureModel(crash_fraction=crash)
+
+    def test_reliable_flag(self):
+        assert FailureModel().reliable
+        assert not FailureModel(loss_probability=0.1).reliable
+        assert not FailureModel(crash_fraction=0.1).reliable
+
+
+class TestSampling:
+    def test_no_loss_when_delta_zero(self, rng):
+        fm = FailureModel()
+        assert not fm.message_lost(rng)
+        assert not fm.sample_losses(1000, rng).any()
+
+    def test_loss_rate_close_to_delta(self, rng):
+        fm = FailureModel(loss_probability=0.25)
+        losses = fm.sample_losses(20000, rng)
+        assert abs(losses.mean() - 0.25) < 0.02
+
+    def test_crash_count_matches_fraction(self, rng):
+        fm = FailureModel(crash_fraction=0.2)
+        crashed = fm.sample_crashes(1000, rng)
+        assert crashed.sum() == 200
+
+    def test_at_least_one_survivor(self, rng):
+        fm = FailureModel(crash_fraction=0.99)
+        crashed = fm.sample_crashes(3, rng)
+        assert crashed.sum() <= 2
+
+    def test_sample_losses_negative_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            FailureModel().sample_losses(-1, rng)
+
+    def test_sample_crashes_requires_positive_n(self, rng):
+        with pytest.raises(ConfigurationError):
+            FailureModel().sample_crashes(0, rng)
+
+
+class TestDerivedQuantities:
+    def test_two_hop_loss_probability(self):
+        fm = FailureModel(loss_probability=0.1)
+        assert fm.two_hop_loss_probability() == pytest.approx(1 - 0.9**2)
+
+    def test_two_hop_loss_is_zero_for_reliable(self):
+        assert FailureModel().two_hop_loss_probability() == 0.0
+
+    def test_paper_delta_range(self):
+        low, high = paper_delta_range(1024)
+        assert low == pytest.approx(1.0 / 10.0)
+        assert high == pytest.approx(1.0 / 8.0)
+        assert low < high
+
+    def test_paper_delta_range_small_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_delta_range(2)
+
+    def test_describe_mentions_delta(self):
+        assert "0.05" in FailureModel(loss_probability=0.05).describe()
+        assert "reliable" in FailureModel().describe()

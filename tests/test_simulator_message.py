@@ -1,0 +1,66 @@
+"""Unit tests for repro.simulator.message."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.message import Message, MessageKind, Send
+
+
+class TestMessageKind:
+    def test_kinds_are_strings(self):
+        assert MessageKind.PROBE.value == "probe"
+        assert str(MessageKind.GOSSIP) == "gossip"
+
+    def test_all_kinds_distinct(self):
+        values = [k.value for k in MessageKind]
+        assert len(values) == len(set(values))
+
+
+class TestMessage:
+    def test_payload_words_defaults_to_payload_size(self):
+        msg = Message(sender=1, recipient=2, kind="probe", payload={"a": 1, "b": 2})
+        assert msg.payload_words == 2
+
+    def test_payload_words_defaults_to_one_for_empty_payload(self):
+        msg = Message(sender=1, recipient=2, kind="probe")
+        assert msg.payload_words == 1
+
+    def test_explicit_payload_words_respected(self):
+        msg = Message(sender=1, recipient=2, kind="probe", payload={"a": 1}, payload_words=5)
+        assert msg.payload_words == 5
+
+    def test_enum_kind_normalised_to_string(self):
+        msg = Message(sender=0, recipient=1, kind=MessageKind.RANK)
+        assert msg.kind == "rank"
+
+    def test_stamped_copies_and_sets_round(self):
+        msg = Message(sender=0, recipient=1, kind="probe", payload={"x": 3})
+        stamped = msg.stamped(7)
+        assert stamped.round_sent == 7
+        assert msg.round_sent == -1
+        assert stamped.payload == msg.payload
+
+    def test_get_reads_payload_with_default(self):
+        msg = Message(sender=0, recipient=1, kind="probe", payload={"x": 3})
+        assert msg.get("x") == 3
+        assert msg.get("missing", 42) == 42
+
+    def test_message_is_frozen(self):
+        msg = Message(sender=0, recipient=1, kind="probe")
+        with pytest.raises(AttributeError):
+            msg.sender = 9  # type: ignore[misc]
+
+
+class TestSend:
+    def test_to_message_sets_sender(self):
+        send = Send(recipient=3, kind=MessageKind.CONNECT, payload={"child": 5})
+        msg = send.to_message(sender=5)
+        assert msg.sender == 5
+        assert msg.recipient == 3
+        assert msg.kind == "connect"
+        assert msg.get("child") == 5
+
+    def test_send_preserves_payload_words(self):
+        send = Send(recipient=3, kind="data", payload={"v": 1.0}, payload_words=2)
+        assert send.to_message(0).payload_words == 2

@@ -1,0 +1,99 @@
+"""Unit tests for repro.simulator.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.metrics import MetricsCollector
+
+
+class TestPhases:
+    def test_default_phase_exists(self):
+        m = MetricsCollector(n=16)
+        assert m.current_phase == "default"
+
+    def test_begin_phase_switches_and_creates(self):
+        m = MetricsCollector(n=16)
+        m.begin_phase("drr")
+        assert m.current_phase == "drr"
+        m.record_message("probe")
+        assert m.phase("drr").messages == 1
+        assert m.phase("default").messages == 0
+
+    def test_unknown_phase_lookup_raises(self):
+        m = MetricsCollector()
+        with pytest.raises(KeyError):
+            m.phase("nope")
+
+    def test_phase_order_preserved(self):
+        m = MetricsCollector()
+        for name in ("a", "b", "c"):
+            m.begin_phase(name)
+        assert [p.name for p in m.phases()] == ["default", "a", "b", "c"]
+
+
+class TestRecording:
+    def test_record_message_counts_and_words(self):
+        m = MetricsCollector(n=1024, value_bits=32)
+        m.record_message("push", payload_words=2)
+        m.record_message("push", payload_words=1, lost=True)
+        assert m.total_messages == 2
+        assert m.total_messages_lost == 1
+        assert m.total_words == 3
+        assert m.messages_by_kind()["push"] == 2
+
+    def test_bulk_record(self):
+        m = MetricsCollector(n=64)
+        m.record_messages("gossip", 100, payload_words=2)
+        assert m.total_messages == 100
+        assert m.total_words == 200
+
+    def test_negative_counts_rejected(self):
+        m = MetricsCollector()
+        with pytest.raises(ValueError):
+            m.record_messages("x", -1)
+        with pytest.raises(ValueError):
+            m.record_round(-2)
+
+    def test_rounds_accumulate_per_phase(self):
+        m = MetricsCollector()
+        m.record_round(3)
+        m.begin_phase("p2")
+        m.record_round(4)
+        assert m.total_rounds == 7
+        assert m.rounds_by_phase() == {"default": 3, "p2": 4}
+
+    def test_total_bits_uses_word_model(self):
+        m = MetricsCollector(n=1024, value_bits=32)
+        m.record_message("x", payload_words=1)
+        # ceil(log2(1024)) + 32 = 42 bits per word
+        assert m.total_bits == 42
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(n=0)
+
+
+class TestMerge:
+    def test_merge_folds_phases(self):
+        a = MetricsCollector(n=16)
+        a.begin_phase("drr")
+        a.record_message("probe")
+        a.record_round(2)
+        b = MetricsCollector(n=16)
+        b.begin_phase("drr")
+        b.record_message("probe")
+        b.begin_phase("gossip")
+        b.record_messages("push", 5)
+        a.merge(b)
+        assert a.phase("drr").messages == 2
+        assert a.phase("gossip").messages == 5
+        assert a.total_rounds == 2
+
+    def test_as_dict_round_trips_fields(self):
+        m = MetricsCollector(n=8)
+        m.record_message("x")
+        d = m.as_dict()
+        assert d["total_messages"] == 1
+        assert d["n"] == 8
+        assert isinstance(d["phases"], list)
