@@ -1,0 +1,15 @@
+"""Run the CLI without installing the package: ``python -m repro <command>``.
+
+Equivalent to the ``drr-gossip`` console entry point; useful on machines
+where the package is only on ``PYTHONPATH`` (e.g. ``PYTHONPATH=src python
+-m repro sweep --jobs 4``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ from .drr import DRRNode, DRRResult, default_probe_budget, run_drr, run_drr_engi
 from .drr_gossip import (
     DRRGossipConfig,
     DRRGossipResult,
+    broadcast_root_addresses,
     drr_gossip,
     drr_gossip_average,
     drr_gossip_count,
@@ -60,6 +61,7 @@ __all__ = [
     "run_drr_engine",
     "DRRGossipConfig",
     "DRRGossipResult",
+    "broadcast_root_addresses",
     "drr_gossip",
     "drr_gossip_average",
     "drr_gossip_count",

@@ -40,6 +40,7 @@ from .gossip_max import run_gossip_max
 __all__ = [
     "DRRGossipConfig",
     "DRRGossipResult",
+    "broadcast_root_addresses",
     "drr_gossip",
     "drr_gossip_max",
     "drr_gossip_min",
@@ -179,14 +180,21 @@ def _alive_roots(drr: DRRResult) -> np.ndarray:
     return np.array([int(r) for r in drr.forest.roots if alive[r]], dtype=np.int64)
 
 
-def _broadcast_root_addresses(
+def broadcast_root_addresses(
     drr: DRRResult,
     roots: np.ndarray,
     rng: np.random.Generator,
     config: DRRGossipConfig,
     metrics: MetricsCollector,
 ) -> np.ndarray:
-    """Phase II broadcast of each root's address; returns the forwarding table."""
+    """Phase II broadcast of each root's address; returns the forwarding table.
+
+    The returned array maps every node to the root whose address it learned
+    (``-1`` for nodes the broadcast never reached).  Exposed publicly because
+    experiment drivers that assemble custom pipelines (Gossip-max / Gossip-ave
+    convergence studies) need the same forwarding table the full DRR-gossip
+    pipelines build internally.
+    """
     payload = {int(r): float(r) for r in roots}
     outcome = run_broadcast(
         drr,
@@ -319,7 +327,7 @@ def _extremum_pipeline(
     drr = _run_phase_one(n, rng, config, metrics)
     roots = _alive_roots(drr)
     cov = _convergecast(drr, work_values, "max", rng, config, metrics)
-    root_of = _broadcast_root_addresses(drr, roots, rng, config, metrics)
+    root_of = broadcast_root_addresses(drr, roots, rng, config, metrics)
     gossip = run_gossip_max(
         roots=roots,
         root_values=cov.value_vector(roots),
@@ -417,7 +425,7 @@ def _pushsum_pipeline(
     cov = _convergecast(drr, work_values, "sum", rng, config, metrics)
     local_sums = cov.value_vector(roots)
     tree_sizes = cov.weight_vector(roots)
-    root_of = _broadcast_root_addresses(drr, roots, rng, config, metrics)
+    root_of = broadcast_root_addresses(drr, roots, rng, config, metrics)
 
     largest = _identify_largest_root(
         drr, roots, tree_sizes, root_of, n, rng, config, metrics

@@ -2,6 +2,7 @@
 
 from .experiments import (
     DEFAULT_NS,
+    EXPERIMENT_DRIVERS,
     ExperimentResult,
     run_ablation,
     run_chord_comparison,
@@ -14,12 +15,19 @@ from .experiments import (
     run_phase_breakdown,
     run_table1,
 )
-from .report import load_json, write_csv, write_json, write_markdown_report
+from .report import (
+    load_json,
+    write_csv,
+    write_json,
+    write_markdown_report,
+    write_markdown_report_from_store,
+)
 from .tables import format_float, format_markdown_table, format_table
 from .workloads import WORKLOADS, make_values, workload_names
 
 __all__ = [
     "DEFAULT_NS",
+    "EXPERIMENT_DRIVERS",
     "ExperimentResult",
     "run_ablation",
     "run_chord_comparison",
@@ -35,6 +43,7 @@ __all__ = [
     "write_csv",
     "write_json",
     "write_markdown_report",
+    "write_markdown_report_from_store",
     "format_float",
     "format_markdown_table",
     "format_table",

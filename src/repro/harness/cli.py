@@ -1,8 +1,11 @@
-"""Command-line interface: ``drr-gossip <command>``.
+"""Command-line interface: ``drr-gossip <command>`` (or ``python -m repro``).
 
-The CLI is a thin veneer over :mod:`repro.harness.experiments`; it exists so
-a downstream user can regenerate any table of EXPERIMENTS.md (or run a quick
-aggregate computation) without writing Python.
+The CLI is a thin veneer over :mod:`repro.harness.experiments` and the
+orchestration subsystem (:mod:`repro.orchestration`); it exists so a
+downstream user can regenerate any table of EXPERIMENTS.md — or run a
+paper-scale parameter sweep — without writing Python.  The package does not
+need to be installed: ``python -m repro <command>`` behaves identically to
+the ``drr-gossip`` entry point.
 
 Examples
 --------
@@ -17,37 +20,52 @@ Regenerate the Table 1 measurement at small scale::
 Run every experiment and write a markdown report::
 
     drr-gossip report --output results/
+
+Run a parameter sweep in parallel, persisting every cell to SQLite (an
+immediate re-run skips all completed cells)::
+
+    drr-gossip sweep --experiments table1 forest --ns 256 512 --reps 3 --jobs 4
+    drr-gossip sweep --config sweeps/quick.toml --jobs 4
+
+Inspect and export what the store holds::
+
+    drr-gossip results --markdown results/report.md
+    drr-gossip results --failed
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
 import numpy as np
 
 from ..core import Aggregate, DRRGossipConfig, drr_gossip
+from ..orchestration import (
+    ResultStore,
+    SweepDefinition,
+    SweepRunner,
+    expand_cells,
+    load_builtin_experiments,
+    load_sweep,
+    print_progress,
+)
 from ..simulator import FailureModel
-from . import experiments
-from .report import write_json, write_markdown_report
+from . import experiments  # noqa: F401  (import registers the drivers)
+from .report import write_json, write_markdown_report, write_markdown_report_from_store
 from .workloads import make_values, workload_names
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
 
-#: experiment name -> callable returning an ExperimentResult
-EXPERIMENTS = {
-    "table1": experiments.run_table1,
-    "forest": experiments.run_forest_statistics,
-    "gossip-max": experiments.run_gossip_max_convergence,
-    "gossip-ave": experiments.run_gossip_ave_convergence,
-    "end-to-end": experiments.run_end_to_end_accuracy,
-    "local-drr": experiments.run_local_drr_statistics,
-    "chord": experiments.run_chord_comparison,
-    "lower-bound": experiments.run_lower_bound_experiment,
-    "phase-breakdown": experiments.run_phase_breakdown,
-    "ablation": experiments.run_ablation,
-}
+#: Default location of the sweep result store.
+DEFAULT_STORE = "results/results.sqlite"
+
+#: experiment name -> driver callable, backed by the orchestration registry.
+#: Kept as a plain mapping for backwards compatibility with callers that did
+#: ``from repro.harness.cli import EXPERIMENTS``.
+EXPERIMENTS = {spec.name: spec.driver for spec in load_builtin_experiments()}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,8 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--query", type=float, default=None, help="query value for the rank aggregate")
 
-    for name, fn in EXPERIMENTS.items():
-        exp = sub.add_parser(name, help=fn.__doc__.splitlines()[0] if fn.__doc__ else name)
+    for spec in load_builtin_experiments():
+        exp = sub.add_parser(spec.name, help=spec.description)
         exp.add_argument("--seed", type=int, default=None)
         exp.add_argument("--reps", type=int, default=None, help="repetitions per configuration")
         exp.add_argument("--ns", type=int, nargs="+", default=None, help="network sizes to sweep")
@@ -77,6 +95,36 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", type=str, default="results", help="output directory")
     report.add_argument("--quick", action="store_true", help="use small sweeps (CI-sized)")
     report.add_argument("--seed", type=int, default=1)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter sweep in parallel, persisting every cell to the result store",
+    )
+    sweep.add_argument("--config", type=str, default=None, help="TOML/JSON sweep definition file")
+    sweep.add_argument(
+        "--experiments",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="experiments to sweep when no --config is given (default: all registered)",
+    )
+    sweep.add_argument("--ns", type=int, nargs="+", default=None, help="network-size vector for experiments that take one")
+    sweep.add_argument("--reps", type=int, default=None, help="repetitions (seeds) per grid point")
+    sweep.add_argument("--seed", type=int, default=None, help="master seed (per-cell seeds derive from it)")
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes (1 = run in-process)")
+    sweep.add_argument("--store", type=str, default=DEFAULT_STORE, help="SQLite result store path")
+    sweep.add_argument(
+        "--no-skip",
+        action="store_true",
+        help="re-execute cells even when the store already has their results",
+    )
+
+    results = sub.add_parser("results", help="summarise/export the sweep result store")
+    results.add_argument("--store", type=str, default=DEFAULT_STORE, help="SQLite result store path")
+    results.add_argument("--experiment", type=str, default=None, help="restrict to one experiment")
+    results.add_argument("--failed", action="store_true", help="show failed cells with their tracebacks")
+    results.add_argument("--json", type=str, default=None, help="export stored runs to this JSON path")
+    results.add_argument("--markdown", type=str, default=None, help="write a markdown report from the store")
     return parser
 
 
@@ -107,10 +155,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> int:
     if args.seed is not None:
         kwargs["seed"] = args.seed
     if args.reps is not None:
-        if name == "ablation":
-            kwargs["repetitions"] = args.reps
-        else:
-            kwargs["repetitions"] = args.reps
+        kwargs["repetitions"] = args.reps
     if args.ns is not None:
         if name == "ablation":
             kwargs["n"] = args.ns[0]
@@ -152,6 +197,83 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    try:
+        if args.jobs < 1:
+            raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
+        if args.config:
+            if args.experiments or args.ns:
+                raise ValueError(
+                    "--config cannot be combined with --experiments/--ns; "
+                    "put the grid in the sweep file (--seed/--reps do override it)"
+                )
+            definition = load_sweep(args.config)
+            overrides = {}
+            if args.seed is not None:
+                overrides["seed"] = args.seed
+            if args.reps is not None:
+                # --reps wins over BOTH the sweep-level default and any
+                # per-experiment repetitions in the file.
+                overrides["repetitions"] = args.reps
+                overrides["plans"] = tuple(
+                    dataclasses.replace(plan, repetitions=None) for plan in definition.plans
+                )
+            if overrides:
+                definition = dataclasses.replace(definition, **overrides)
+        else:
+            names = args.experiments or [spec.name for spec in load_builtin_experiments()]
+            grid = {"ns": tuple(args.ns)} if args.ns else {}
+            definition = SweepDefinition.from_experiments(
+                names,
+                grid=grid,
+                seed=args.seed if args.seed is not None else 1,
+                repetitions=args.reps if args.reps is not None else 1,
+            )
+        expand_cells(definition)  # validate experiment names and grids up front
+    except (KeyError, ValueError, TypeError, OSError) as exc:
+        message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    with ResultStore(args.store) as store:
+        runner = SweepRunner(
+            store,
+            jobs=args.jobs,
+            skip_completed=not args.no_skip,
+            progress=print_progress,
+        )
+        report = runner.run(definition)
+    print(report.summary())
+    print(f"store: {args.store}")
+    return 0 if report.failed == 0 else 1
+
+
+def _run_results(args: argparse.Namespace) -> int:
+    if not Path(args.store).exists():
+        print(f"no result store at {args.store} (run `drr-gossip sweep` first)", file=sys.stderr)
+        return 1
+    with ResultStore(args.store) as store:
+        summary = store.summary()
+        if args.experiment is not None:
+            summary = [row for row in summary if row["experiment"] == args.experiment]
+        print(f"{'experiment':<20} {'completed':>9} {'failed':>6} {'runtime':>9}")
+        for row in summary:
+            print(
+                f"{row['experiment']:<20} {row['completed'] or 0:>9} "
+                f"{row['failed'] or 0:>6} {row['total_duration_s'] or 0.0:>8.1f}s"
+            )
+        if args.failed:
+            for run in store.query(experiment=args.experiment, status="failed"):
+                print(f"\nFAILED {run.experiment} params={run.params} seed={run.seed}")
+                print(run.error)
+        if args.json:
+            path = store.export_json(args.json, args.experiment)
+            print(f"wrote {path}")
+        if args.markdown:
+            path = write_markdown_report_from_store(store, args.markdown, experiment=args.experiment)
+            print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -159,6 +281,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_single(args)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    if args.command == "results":
+        return _run_results(args)
     if args.command in EXPERIMENTS:
         return _run_experiment(args.command, args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -30,7 +30,8 @@ from ..core import (
     run_gossip_max,
     run_local_drr,
 )
-from ..core.drr_gossip import _broadcast_root_addresses  # reused forwarding-table builder
+from ..core.drr_gossip import broadcast_root_addresses  # reused forwarding-table builder
+from ..orchestration import registry
 from ..simulator import FailureModel, MetricsCollector
 from ..simulator.rng import RngStream
 from ..topology import ChordNetwork, ChordSampler, make_graph
@@ -39,6 +40,7 @@ from .workloads import make_values
 
 __all__ = [
     "ExperimentResult",
+    "EXPERIMENT_DRIVERS",
     "run_table1",
     "run_forest_statistics",
     "run_gossip_max_convergence",
@@ -260,7 +262,7 @@ def run_gossip_max_convergence(
                 roots = drr.forest.roots
                 cov = run_convergecast(drr, values, op="max", failure_model=failure_model, rng=rng)
                 metrics = MetricsCollector(n=n)
-                root_of = _broadcast_root_addresses(drr, roots, rng, DRRGossipConfig(failure_model=failure_model), metrics)
+                root_of = broadcast_root_addresses(drr, roots, rng, DRRGossipConfig(failure_model=failure_model), metrics)
                 gossip = run_gossip_max(
                     roots=roots,
                     root_values=cov.value_vector(roots),
@@ -318,7 +320,7 @@ def run_gossip_ave_convergence(
                 roots = drr.forest.roots
                 cov = run_convergecast(drr, values, op="sum", rng=rng)
                 metrics = MetricsCollector(n=n)
-                root_of = _broadcast_root_addresses(drr, roots, rng, DRRGossipConfig(), metrics)
+                root_of = broadcast_root_addresses(drr, roots, rng, DRRGossipConfig(), metrics)
                 largest = drr.forest.largest_root()
                 ave = run_gossip_ave(
                     roots=roots,
@@ -701,3 +703,27 @@ def run_ablation(
         seed=seed,
         parameters={"n": n, "repetitions": repetitions},
     )
+
+
+# --------------------------------------------------------------------------- #
+# registry wiring
+# --------------------------------------------------------------------------- #
+#: CLI/sweep name -> driver.  Importing this module registers every driver on
+#: the default orchestration registry, which is what lets sweep workers (and
+#: the CLI) resolve drivers by name alone.
+EXPERIMENT_DRIVERS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "forest": run_forest_statistics,
+    "gossip-max": run_gossip_max_convergence,
+    "gossip-ave": run_gossip_ave_convergence,
+    "end-to-end": run_end_to_end_accuracy,
+    "local-drr": run_local_drr_statistics,
+    "chord": run_chord_comparison,
+    "lower-bound": run_lower_bound_experiment,
+    "phase-breakdown": run_phase_breakdown,
+    "ablation": run_ablation,
+}
+
+for _name, _driver in EXPERIMENT_DRIVERS.items():
+    if _name not in registry.DEFAULT_REGISTRY:
+        registry.register_experiment(_name, _driver)

@@ -15,7 +15,13 @@ from typing import Iterable
 
 from .experiments import ExperimentResult
 
-__all__ = ["write_json", "write_csv", "write_markdown_report", "load_json"]
+__all__ = [
+    "write_json",
+    "write_csv",
+    "write_markdown_report",
+    "write_markdown_report_from_store",
+    "load_json",
+]
 
 
 def write_json(result: ExperimentResult, path: str | Path) -> Path:
@@ -63,4 +69,24 @@ def write_markdown_report(results: Iterable[ExperimentResult], path: str | Path,
         sections.append(f"Parameters: `{json.dumps(result.parameters, default=str)}` (seed {result.seed})")
         sections.append("")
     path.write_text("\n".join(sections))
+    return path
+
+
+def write_markdown_report_from_store(store, path: str | Path, experiment: str | None = None, title: str = "Sweep report") -> Path:
+    """Render every successful run persisted in a ResultStore as one report.
+
+    This is how ``drr-gossip results --markdown`` regenerates the paper
+    tables from the sweep store without recomputing a single cell; failed
+    cells are listed (with their parameter binding) but never silently
+    dropped.
+    """
+    results = store.results(experiment)
+    path = write_markdown_report(results, path, title=title)
+    failed = store.query(experiment=experiment, status="failed")
+    if failed:
+        sections = ["", "## Failed cells", ""]
+        for run in failed:
+            sections.append(f"- `{run.experiment}` params=`{json.dumps(run.params, default=str)}` seed={run.seed}")
+        with Path(path).open("a") as handle:
+            handle.write("\n".join(sections) + "\n")
     return path

@@ -1,0 +1,62 @@
+"""Experiment orchestration: registry, result store, sweep runner, sweep files.
+
+This subsystem turns the reproduction harness into an experiment platform:
+
+* :mod:`~repro.orchestration.registry` — the declarative experiment
+  registry (drivers register by name; grids validate and expand against
+  typed parameter specs).
+* :mod:`~repro.orchestration.store` — the SQLite result store, keyed by
+  ``(experiment, canonical param hash, seed)`` with resume semantics.
+* :mod:`~repro.orchestration.runner` — the parallel sweep runner
+  (process-pool fan-out, per-cell crash capture, deterministic seeds).
+* :mod:`~repro.orchestration.config` — TOML/JSON sweep definitions.
+
+Typical use::
+
+    from repro.orchestration import (
+        ResultStore, SweepDefinition, SweepRunner, load_sweep,
+    )
+
+    definition = load_sweep("sweeps/quick.toml")
+    with ResultStore("results/results.sqlite") as store:
+        report = SweepRunner(store, jobs=4).run(definition)
+    print(report.summary())
+"""
+
+from .config import ExperimentPlan, SweepDefinition, load_sweep
+from .registry import (
+    DEFAULT_REGISTRY,
+    ExperimentRegistry,
+    ExperimentSpec,
+    ParamSpec,
+    experiment_names,
+    get_experiment,
+    load_builtin_experiments,
+    register_experiment,
+)
+from .runner import CellOutcome, SweepCell, SweepReport, SweepRunner, expand_cells, print_progress
+from .store import ResultStore, StoredRun, canonical_params, param_hash
+
+__all__ = [
+    "ExperimentPlan",
+    "SweepDefinition",
+    "load_sweep",
+    "DEFAULT_REGISTRY",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "ParamSpec",
+    "experiment_names",
+    "get_experiment",
+    "load_builtin_experiments",
+    "register_experiment",
+    "CellOutcome",
+    "SweepCell",
+    "SweepReport",
+    "SweepRunner",
+    "expand_cells",
+    "print_progress",
+    "ResultStore",
+    "StoredRun",
+    "canonical_params",
+    "param_hash",
+]

@@ -1,0 +1,229 @@
+"""Declarative experiment registry.
+
+The registry is the single source of truth for "what experiments exist":
+the CLI builds its subcommands from it, the sweep runner resolves drivers
+through it (including inside worker processes, where callables cannot be
+pickled by name), and the report writer uses its descriptions.
+
+An :class:`ExperimentSpec` couples a name with a driver callable and a
+typed parameter specification derived from the driver's signature, so a
+sweep definition can be validated and grid-expanded *before* any cell
+runs.  Drivers register themselves at import time (see
+:mod:`repro.harness.experiments`); :func:`load_builtin_experiments`
+triggers that import lazily so this module stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "ParamSpec",
+    "ExperimentSpec",
+    "ExperimentRegistry",
+    "DEFAULT_REGISTRY",
+    "register_experiment",
+    "get_experiment",
+    "experiment_names",
+    "load_builtin_experiments",
+]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One sweepable parameter of an experiment driver."""
+
+    name: str
+    default: Any
+    #: True when the parameter itself is a sequence (e.g. ``ns``); a grid
+    #: entry for such a parameter must be a list of sequences, one per cell.
+    is_sequence: bool
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce one grid candidate to the driver's expected shape/type.
+
+        Sequence parameters are normalised to tuples so cells hash the same
+        whether the sweep file spelled them as lists or tuples; scalar
+        parameters adopt the default's type when a safe conversion exists
+        (TOML/JSON often deliver ints where the driver wants floats).
+        """
+        if self.is_sequence:
+            if not isinstance(value, (list, tuple)):
+                raise TypeError(
+                    f"parameter {self.name!r} expects a sequence per cell, got {value!r}"
+                )
+            return tuple(value)
+        if isinstance(self.default, enum.Enum) and not isinstance(value, enum.Enum):
+            return type(self.default)(value)
+        if isinstance(self.default, bool):
+            return bool(value)
+        if isinstance(self.default, float) and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        return value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named experiment: driver callable plus its parameter specification."""
+
+    name: str
+    driver: Callable[..., Any]
+    description: str
+    params: tuple[ParamSpec, ...] = ()
+
+    @classmethod
+    def from_callable(cls, name: str, driver: Callable[..., Any], description: str | None = None) -> "ExperimentSpec":
+        """Derive the parameter spec from the driver's signature.
+
+        Every keyword parameter with a default (except ``seed``, which the
+        orchestration layer owns) becomes sweepable.  Parameters without a
+        default are rejected: a registered driver must be runnable from its
+        name alone.
+        """
+        params: list[ParamSpec] = []
+        for param in inspect.signature(driver).parameters.values():
+            if param.name == "seed":
+                continue
+            if param.kind in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD):
+                continue
+            if param.default is inspect.Parameter.empty:
+                raise TypeError(
+                    f"driver {driver.__qualname__} for experiment {name!r} has a "
+                    f"parameter without default ({param.name!r}); registered drivers "
+                    "must be callable with only a seed"
+                )
+            params.append(
+                ParamSpec(
+                    name=param.name,
+                    default=param.default,
+                    is_sequence=isinstance(param.default, (list, tuple)),
+                )
+            )
+        if description is None:
+            doc = inspect.getdoc(driver) or name
+            description = doc.splitlines()[0]
+        return cls(name=name, driver=driver, description=description, params=tuple(params))
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def param(self, name: str) -> ParamSpec:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        raise KeyError(
+            f"experiment {self.name!r} has no parameter {name!r} "
+            f"(valid: {', '.join(self.param_names) or 'none'})"
+        )
+
+    def validate_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Check names and coerce values of one concrete parameter binding."""
+        return {name: self.param(name).coerce(value) for name, value in params.items()}
+
+    def expand_grid(self, grid: Mapping[str, Any]) -> list[dict[str, Any]]:
+        """Expand a parameter grid into concrete per-cell parameter dicts.
+
+        Each grid entry maps a parameter name to a list of candidate values
+        (the cartesian product over parameters yields the cells).  Two
+        shorthands keep sweep files readable:
+
+        * a scalar entry stands for a single candidate, and
+        * for sequence parameters (``ns``, ``deltas``, ...) a flat list of
+          scalars is a *single* candidate (the sweep vector itself); use a
+          list of lists to sweep over several vectors.
+        """
+        axes: list[tuple[str, list[Any]]] = []
+        for name in sorted(grid):
+            spec = self.param(name)
+            raw = grid[name]
+            if spec.is_sequence:
+                if isinstance(raw, (list, tuple)) and raw and all(
+                    isinstance(v, (list, tuple)) for v in raw
+                ):
+                    candidates = list(raw)
+                else:
+                    candidates = [raw]
+            else:
+                candidates = list(raw) if isinstance(raw, (list, tuple)) else [raw]
+            if not candidates:
+                raise ValueError(f"grid entry for {name!r} is empty")
+            axes.append((name, [spec.coerce(v) for v in candidates]))
+        if not axes:
+            return [{}]
+        names = [name for name, _ in axes]
+        return [dict(zip(names, combo)) for combo in itertools.product(*(vals for _, vals in axes))]
+
+
+class ExperimentRegistry:
+    """Name -> :class:`ExperimentSpec` mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ExperimentSpec] = {}
+
+    def register(self, name: str, driver: Callable[..., Any] | None = None, *, description: str | None = None):
+        """Register a driver under ``name``; usable directly or as a decorator."""
+
+        def _register(fn: Callable[..., Any]) -> Callable[..., Any]:
+            if name in self._specs and self._specs[name].driver is not fn:
+                raise ValueError(f"experiment {name!r} is already registered")
+            self._specs[name] = ExperimentSpec.from_callable(name, fn, description)
+            return fn
+
+        if driver is None:
+            return _register
+        _register(driver)
+        return driver
+
+    def get(self, name: str) -> ExperimentSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "none registered"
+            raise KeyError(f"unknown experiment {name!r} (known: {known})") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The process-wide registry the CLI, runner, and benchmarks share.
+DEFAULT_REGISTRY = ExperimentRegistry()
+
+
+def register_experiment(name: str, driver: Callable[..., Any] | None = None, *, description: str | None = None):
+    """Register an experiment on the default registry (decorator-friendly)."""
+    return DEFAULT_REGISTRY.register(name, driver, description=description)
+
+
+def load_builtin_experiments() -> ExperimentRegistry:
+    """Import the harness drivers so their registrations run, then return the registry.
+
+    Worker processes of a parallel sweep call this before resolving a driver
+    by name; in the parent it is effectively a no-op after the first call.
+    """
+    from ..harness import experiments  # noqa: F401  (import triggers registration)
+
+    return DEFAULT_REGISTRY
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Resolve ``name`` against the default registry, loading builtins first."""
+    return load_builtin_experiments().get(name)
+
+
+def experiment_names() -> list[str]:
+    """Names of all registered experiments (builtins included)."""
+    return load_builtin_experiments().names()

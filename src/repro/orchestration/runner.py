@@ -1,0 +1,290 @@
+"""Parallel sweep execution over a process pool.
+
+The runner expands a :class:`~repro.orchestration.config.SweepDefinition`
+into independent cells — one ``(experiment, params, seed)`` triple per grid
+point and repetition — and fans them out over
+:class:`concurrent.futures.ProcessPoolExecutor`.  Design invariants:
+
+* **Determinism.** Every cell's seed is derived in the parent from the
+  sweep's master seed via the existing :class:`~repro.simulator.rng.RngStream`
+  (``derive_seed`` under the hood), keyed on the experiment name, the
+  canonical parameter hash, and the repetition index.  A cell's output is a
+  pure function of its seed and parameters, so ``--jobs 1`` and ``--jobs 4``
+  produce bit-identical stores.
+* **Isolation.** A crashed cell records a ``failed`` row (with traceback)
+  in the store instead of killing the sweep; failed cells are retried on
+  the next invocation.
+* **Resume.** With ``skip_completed`` (the default), cells whose key
+  already has a successful row in the store are skipped without executing,
+  so re-running a finished sweep executes zero cells.
+
+Workers resolve drivers by *name* through the default registry (re-importing
+:mod:`repro.harness.experiments` on first use), so no callables cross the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..simulator.rng import RngStream
+from .config import SweepDefinition
+from .registry import ExperimentRegistry, load_builtin_experiments
+from .store import ResultStore, param_hash
+
+__all__ = ["SweepCell", "CellOutcome", "SweepReport", "SweepRunner", "expand_cells"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work."""
+
+    experiment: str
+    params: Mapping[str, Any]
+    param_hash: str
+    seed: int
+    rep: int
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.experiment, self.param_hash, self.seed)
+
+    def describe(self) -> str:
+        binding = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.experiment}({binding}) seed={self.seed}"
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What happened to one cell: executed ok, failed, or skipped."""
+
+    cell: SweepCell
+    status: str  # 'ok' | 'failed' | 'skipped'
+    duration_s: float = 0.0
+    error: str | None = None
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of one :meth:`SweepRunner.run` invocation."""
+
+    sweep: str
+    outcomes: list[CellOutcome] = field(default_factory=list)
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def executed(self) -> int:
+        return self.count("ok")
+
+    @property
+    def failed(self) -> int:
+        return self.count("failed")
+
+    @property
+    def skipped(self) -> int:
+        return self.count("skipped")
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def wall_time_s(self) -> float:
+        return sum(o.duration_s for o in self.outcomes)
+
+    def summary(self) -> str:
+        return (
+            f"sweep {self.sweep!r}: {self.total} cells — "
+            f"{self.executed} executed, {self.skipped} skipped, {self.failed} failed "
+            f"({self.wall_time_s:.1f}s cell time)"
+        )
+
+
+def expand_cells(
+    definition: SweepDefinition,
+    registry: ExperimentRegistry | None = None,
+) -> list[SweepCell]:
+    """Expand a sweep definition into its full, deterministic cell list.
+
+    Cell seeds depend only on (master seed, experiment, param hash, rep), so
+    adding an experiment to a sweep file never changes the seeds — and hence
+    the stored results — of the existing ones.
+    """
+    registry = registry if registry is not None else load_builtin_experiments()
+    stream = RngStream(definition.seed)
+    cells: list[SweepCell] = []
+    for plan in definition.plans:
+        spec = registry.get(plan.experiment)
+        reps = definition.repetitions_for(plan)
+        for params in spec.expand_grid(plan.grid):
+            digest = param_hash(params)
+            seeds = stream.seeds(reps, plan.experiment, digest)
+            for rep, seed in enumerate(seeds):
+                cells.append(
+                    SweepCell(
+                        experiment=plan.experiment,
+                        params=params,
+                        param_hash=digest,
+                        seed=int(seed),
+                        rep=rep,
+                    )
+                )
+    return cells
+
+
+def _execute_cell(experiment: str, params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Run one cell; never raises (crashes become a failure payload).
+
+    Module-level so the process pool can pickle it; drivers are resolved by
+    name inside the worker.
+    """
+    start = time.perf_counter()
+    try:
+        spec = load_builtin_experiments().get(experiment)
+        result = spec.driver(seed=seed, **dict(params))
+        return {"ok": True, "result": result, "duration_s": time.perf_counter() - start}
+    except Exception:  # KeyboardInterrupt/SystemExit propagate: a sweep must stay interruptible
+        return {
+            "ok": False,
+            "error": traceback.format_exc(),
+            "duration_s": time.perf_counter() - start,
+        }
+
+
+def _execute_cell_isolated(cell: "SweepCell") -> dict[str, Any]:
+    """Run one cell in a dedicated single-worker pool.
+
+    Used for cells caught in a pool breakage twice: in isolation, a worker
+    death can only be this cell's own doing, so the failure row it records
+    names the true culprit instead of an innocent batchmate.
+    """
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(_execute_cell, cell.experiment, dict(cell.params), cell.seed)
+        try:
+            return future.result()
+        except BrokenExecutor:
+            return {
+                "ok": False,
+                "error": "worker process died (pool broken) while executing this cell in isolation",
+                "duration_s": 0.0,
+            }
+        except Exception:
+            return {"ok": False, "error": traceback.format_exc(), "duration_s": 0.0}
+
+
+class SweepRunner:
+    """Fan a sweep's cells out over worker processes and persist every outcome."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        jobs: int = 1,
+        skip_completed: bool = True,
+        registry: ExperimentRegistry | None = None,
+        progress: Callable[[CellOutcome, int, int], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.store = store
+        self.jobs = jobs
+        self.skip_completed = skip_completed
+        self.registry = registry
+        self.progress = progress
+
+    def run(self, definition: SweepDefinition) -> SweepReport:
+        cells = expand_cells(definition, self.registry)
+        report = SweepReport(sweep=definition.name)
+        done_keys = self.store.completed_cells() if self.skip_completed else set()
+        todo: list[SweepCell] = []
+        for cell in cells:
+            if cell.key in done_keys:
+                report.outcomes.append(CellOutcome(cell=cell, status="skipped"))
+            else:
+                todo.append(cell)
+
+        emitted = len(report.outcomes)
+        for index, outcome in enumerate(report.outcomes, start=1):
+            self._emit(outcome, index, len(cells))
+
+        if todo:
+            if self.jobs == 1:
+                for cell in todo:
+                    payload = _execute_cell(cell.experiment, cell.params, cell.seed)
+                    emitted += 1
+                    self._record(report, cell, payload, emitted, len(cells))
+            else:
+                self._run_pool(report, todo, emitted, len(cells))
+        return report
+
+    def _run_pool(self, report: SweepReport, todo: Sequence[SweepCell], emitted: int, total: int) -> None:
+        # Load driver registrations before forking so workers inherit them
+        # and the fallback in-worker import only matters under spawn.
+        load_builtin_experiments()
+        queue = list(todo)
+        retried: set[tuple[str, str, int]] = set()
+        while queue:
+            # A dead worker (OOM-kill, segfault) breaks the whole pool: every
+            # in-flight future raises BrokenExecutor even though its cell never
+            # ran.  Those cells are requeued into a fresh pool once; a cell
+            # whose retry also breaks the pool is recorded as the culprit.
+            broken: list[SweepCell] = []
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(queue))) as pool:
+                pending = {
+                    pool.submit(_execute_cell, cell.experiment, dict(cell.params), cell.seed): cell
+                    for cell in queue
+                }
+                queue = []
+                while pending:
+                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        cell = pending.pop(future)
+                        try:
+                            payload = future.result()
+                        except BrokenExecutor:
+                            broken.append(cell)
+                            continue
+                        except Exception:
+                            payload = {
+                                "ok": False,
+                                "error": traceback.format_exc(),
+                                "duration_s": 0.0,
+                            }
+                        emitted += 1
+                        self._record(report, cell, payload, emitted, total)
+            for cell in broken:
+                if cell.key in retried:
+                    # Broken twice: run it alone in a single-worker pool so a
+                    # poison cell can only take itself down, never a batchmate.
+                    emitted += 1
+                    self._record(report, cell, _execute_cell_isolated(cell), emitted, total)
+                else:
+                    retried.add(cell.key)
+                    queue.append(cell)
+
+    def _record(self, report: SweepReport, cell: SweepCell, payload: Mapping[str, Any], index: int, total: int) -> None:
+        duration = float(payload.get("duration_s", 0.0))
+        if payload["ok"]:
+            self.store.record_result(cell.experiment, cell.params, cell.seed, payload["result"], duration)
+            outcome = CellOutcome(cell=cell, status="ok", duration_s=duration)
+        else:
+            self.store.record_failure(cell.experiment, cell.params, cell.seed, payload["error"], duration)
+            outcome = CellOutcome(cell=cell, status="failed", duration_s=duration, error=payload["error"])
+        report.outcomes.append(outcome)
+        self._emit(outcome, index, total)
+
+    def _emit(self, outcome: CellOutcome, index: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(outcome, index, total)
+
+
+def print_progress(outcome: CellOutcome, index: int, total: int) -> None:
+    """Default progress reporter: one line per finished/skipped cell."""
+    suffix = f"{outcome.duration_s:.2f}s" if outcome.status != "skipped" else "cached"
+    print(f"[{index}/{total}] {outcome.status:<7} {outcome.cell.describe()} ({suffix})", flush=True)

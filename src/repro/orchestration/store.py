@@ -1,0 +1,313 @@
+"""SQLite-backed persistence for experiment results.
+
+Every sweep cell — one ``(experiment, canonical parameter hash, seed)``
+triple — maps to exactly one row.  Rows, headers, and metadata of the
+:class:`~repro.harness.experiments.ExperimentResult` are stored as JSON so
+the store needs no schema migration when a driver adds a column; the
+UNIQUE key gives the sweep runner its skip-completed resume semantics and
+makes re-running a crashed cell an upsert rather than a duplicate.
+
+The store is written only from the sweep parent process (workers return
+results over the process pool), so a plain connection with the default
+isolation level is sufficient; WAL mode keeps concurrent readers (``drr-gossip
+results`` against a live sweep) from blocking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["ResultStore", "StoredRun", "canonical_params", "param_hash"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment  TEXT NOT NULL,
+    param_hash  TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    status      TEXT NOT NULL CHECK (status IN ('ok', 'failed')),
+    params      TEXT NOT NULL,
+    description TEXT NOT NULL DEFAULT '',
+    headers     TEXT NOT NULL DEFAULT '[]',
+    rows        TEXT NOT NULL DEFAULT '[]',
+    notes       TEXT NOT NULL DEFAULT '[]',
+    error       TEXT,
+    duration_s  REAL,
+    created_at  TEXT NOT NULL DEFAULT (datetime('now')),
+    UNIQUE (experiment, param_hash, seed)
+);
+CREATE INDEX IF NOT EXISTS idx_runs_experiment ON runs (experiment, status);
+"""
+
+
+def _json_default(value: Any) -> Any:
+    """Make NumPy scalars/arrays JSON-serialisable without float-ifying ints."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+def canonical_params(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Normalise a parameter dict so equal bindings canonicalise identically.
+
+    Tuples become lists (JSON has no tuple), NumPy scalars become native
+    numbers, and nested mappings are normalised recursively.  Key order is
+    irrelevant because the serialisation below sorts keys.
+    """
+
+    def norm(value: Any) -> Any:
+        if isinstance(value, Mapping):
+            return {str(k): norm(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [norm(v) for v in value]
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        return str(value)
+
+    return {str(k): norm(v) for k, v in params.items()}
+
+
+def param_hash(params: Mapping[str, Any]) -> str:
+    """Stable hex digest of a parameter binding, independent of dict order."""
+    canon = json.dumps(canonical_params(params), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One persisted sweep cell, decoded from its database row."""
+
+    id: int
+    experiment: str
+    param_hash: str
+    seed: int
+    status: str
+    params: dict[str, Any]
+    description: str
+    headers: list[str]
+    rows: list[dict[str, Any]]
+    notes: list[str]
+    error: str | None
+    duration_s: float | None
+    created_at: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "param_hash": self.param_hash,
+            "seed": self.seed,
+            "status": self.status,
+            "params": self.params,
+            "description": self.description,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+            "error": self.error,
+            "duration_s": self.duration_s,
+            "created_at": self.created_at,
+        }
+
+    def to_result(self):
+        """Rebuild the driver-level ExperimentResult for rendering/analysis."""
+        from ..harness.experiments import ExperimentResult  # lazy: avoid import cycle
+
+        return ExperimentResult(
+            experiment=self.experiment,
+            description=self.description,
+            headers=list(self.headers),
+            rows=[dict(row) for row in self.rows],
+            seed=self.seed,
+            parameters=dict(self.params),
+            notes=list(self.notes),
+        )
+
+
+class ResultStore:
+    """SQLite store keyed by ``(experiment, param_hash, seed)``."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if str(path) != ":memory:":
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(path))
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def record_result(self, experiment: str, params: Mapping[str, Any], seed: int, result, duration_s: float | None = None) -> str:
+        """Upsert a successful cell; returns the canonical parameter hash."""
+        canon = canonical_params(params)
+        digest = param_hash(canon)
+        self._conn.execute(
+            """
+            INSERT INTO runs (experiment, param_hash, seed, status, params, description,
+                              headers, rows, notes, error, duration_s)
+            VALUES (?, ?, ?, 'ok', ?, ?, ?, ?, ?, NULL, ?)
+            ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
+                status = 'ok', params = excluded.params, description = excluded.description,
+                headers = excluded.headers, rows = excluded.rows, notes = excluded.notes,
+                error = NULL, duration_s = excluded.duration_s,
+                created_at = datetime('now')
+            """,
+            (
+                experiment,
+                digest,
+                int(seed),
+                json.dumps(canon, sort_keys=True, default=_json_default),
+                result.description,
+                json.dumps(list(result.headers), default=_json_default),
+                json.dumps(list(result.rows), default=_json_default),
+                json.dumps(list(result.notes), default=_json_default),
+                duration_s,
+            ),
+        )
+        self._conn.commit()
+        return digest
+
+    def record_failure(self, experiment: str, params: Mapping[str, Any], seed: int, error: str, duration_s: float | None = None) -> str:
+        """Upsert a failed cell (crash traceback in ``error``)."""
+        canon = canonical_params(params)
+        digest = param_hash(canon)
+        self._conn.execute(
+            """
+            INSERT INTO runs (experiment, param_hash, seed, status, params, error, duration_s)
+            VALUES (?, ?, ?, 'failed', ?, ?, ?)
+            ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
+                status = 'failed', params = excluded.params, error = excluded.error,
+                headers = '[]', rows = '[]', notes = '[]',
+                duration_s = excluded.duration_s, created_at = datetime('now')
+            """,
+            (
+                experiment,
+                digest,
+                int(seed),
+                json.dumps(canon, sort_keys=True, default=_json_default),
+                error,
+                duration_s,
+            ),
+        )
+        self._conn.commit()
+        return digest
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+    def is_completed(self, experiment: str, params: Mapping[str, Any], seed: int) -> bool:
+        """True when the cell already has a successful row (failures retry)."""
+        row = self._conn.execute(
+            "SELECT 1 FROM runs WHERE experiment = ? AND param_hash = ? AND seed = ? AND status = 'ok'",
+            (experiment, param_hash(params), int(seed)),
+        ).fetchone()
+        return row is not None
+
+    def completed_cells(self) -> set[tuple[str, str, int]]:
+        """All ``(experiment, param_hash, seed)`` keys with a successful row."""
+        rows = self._conn.execute(
+            "SELECT experiment, param_hash, seed FROM runs WHERE status = 'ok'"
+        ).fetchall()
+        return {(r["experiment"], r["param_hash"], int(r["seed"])) for r in rows}
+
+    def query(self, experiment: str | None = None, status: str | None = None) -> list[StoredRun]:
+        """Fetch stored runs, optionally filtered, in insertion order."""
+        clauses, args = [], []
+        if experiment is not None:
+            clauses.append("experiment = ?")
+            args.append(experiment)
+        if status is not None:
+            clauses.append("status = ?")
+            args.append(status)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._conn.execute(
+            f"SELECT * FROM runs {where} ORDER BY experiment, param_hash, seed", args
+        ).fetchall()
+        return [self._decode(row) for row in rows]
+
+    def get(self, experiment: str, params: Mapping[str, Any], seed: int) -> StoredRun | None:
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE experiment = ? AND param_hash = ? AND seed = ?",
+            (experiment, param_hash(params), int(seed)),
+        ).fetchone()
+        return self._decode(row) if row is not None else None
+
+    def results(self, experiment: str | None = None) -> list:
+        """Successful runs rebuilt as ExperimentResult objects."""
+        return [run.to_result() for run in self.query(experiment=experiment, status="ok")]
+
+    def summary(self) -> list[dict[str, Any]]:
+        """Per-experiment counts of completed/failed cells and total runtime."""
+        rows = self._conn.execute(
+            """
+            SELECT experiment,
+                   SUM(status = 'ok') AS completed,
+                   SUM(status = 'failed') AS failed,
+                   SUM(COALESCE(duration_s, 0)) AS total_duration_s
+            FROM runs GROUP BY experiment ORDER BY experiment
+            """
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def export_json(self, path: str | Path, experiment: str | None = None) -> Path:
+        """Dump stored runs (all statuses) to one JSON document."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = [run.as_dict() for run in self.query(experiment=experiment)]
+        path.write_text(json.dumps(payload, indent=2, default=_json_default) + "\n")
+        return path
+
+    def __len__(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _decode(self, row: sqlite3.Row) -> StoredRun:
+        return StoredRun(
+            id=int(row["id"]),
+            experiment=row["experiment"],
+            param_hash=row["param_hash"],
+            seed=int(row["seed"]),
+            status=row["status"],
+            params=json.loads(row["params"]),
+            description=row["description"],
+            headers=json.loads(row["headers"]),
+            rows=json.loads(row["rows"]),
+            notes=json.loads(row["notes"]),
+            error=row["error"],
+            duration_s=row["duration_s"],
+            created_at=row["created_at"],
+        )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.path)!r}, runs={len(self)})"

@@ -10,6 +10,7 @@ streams never overlap.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -52,16 +53,30 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
+def _stable_label_hash(label: str) -> int:
+    """A 48-bit hash of a string label that is stable across processes.
+
+    Python's builtin ``hash`` is salted per interpreter process (PEP 456),
+    which would make derived seeds differ between runs and between the
+    parent and spawned workers of a parallel sweep.  The orchestration
+    layer keys its result store on derived seeds, so label hashing must be
+    a pure function of the label.
+    """
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=6).digest()
+    return int.from_bytes(digest, "big")
+
+
 def derive_seed(seed: int, *labels: int | str) -> int:
     """Deterministically derive a sub-seed from a base seed and labels.
 
     Used by sweep drivers so that (seed, n, repetition) always maps to the
-    same stream regardless of execution order or parallelisation.
+    same stream regardless of execution order, parallelisation, or which
+    interpreter process performs the derivation.
     """
     mix = np.uint64(seed ^ 0x9E3779B97F4A7C15)
     for label in labels:
         if isinstance(label, str):
-            label_value = np.uint64(abs(hash(label)) & 0xFFFFFFFFFFFF)
+            label_value = np.uint64(_stable_label_hash(label))
         else:
             label_value = np.uint64(int(label) & 0xFFFFFFFFFFFFFFFF)
         mix = np.uint64((int(mix) * 6364136223846793005 + int(label_value) + 1442695040888963407) % 2**64)

@@ -14,7 +14,7 @@ from repro.core import (
     run_gossip_ave,
     run_gossip_max,
 )
-from repro.core.drr_gossip import DRRGossipConfig, _broadcast_root_addresses
+from repro.core.drr_gossip import DRRGossipConfig, broadcast_root_addresses
 from repro.simulator import FailureModel, MetricsCollector
 
 
@@ -28,7 +28,7 @@ def make_phase3_inputs(n=512, seed=31, delta=0.0, value_scale=100.0):
     cov_max = run_convergecast(drr, values, op="max", failure_model=fm, rng=rng)
     cov_sum = run_convergecast(drr, values, op="sum", failure_model=fm, rng=rng)
     metrics = MetricsCollector(n=n)
-    root_of = _broadcast_root_addresses(drr, roots, rng, DRRGossipConfig(failure_model=fm), metrics)
+    root_of = broadcast_root_addresses(drr, roots, rng, DRRGossipConfig(failure_model=fm), metrics)
     return dict(
         n=n,
         rng=rng,
