@@ -1,35 +1,119 @@
-"""Micro-benchmarks of the substrate itself (engine, DRR fast path, push-sum).
+"""Benchmarks and CI smoke checks of the execution substrate.
 
-These are not paper experiments; they track the wall-clock cost of the
-building blocks so performance regressions in the simulator show up in the
-benchmark history (the usual pytest-benchmark use case).
+Two uses:
+
+* Under pytest-benchmark (``pytest benchmarks/bench_substrate.py``) it
+  tracks the wall-clock cost of the substrate building blocks so
+  performance regressions show up in the benchmark history.
+* As a script (``python benchmarks/bench_substrate.py``) it runs the CI
+  smoke comparison: the vectorized kernel must beat the message-level
+  engine by at least ``--min-speedup`` (default 5x) on uniform gossip at
+  ``--n`` (default 10^5) nodes, and with ``--scale`` a full
+  ``drr_gossip_average`` run must complete at 10^6 nodes under the
+  vectorized backend.  Exit status is non-zero when either bar is missed.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+import time
+
 import numpy as np
 
 from repro.baselines import push_sum
-from repro.core import run_drr, run_drr_engine
+from repro.core import DRRGossipConfig, drr_gossip_average, run_drr
 from repro.harness import make_values
 
 
-def test_bench_drr_fast_path(benchmark):
+# --------------------------------------------------------------------------- #
+# pytest-benchmark micro-benchmarks
+# --------------------------------------------------------------------------- #
+def test_bench_drr_vectorized(benchmark):
     benchmark(run_drr, 4096, rng=1)
 
 
-def test_bench_drr_engine_path(benchmark):
-    benchmark(run_drr_engine, 512, rng=1)
+def test_bench_drr_engine(benchmark):
+    benchmark(run_drr, 512, rng=1, backend="engine")
 
 
-def test_bench_push_sum(benchmark):
+def test_bench_push_sum_vectorized(benchmark):
     values = make_values("uniform", 4096, np.random.default_rng(0))
     benchmark(push_sum, values, rng=2)
 
 
-def test_bench_full_average_pipeline(benchmark):
-    from repro.core import drr_gossip_average
+def test_bench_push_sum_engine(benchmark):
+    values = make_values("uniform", 1024, np.random.default_rng(0))
+    benchmark(push_sum, values, rng=2, backend="engine")
 
+
+def test_bench_full_average_pipeline(benchmark):
     values = make_values("normal", 2048, np.random.default_rng(0))
     result = benchmark(drr_gossip_average, values, rng=3)
     assert result.max_relative_error < 1e-2
+
+
+# --------------------------------------------------------------------------- #
+# CI smoke mode
+# --------------------------------------------------------------------------- #
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def smoke_speedup(n: int, rounds: int, min_speedup: float) -> bool:
+    """Vectorized vs engine on uniform gossip (push-sum), same seed and rounds."""
+    values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
+    vectorized_s = _time(lambda: push_sum(values, rng=1, rounds=rounds))
+    engine_s = _time(lambda: push_sum(values, rng=1, rounds=rounds, backend="engine"))
+    speedup = engine_s / max(vectorized_s, 1e-9)
+    print(
+        f"uniform gossip, n={n}, rounds={rounds}: "
+        f"vectorized {vectorized_s:.3f}s, engine {engine_s:.3f}s -> {speedup:.1f}x"
+    )
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below the required {min_speedup:g}x")
+        return False
+    print(f"OK: vectorized backend wins by >= {min_speedup:g}x")
+    return True
+
+
+def smoke_scale(n: int) -> bool:
+    """A full DRR-gossip-average run must complete at scale, vectorized."""
+    values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
+    start = time.perf_counter()
+    result = drr_gossip_average(values, rng=1, config=DRRGossipConfig(backend="vectorized"))
+    elapsed = time.perf_counter() - start
+    print(
+        f"drr_gossip_average, n={n}: {elapsed:.1f}s, rounds={result.rounds}, "
+        f"messages={result.messages}, max_rel_error={result.max_relative_error:.2e}, "
+        f"coverage={result.coverage:.3f}"
+    )
+    if not (result.coverage == 1.0 and result.max_relative_error < 1e-3):
+        print("FAIL: scale run did not converge")
+        return False
+    print("OK: full pipeline completes at scale under the vectorized backend")
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=100_000, help="nodes for the speedup comparison")
+    parser.add_argument("--rounds", type=int, default=5, help="gossip rounds for the comparison")
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--scale", action="store_true",
+        help="also run the 10^6-node drr_gossip_average completion check",
+    )
+    parser.add_argument("--scale-n", type=int, default=1_000_000)
+    args = parser.parse_args(argv)
+
+    ok = smoke_speedup(args.n, args.rounds, args.min_speedup)
+    if args.scale:
+        ok = smoke_scale(args.scale_n) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

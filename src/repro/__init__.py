@@ -33,10 +33,10 @@ from .core import (
     drr_gossip_sum,
     exact_aggregate,
     run_drr,
-    run_drr_engine,
     run_local_drr,
 )
 from .simulator import FailureModel, MetricsCollector, make_rng
+from .substrate import available_backends, get_kernel
 
 __version__ = "1.0.0"
 
@@ -55,10 +55,11 @@ __all__ = [
     "drr_gossip_sum",
     "exact_aggregate",
     "run_drr",
-    "run_drr_engine",
     "run_local_drr",
     "FailureModel",
     "MetricsCollector",
     "make_rng",
+    "available_backends",
+    "get_kernel",
     "__version__",
 ]

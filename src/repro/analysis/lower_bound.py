@@ -35,7 +35,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..simulator.metrics import MetricsCollector
 from ..simulator.rng import make_rng
 
 __all__ = ["AdversarialSpreadResult", "adversarial_push_max_messages", "knowledge_spread_after"]

@@ -1,8 +1,19 @@
-"""Baseline protocols the paper compares DRR-gossip against."""
+"""Baseline protocols the paper compares DRR-gossip against.
+
+Every baseline runs on the backend-selectable execution substrate: pass
+``backend="vectorized"`` (default, columnar batches) or ``backend="engine"``
+(message-level simulation) to any of the entry points.
+"""
 
 from .efficient_gossip import EfficientGossipResult, efficient_gossip
-from .flooding import FloodingResult, flood_max
-from .rumor_spreading import RumorResult, push_pull_rumor, push_rumor
+from .flooding import FloodingResult, FloodNode, flood_max
+from .rumor_spreading import (
+    PushPullRumorNode,
+    PushRumorNode,
+    RumorResult,
+    push_pull_rumor,
+    push_rumor,
+)
 from .uniform_gossip import (
     PushMaxNode,
     PushSumNode,
@@ -10,15 +21,17 @@ from .uniform_gossip import (
     default_push_rounds,
     push_max,
     push_sum,
-    push_sum_engine,
 )
 
 __all__ = [
     "EfficientGossipResult",
     "efficient_gossip",
     "FloodingResult",
+    "FloodNode",
     "flood_max",
     "RumorResult",
+    "PushPullRumorNode",
+    "PushRumorNode",
     "push_pull_rumor",
     "push_rumor",
     "PushMaxNode",
@@ -27,5 +40,4 @@ __all__ = [
     "default_push_rounds",
     "push_max",
     "push_sum",
-    "push_sum_engine",
 ]

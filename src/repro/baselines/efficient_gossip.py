@@ -33,6 +33,17 @@ same structure and the same asymptotic accounting:
 The measured rows reproduce Kashyap et al.'s complexity *shape* -- which is
 what Table 1 compares -- not their exact constants.  DESIGN.md lists this as
 substitution S1.
+
+Backends
+--------
+The protocol's stage *structure* (leader election, the grouping loop with
+its break condition, straggler promotion, round padding) is driver-level
+bookkeeping shared by both backends; only the message exchange inside each
+stage differs.  The ``vectorized`` backend batches each stage's messages as
+arrays; the ``engine`` backend runs one message-level engine execution per
+stage (probe/reply nodes, star convergecast, leader gossip, dissemination).
+Both consume the RNG stream identically on reliable networks and therefore
+produce identical groups, estimates, rounds, and message counts there.
 """
 
 from __future__ import annotations
@@ -43,9 +54,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..simulator.failures import FailureModel
-from ..simulator.message import MessageKind
+from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
+from ..simulator.node import PassiveNode, ProtocolNode, RoundContext
 from ..simulator.rng import make_rng
+from ..substrate import get_kernel, normalize_backend
 from ..core.aggregates import Aggregate, exact_aggregate
 
 __all__ = ["EfficientGossipResult", "efficient_gossip"]
@@ -79,6 +92,197 @@ class EfficientGossipResult:
         return bool(finite.any()) and bool(np.all(self.estimates[finite] == self.exact))
 
 
+# --------------------------------------------------------------------------- #
+# engine-stage node machines
+# --------------------------------------------------------------------------- #
+class _PaddedNode(ProtocolNode):
+    """Base for stage nodes: acts early, then idles out the padded rounds."""
+
+    def __init__(self, node_id: int, pad_rounds: int) -> None:
+        super().__init__(node_id)
+        self.pad_rounds = int(pad_rounds)
+        self._rounds_seen = -1
+
+    def begin_round(self, ctx: RoundContext) -> list[Send]:
+        self._rounds_seen = ctx.round_index
+        return self.act(ctx)
+
+    def act(self, ctx: RoundContext) -> list[Send]:  # pragma: no cover - overridden
+        return []
+
+    def is_complete(self) -> bool:
+        return self._rounds_seen >= self.pad_rounds - 1
+
+
+class _GroupProbeNode(_PaddedNode):
+    """One grouping stage: unattached nodes probe for an attached node."""
+
+    def __init__(self, node_id: int, group: int, pending: bool, pad_rounds: int) -> None:
+        super().__init__(node_id, pad_rounds)
+        self.group = int(group)
+        self.pending = bool(pending)
+        self.joined = -1
+
+    def act(self, ctx: RoundContext) -> list[Send]:
+        if self.pending and ctx.round_index == 0:
+            return [
+                Send(
+                    recipient=ctx.random_node(),
+                    kind=MessageKind.PROBE,
+                    payload={"origin": self.node_id},
+                    payload_words=1,
+                )
+            ]
+        return []
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        replies: list[Send] = []
+        for message in messages:
+            if message.kind == MessageKind.PROBE.value and self.group >= 0:
+                replies.append(
+                    Send(
+                        recipient=int(message.get("origin")),
+                        kind=MessageKind.DATA,
+                        payload={"group": self.group},
+                        payload_words=1,
+                    )
+                )
+            elif message.kind == MessageKind.DATA.value and self.joined < 0:
+                self.joined = int(message.get("group"))
+        return replies
+
+
+class _StarAggregateNode(_PaddedNode):
+    """Stage 2: members report to their leader; leaders accumulate."""
+
+    def __init__(
+        self, node_id: int, value: float, leader: int | None, is_leader: bool, pad_rounds: int
+    ) -> None:
+        super().__init__(node_id, pad_rounds)
+        self.value = float(value)
+        self.leader = leader
+        self.is_leader = is_leader
+        self.acc_sum = float(value) if is_leader else 0.0
+        self.acc_cnt = 1.0 if is_leader else 0.0
+        self.acc_max = float(value) if is_leader else -np.inf
+        self.acc_min = float(value) if is_leader else np.inf
+
+    def act(self, ctx: RoundContext) -> list[Send]:
+        if self.leader is not None and ctx.round_index == 0:
+            return [
+                Send(
+                    recipient=self.leader,
+                    kind=MessageKind.CONVERGECAST,
+                    payload={"value": self.value},
+                    payload_words=2,
+                )
+            ]
+        return []
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        for message in messages:
+            if message.kind == MessageKind.CONVERGECAST.value:
+                value = float(message.get("value"))
+                self.acc_sum += value
+                self.acc_cnt += 1.0
+                self.acc_max = max(self.acc_max, value)
+                self.acc_min = min(self.acc_min, value)
+        return []
+
+
+class _LeaderGossipNode(ProtocolNode):
+    """Stage 3: uniform gossip among the leaders (push-sum or push-max).
+
+    Targets are drawn from leader-*position* space and mapped through the
+    shared ``leader_idx`` array, matching the vectorized batch draw.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        leader_idx: np.ndarray,
+        mode: str,
+        s: float,
+        w: float,
+        rounds: int,
+    ) -> None:
+        super().__init__(node_id)
+        self.leader_idx = leader_idx
+        self.mode = mode  # 'sum' or 'max'
+        self.s = float(s)
+        self.w = float(w)
+        self.rounds = int(rounds)
+        self.rounds_done = 0
+
+    def begin_round(self, ctx: RoundContext) -> list[Send]:
+        if self.rounds_done >= self.rounds:
+            return []
+        self.rounds_done += 1
+        target = int(self.leader_idx[int(ctx.rng.integers(0, self.leader_idx.size))])
+        if self.mode == "max":
+            return [
+                Send(recipient=target, kind=MessageKind.PUSH, payload={"v": self.s}, payload_words=1)
+            ]
+        send_s, send_w = self.s / 2.0, self.w / 2.0
+        self.s -= send_s
+        self.w -= send_w
+        return [
+            Send(
+                recipient=target,
+                kind=MessageKind.PUSH,
+                payload={"s": send_s, "w": send_w},
+                payload_words=2,
+            )
+        ]
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        for message in messages:
+            if message.kind != MessageKind.PUSH.value:
+                continue
+            if self.mode == "max":
+                self.s = max(self.s, float(message.get("v")))
+            else:
+                self.s += float(message.get("s"))
+                self.w += float(message.get("w"))
+        return []
+
+    def is_complete(self) -> bool:
+        return self.rounds_done >= self.rounds
+
+
+class _DisseminateNode(_PaddedNode):
+    """Stage 4: leaders broadcast the answer to their group members."""
+
+    def __init__(
+        self, node_id: int, estimate: float, members: list[int], pad_rounds: int
+    ) -> None:
+        super().__init__(node_id, pad_rounds)
+        self.estimate = estimate
+        self.members = members
+        self.calls_per_round = max(1, len(members))
+
+    def act(self, ctx: RoundContext) -> list[Send]:
+        if self.members and ctx.round_index == 0:
+            return [
+                Send(
+                    recipient=member,
+                    kind=MessageKind.BROADCAST,
+                    payload={"value": self.estimate},
+                    payload_words=1,
+                )
+            for member in self.members]
+        return []
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        for message in messages:
+            if message.kind == MessageKind.BROADCAST.value:
+                self.estimate = float(message.get("value"))
+        return []
+
+
+# --------------------------------------------------------------------------- #
+# the protocol
+# --------------------------------------------------------------------------- #
 def efficient_gossip(
     values: np.ndarray,
     aggregate: Aggregate | str = Aggregate.AVERAGE,
@@ -86,6 +290,7 @@ def efficient_gossip(
     failure_model: FailureModel | None = None,
     metrics: MetricsCollector | None = None,
     leader_probability: float | None = None,
+    backend: str = "vectorized",
 ) -> EfficientGossipResult:
     """Run the Kashyap-style cluster-then-gossip baseline.
 
@@ -100,9 +305,12 @@ def efficient_gossip(
     rng = make_rng(rng)
     failure_model = failure_model or FailureModel()
     metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    engine = normalize_backend(backend) == "engine"
+    kernel = get_kernel(backend)
 
     log_n = max(1.0, math.log2(max(2, n)))
     loglog_n = max(1, int(math.ceil(math.log2(log_n))))
+    pad = int(math.ceil(log_n))
     p_leader = leader_probability if leader_probability is not None else 1.0 / log_n
 
     alive = ~failure_model.sample_crashes(n, rng)
@@ -126,22 +334,47 @@ def efficient_gossip(
     for _stage in range(loglog_n + 4):
         if int(unattached.sum()) <= max(1, int(n / log_n)) // 4:
             break
-        # Each stage is padded to Theta(log n) rounds -- the stage length of
-        # the original protocol -- even though our probe itself is one round.
-        metrics.record_round(int(math.ceil(log_n)))
         pending = np.flatnonzero(unattached)
-        if pending.size == 0:
-            continue
-        probes = rng.integers(0, n, size=pending.size)
-        metrics.record_messages(MessageKind.PROBE, pending.size, payload_words=1)
-        probe_ok = ~failure_model.sample_losses(pending.size, rng) & alive[probes]
-        # A probe succeeds when it lands on a node that already belongs to a
-        # group (leader or member); the prober joins that group.
-        target_group = group_of[probes]
-        joins = probe_ok & (target_group >= 0)
-        metrics.record_messages(MessageKind.DATA, int(joins.sum()), payload_words=1)
-        group_of[pending[joins]] = target_group[joins]
-        unattached[pending[joins]] = False
+        if engine:
+            nodes = [
+                _GroupProbeNode(i, int(group_of[i]), bool(unattached[i]), pad) for i in range(n)
+            ]
+            kernel.run(
+                nodes,
+                rng=rng,
+                metrics=metrics,
+                failure_model=failure_model,
+                alive=alive,
+                max_substeps=3,
+                max_rounds=pad,
+                strict=False,
+            )
+            joined = np.array([nodes[i].joined for i in pending], dtype=np.int64)
+            accepted = joined >= 0
+            group_of[pending[accepted]] = joined[accepted]
+            unattached[pending[accepted]] = False
+        else:
+            # Each stage is padded to Theta(log n) rounds -- the stage length
+            # of the original protocol -- even though the probe itself is one
+            # round.
+            metrics.record_round(pad)
+            if pending.size == 0:
+                continue
+            probes = kernel.sample_uniform(rng, n, pending.size)
+            probe_ok = kernel.deliver(
+                metrics, failure_model, rng, MessageKind.PROBE, probes, alive=alive
+            )
+            # A probe succeeds when it lands on a node that already belongs to
+            # a group (leader or member) and the reply survives; the prober
+            # joins that group.
+            target_group = group_of[probes]
+            joins = probe_ok & (target_group >= 0)
+            reply_ok = kernel.deliver(
+                metrics, failure_model, rng, MessageKind.DATA, pending[joins], alive=alive
+            )
+            joined = pending[joins][reply_ok]
+            group_of[joined] = target_group[joins][reply_ok]
+            unattached[joined] = False
     # Still-unattached nodes become singleton leaders.
     stragglers = np.flatnonzero(unattached)
     group_of[stragglers] = stragglers
@@ -157,21 +390,52 @@ def efficient_gossip(
     metrics.begin_phase("group-aggregate")
     members = alive & ~leaders
     member_ids = np.flatnonzero(members)
-    metrics.record_messages(MessageKind.CONVERGECAST, member_ids.size, payload_words=2)
-    member_ok = ~failure_model.sample_losses(member_ids.size, rng)
-    metrics.record_round(int(math.ceil(log_n)))
 
     group_sum = np.zeros(n, dtype=float)
     group_cnt = np.zeros(n, dtype=float)
     group_max = np.full(n, -np.inf, dtype=float)
-    for i in leader_idx:
-        group_sum[i] = values[i]
-        group_cnt[i] = 1.0
-        group_max[i] = values[i]
-    received = member_ids[member_ok]
-    np.add.at(group_sum, group_of[received], values[received])
-    np.add.at(group_cnt, group_of[received], 1.0)
-    np.maximum.at(group_max, group_of[received], values[received])
+    group_min = np.full(n, np.inf, dtype=float)
+    if engine:
+        nodes = [
+            _StarAggregateNode(
+                i,
+                float(values[i]),
+                leader=(int(group_of[i]) if members[i] else None),
+                is_leader=bool(leaders[i]),
+                pad_rounds=pad,
+            )
+            for i in range(n)
+        ]
+        kernel.run(
+            nodes,
+            rng=rng,
+            metrics=metrics,
+            failure_model=failure_model,
+            alive=alive,
+            max_substeps=2,
+            max_rounds=pad,
+            strict=False,
+        )
+        for i in leader_idx:
+            node = nodes[int(i)]
+            group_sum[i], group_cnt[i] = node.acc_sum, node.acc_cnt
+            group_max[i], group_min[i] = node.acc_max, node.acc_min
+    else:
+        member_ok = kernel.deliver(
+            metrics, failure_model, rng, MessageKind.CONVERGECAST, group_of[member_ids],
+            alive=alive, payload_words=2,
+        )
+        metrics.record_round(pad)
+        for i in leader_idx:
+            group_sum[i] = values[i]
+            group_cnt[i] = 1.0
+            group_max[i] = values[i]
+            group_min[i] = values[i]
+        received = member_ids[member_ok]
+        np.add.at(group_sum, group_of[received], values[received])
+        np.add.at(group_cnt, group_of[received], 1.0)
+        np.maximum.at(group_max, group_of[received], values[received])
+        np.minimum.at(group_min, group_of[received], values[received])
 
     # ------------------------------------------------------------------ #
     # stage 3: gossip among leaders (O(n) messages, O(log n) rounds)
@@ -182,21 +446,49 @@ def efficient_gossip(
     # O(log m + log 1/eps) rounds; epsilon = 1/n keeps the Average accurate
     # far beyond what the comparison needs.
     gossip_rounds = int(math.ceil(2 * math.log2(max(2, m)) + math.log2(max(2, n)) / 2 + 8))
-    if aggregate in (Aggregate.MAX, Aggregate.MIN):
-        # Gossip the extremum among leaders; MIN is MAX on negated values.
-        if aggregate == Aggregate.MAX:
-            current = group_max[leader_idx].copy()
+    extremum = aggregate in (Aggregate.MAX, Aggregate.MIN)
+    if extremum:
+        start = group_max if aggregate == Aggregate.MAX else -group_min
+    if engine:
+        mode = "max" if extremum else "sum"
+        nodes = [
+            _LeaderGossipNode(
+                int(i),
+                leader_idx,
+                mode,
+                s=(float(start[i]) if extremum else float(group_sum[i])),
+                w=(1.0 if extremum else max(float(group_cnt[i]), 1e-12)),
+                rounds=gossip_rounds,
+            )
+            if leaders[i]
+            else PassiveNode(int(i))
+            for i in range(n)
+        ]
+        kernel.run(
+            nodes,
+            rng=rng,
+            metrics=metrics,
+            failure_model=failure_model,
+            alive=alive,
+            max_substeps=2,
+            max_rounds=gossip_rounds + 4,
+        )
+        if extremum:
+            current = np.array([nodes[int(i)].s for i in leader_idx], dtype=float)
+            leader_estimate = current if aggregate == Aggregate.MAX else -current
         else:
-            group_min = np.full(n, np.inf, dtype=float)
-            for i in leader_idx:
-                group_min[i] = values[i]
-            np.minimum.at(group_min, group_of[received], values[received])
-            current = -group_min[leader_idx]
+            s = np.array([nodes[int(i)].s for i in leader_idx], dtype=float)
+            w = np.array([nodes[int(i)].w for i in leader_idx], dtype=float)
+            leader_estimate = np.where(w > 0, s / np.where(w > 0, w, 1.0), np.nan)
+    elif extremum:
+        # Gossip the extremum among leaders; MIN is MAX on negated values.
+        current = start[leader_idx].copy()
         for _ in range(gossip_rounds):
             metrics.record_round()
             targets = rng.integers(0, m, size=m)
-            metrics.record_messages(MessageKind.PUSH, m, payload_words=1)
-            delivered = ~failure_model.sample_losses(m, rng)
+            delivered = kernel.deliver(
+                metrics, failure_model, rng, MessageKind.PUSH, leader_idx[targets], alive=alive
+            )
             np.maximum.at(current, targets[delivered], current[delivered])
         leader_estimate = current if aggregate == Aggregate.MAX else -current
     else:
@@ -206,11 +498,13 @@ def efficient_gossip(
         for _ in range(gossip_rounds):
             metrics.record_round()
             targets = rng.integers(0, m, size=m)
-            metrics.record_messages(MessageKind.PUSH, m, payload_words=2)
             send_s, send_w = s / 2.0, w / 2.0
             s -= send_s
             w -= send_w
-            delivered = ~failure_model.sample_losses(m, rng)
+            delivered = kernel.deliver(
+                metrics, failure_model, rng, MessageKind.PUSH, leader_idx[targets],
+                alive=alive, payload_words=2,
+            )
             np.add.at(s, targets[delivered], send_s[delivered])
             np.add.at(w, targets[delivered], send_w[delivered])
         leader_estimate = np.where(w > 0, s / np.where(w > 0, w, 1.0), np.nan)
@@ -221,12 +515,40 @@ def efficient_gossip(
     metrics.begin_phase("dissemination")
     estimates = np.full(n, np.nan, dtype=float)
     estimates[leader_idx] = leader_estimate
-    metrics.record_messages(MessageKind.BROADCAST, member_ids.size, payload_words=1)
-    broadcast_ok = ~failure_model.sample_losses(member_ids.size, rng)
-    reached = member_ids[broadcast_ok]
-    leader_pos = {int(l): i for i, l in enumerate(leader_idx)}
-    estimates[reached] = leader_estimate[[leader_pos[int(g)] for g in group_of[reached]]]
-    metrics.record_round(int(math.ceil(log_n)))
+    if engine:
+        members_of: dict[int, list[int]] = {int(i): [] for i in leader_idx}
+        for member in member_ids:
+            members_of[int(group_of[member])].append(int(member))
+        nodes = [
+            _DisseminateNode(
+                int(i),
+                float(estimates[i]) if leaders[i] else np.nan,
+                members_of.get(int(i), []),
+                pad,
+            )
+            for i in range(n)
+        ]
+        kernel.run(
+            nodes,
+            rng=rng,
+            metrics=metrics,
+            failure_model=failure_model,
+            alive=alive,
+            max_substeps=2,
+            max_rounds=pad,
+            strict=False,
+            enforce_call_budget=False,
+        )
+        for member in member_ids:
+            estimates[member] = nodes[int(member)].estimate
+    else:
+        broadcast_ok = kernel.deliver(
+            metrics, failure_model, rng, MessageKind.BROADCAST, member_ids, alive=alive
+        )
+        reached = member_ids[broadcast_ok]
+        leader_pos = {int(leader): i for i, leader in enumerate(leader_idx)}
+        estimates[reached] = leader_estimate[[leader_pos[int(g)] for g in group_of[reached]]]
+        metrics.record_round(pad)
 
     if aggregate in (Aggregate.MAX, Aggregate.MIN):
         exact = exact_aggregate(aggregate, values[alive])

@@ -16,9 +16,12 @@ Both are *address-oblivious*: the decision to send never depends on the
 partner's address, which is exactly the class the Section 5 lower bound says
 cannot beat ``Omega(n log n)`` messages.
 
-Both a vectorised implementation (used by the Table 1 sweeps) and an
-engine-backed implementation (used by fidelity and failure-injection tests)
-are provided.
+The ``backend`` argument selects the substrate kernel: the columnar batch
+path (used by the Table 1 sweeps; scales to millions of nodes) or the
+message-level engine (:class:`PushSumNode` / :class:`PushMaxNode`, used by
+fidelity and failure-injection tests).  The per-round convergence history is
+only tracked by the vectorized backend (it is an observer quantity, not part
+of the protocol).
 """
 
 from __future__ import annotations
@@ -28,19 +31,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..simulator.engine import EngineConfig, SynchronousEngine
 from ..simulator.failures import FailureModel
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
-from ..simulator.network import Network
 from ..simulator.node import ProtocolNode, RoundContext
 from ..simulator.rng import make_rng
+from ..substrate import EngineKernel, VectorizedKernel, run_on
 
 __all__ = [
     "UniformGossipResult",
     "push_sum",
     "push_max",
-    "push_sum_engine",
     "PushSumNode",
     "PushMaxNode",
     "default_push_rounds",
@@ -80,7 +81,7 @@ class UniformGossipResult:
 
 
 # --------------------------------------------------------------------------- #
-# vectorised implementations
+# push-sum
 # --------------------------------------------------------------------------- #
 def push_sum(
     values: np.ndarray,
@@ -89,6 +90,7 @@ def push_sum(
     epsilon: float | None = None,
     failure_model: FailureModel | None = None,
     metrics: MetricsCollector | None = None,
+    backend: str = "vectorized",
 ) -> UniformGossipResult:
     """Kempe et al. push-sum for the Average aggregate."""
     values = np.asarray(values, dtype=float)
@@ -103,6 +105,27 @@ def push_sum(
     alive = ~failure_model.sample_crashes(n, rng)
     total_rounds = rounds if rounds is not None else default_push_rounds(n, epsilon)
 
+    return run_on(
+        backend,
+        vectorized=lambda kernel: _push_sum_vectorized(
+            kernel, values, n, rng, total_rounds, failure_model, alive, metrics
+        ),
+        engine=lambda kernel: _push_sum_engine(
+            kernel, values, n, rng, total_rounds, failure_model, alive, metrics
+        ),
+    )
+
+
+def _push_sum_vectorized(
+    kernel: VectorizedKernel,
+    values: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    total_rounds: int,
+    failure_model: FailureModel,
+    alive: np.ndarray,
+    metrics: MetricsCollector,
+) -> UniformGossipResult:
     s = np.where(alive, values, 0.0).astype(float)
     w = alive.astype(float).copy()
     exact = float(values[alive].mean())
@@ -112,13 +135,15 @@ def push_sum(
     for _ in range(total_rounds):
         metrics.record_round()
         senders = alive_idx
-        targets = rng.integers(0, n, size=senders.size)
-        metrics.record_messages(MessageKind.PUSH, senders.size, payload_words=2)
+        targets = kernel.sample_uniform(rng, n, senders.size)
         send_s = s[senders] / 2.0
         send_w = w[senders] / 2.0
         s[senders] -= send_s
         w[senders] -= send_w
-        delivered = ~failure_model.sample_losses(senders.size, rng) & alive[targets]
+        delivered = kernel.deliver(
+            metrics, failure_model, rng, MessageKind.PUSH, targets,
+            alive=alive, payload_words=2,
+        )
         np.add.at(s, targets[delivered], send_s[delivered])
         np.add.at(w, targets[delivered], send_w[delivered])
         with np.errstate(invalid="ignore", divide="ignore"):
@@ -139,66 +164,6 @@ def push_sum(
     )
 
 
-def push_max(
-    values: np.ndarray,
-    rng: np.random.Generator | int | None = None,
-    rounds: int | None = None,
-    failure_model: FailureModel | None = None,
-    metrics: MetricsCollector | None = None,
-    stop_when_converged: bool = False,
-) -> UniformGossipResult:
-    """Address-oblivious push-max: every node pushes its running maximum.
-
-    ``stop_when_converged`` is used by the lower-bound experiment, which
-    wants the number of messages spent until every node knows the maximum
-    (an oracle stopping rule that only *under*-counts what a real protocol
-    would need, making the measured lower bound conservative).
-    """
-    values = np.asarray(values, dtype=float)
-    n = values.size
-    if n == 0:
-        raise ValueError("values must be non-empty")
-    rng = make_rng(rng)
-    failure_model = failure_model or FailureModel()
-    metrics = metrics if metrics is not None else MetricsCollector(n=n)
-    metrics.begin_phase("push-max")
-
-    alive = ~failure_model.sample_crashes(n, rng)
-    total_rounds = rounds if rounds is not None else int(math.ceil(2.0 * math.log2(max(2, n)) + 6))
-
-    current = np.where(alive, values, -np.inf).astype(float)
-    exact = float(values[alive].max())
-    alive_idx = np.flatnonzero(alive)
-    convergence: list[float] = []
-
-    executed = 0
-    for _ in range(total_rounds):
-        metrics.record_round()
-        executed += 1
-        targets = rng.integers(0, n, size=alive_idx.size)
-        metrics.record_messages(MessageKind.PUSH, alive_idx.size, payload_words=1)
-        delivered = ~failure_model.sample_losses(alive_idx.size, rng) & alive[targets]
-        np.maximum.at(current, targets[delivered], current[alive_idx][delivered])
-        informed = float(np.mean(current[alive] >= exact))
-        convergence.append(informed)
-        if stop_when_converged and informed >= 1.0:
-            break
-
-    estimates = current.copy()
-    estimates[~alive] = np.nan
-    return UniformGossipResult(
-        estimates=estimates,
-        exact=exact,
-        rounds=executed,
-        messages=metrics.total_messages,
-        metrics=metrics,
-        convergence=convergence,
-    )
-
-
-# --------------------------------------------------------------------------- #
-# engine-backed implementation
-# --------------------------------------------------------------------------- #
 class PushSumNode(ProtocolNode):
     """Per-node push-sum state machine (Kempe et al., address-oblivious)."""
 
@@ -240,6 +205,122 @@ class PushSumNode(ProtocolNode):
         return self.s / self.w if self.w > 0 else float("nan")
 
 
+def _push_sum_engine(
+    kernel: EngineKernel,
+    values: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    total_rounds: int,
+    failure_model: FailureModel,
+    alive: np.ndarray,
+    metrics: MetricsCollector,
+) -> UniformGossipResult:
+    nodes = [PushSumNode(i, float(values[i]), total_rounds) for i in range(n)]
+    outcome = kernel.run(
+        nodes,
+        rng=rng,
+        metrics=metrics,
+        failure_model=failure_model,
+        alive=alive,
+        max_substeps=2,
+        max_rounds=total_rounds + 4,
+    )
+    estimates = np.array([node.result() for node in nodes], dtype=float)
+    estimates[~alive] = np.nan
+    exact = float(values[alive].mean())
+    return UniformGossipResult(
+        estimates=estimates,
+        exact=exact,
+        rounds=outcome.rounds,
+        messages=metrics.total_messages,
+        metrics=metrics,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# push-max
+# --------------------------------------------------------------------------- #
+def push_max(
+    values: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    rounds: int | None = None,
+    failure_model: FailureModel | None = None,
+    metrics: MetricsCollector | None = None,
+    stop_when_converged: bool = False,
+    backend: str = "vectorized",
+) -> UniformGossipResult:
+    """Address-oblivious push-max: every node pushes its running maximum.
+
+    ``stop_when_converged`` is used by the lower-bound experiment, which
+    wants the number of messages spent until every node knows the maximum
+    (an oracle stopping rule that only *under*-counts what a real protocol
+    would need, making the measured lower bound conservative).
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.size
+    if n == 0:
+        raise ValueError("values must be non-empty")
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=n)
+    metrics.begin_phase("push-max")
+
+    alive = ~failure_model.sample_crashes(n, rng)
+    total_rounds = rounds if rounds is not None else int(math.ceil(2.0 * math.log2(max(2, n)) + 6))
+
+    return run_on(
+        backend,
+        vectorized=lambda kernel: _push_max_vectorized(
+            kernel, values, n, rng, total_rounds, failure_model, alive, metrics, stop_when_converged
+        ),
+        engine=lambda kernel: _push_max_engine(
+            kernel, values, n, rng, total_rounds, failure_model, alive, metrics, stop_when_converged
+        ),
+    )
+
+
+def _push_max_vectorized(
+    kernel: VectorizedKernel,
+    values: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    total_rounds: int,
+    failure_model: FailureModel,
+    alive: np.ndarray,
+    metrics: MetricsCollector,
+    stop_when_converged: bool,
+) -> UniformGossipResult:
+    current = np.where(alive, values, -np.inf).astype(float)
+    exact = float(values[alive].max())
+    alive_idx = np.flatnonzero(alive)
+    convergence: list[float] = []
+
+    executed = 0
+    for _ in range(total_rounds):
+        metrics.record_round()
+        executed += 1
+        targets = kernel.sample_uniform(rng, n, alive_idx.size)
+        delivered = kernel.deliver(
+            metrics, failure_model, rng, MessageKind.PUSH, targets, alive=alive
+        )
+        np.maximum.at(current, targets[delivered], current[alive_idx][delivered])
+        informed = float(np.mean(current[alive] >= exact))
+        convergence.append(informed)
+        if stop_when_converged and informed >= 1.0:
+            break
+
+    estimates = current.copy()
+    estimates[~alive] = np.nan
+    return UniformGossipResult(
+        estimates=estimates,
+        exact=exact,
+        rounds=executed,
+        messages=metrics.total_messages,
+        metrics=metrics,
+        convergence=convergence,
+    )
+
+
 class PushMaxNode(ProtocolNode):
     """Per-node push-max state machine (address-oblivious)."""
 
@@ -270,36 +351,39 @@ class PushMaxNode(ProtocolNode):
         return self.value
 
 
-def push_sum_engine(
+def _push_max_engine(
+    kernel: EngineKernel,
     values: np.ndarray,
-    rng: np.random.Generator | int | None = None,
-    rounds: int | None = None,
-    failure_model: FailureModel | None = None,
-    metrics: MetricsCollector | None = None,
+    n: int,
+    rng: np.random.Generator,
+    total_rounds: int,
+    failure_model: FailureModel,
+    alive: np.ndarray,
+    metrics: MetricsCollector,
+    stop_when_converged: bool,
 ) -> UniformGossipResult:
-    """Message-level push-sum on the simulator substrate."""
-    values = np.asarray(values, dtype=float)
-    n = values.size
-    rng = make_rng(rng)
-    failure_model = failure_model or FailureModel()
-    metrics = metrics if metrics is not None else MetricsCollector(n=n)
-    metrics.begin_phase("push-sum")
-    total_rounds = rounds if rounds is not None else default_push_rounds(n)
+    exact = float(values[alive].max())
+    nodes = [PushMaxNode(i, float(values[i]), total_rounds) for i in range(n)]
 
-    network = Network(n, failure_model=failure_model, rng=rng)
-    nodes = [PushSumNode(i, float(values[i]), total_rounds) for i in range(n)]
-    engine = SynchronousEngine(
-        network=network,
-        nodes=nodes,
+    stop_condition = None
+    if stop_when_converged:
+        alive_idx = np.flatnonzero(alive)
+
+        def stop_condition(current_nodes, round_index):  # noqa: ANN001 - engine signature
+            return all(current_nodes[i].value >= exact for i in alive_idx)
+
+    outcome = kernel.run(
+        nodes,
         rng=rng,
         metrics=metrics,
-        config=EngineConfig(max_substeps=2, max_rounds=total_rounds + 4),
+        failure_model=failure_model,
+        alive=alive,
+        max_substeps=2,
+        max_rounds=total_rounds + 4,
+        stop_condition=stop_condition,
     )
-    outcome = engine.run()
-    alive = network.alive
-    estimates = np.array([node.result() for node in nodes], dtype=float)
+    estimates = np.array([node.value for node in nodes], dtype=float)
     estimates[~alive] = np.nan
-    exact = float(values[alive].mean())
     return UniformGossipResult(
         estimates=estimates,
         exact=exact,

@@ -12,12 +12,10 @@ from .convergecast import (
     BroadcastResult,
     ConvergecastResult,
     run_broadcast,
-    run_broadcast_engine,
     run_convergecast,
-    run_convergecast_engine,
 )
 from .data_spread import run_data_spread
-from .drr import DRRNode, DRRResult, default_probe_budget, run_drr, run_drr_engine
+from .drr import DRRNode, DRRResult, default_probe_budget, run_drr
 from .drr_gossip import (
     DRRGossipConfig,
     DRRGossipResult,
@@ -50,15 +48,12 @@ __all__ = [
     "BroadcastResult",
     "ConvergecastResult",
     "run_broadcast",
-    "run_broadcast_engine",
     "run_convergecast",
-    "run_convergecast_engine",
     "run_data_spread",
     "DRRNode",
     "DRRResult",
     "default_probe_budget",
     "run_drr",
-    "run_drr_engine",
     "DRRGossipConfig",
     "DRRGossipResult",
     "broadcast_root_addresses",

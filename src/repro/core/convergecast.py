@@ -16,7 +16,15 @@ every tree at its root:
   one node per round, so a parent serves its children one per round; this is
   why the paper bounds Phase II time by the tree *size* rather than height.
 
-Semantics under failures (both implementations):
+:func:`run_convergecast` and :func:`run_broadcast` are the entry points; the
+``backend`` argument selects the substrate kernel.  The vectorized kernel
+sweeps the forest one depth layer at a time (all of a layer's upward or
+downward transmissions are one batch); the engine kernel runs the
+:class:`ConvergecastNode` / :class:`BroadcastNode` state machines at message
+granularity.  On a reliable network both produce identical aggregates,
+rounds, and message counts for the same seed.
+
+Semantics under failures (both backends):
 
 * A parent only waits for, and only incorporates, the children whose
   CONNECT message it actually received in Phase I ("known children").
@@ -36,23 +44,21 @@ from typing import Literal
 
 import numpy as np
 
-from ..simulator.engine import EngineConfig, SynchronousEngine
 from ..simulator.failures import FailureModel
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
-from ..simulator.network import Network
 from ..simulator.node import ProtocolNode, RoundContext
 from ..simulator.rng import make_rng
+from ..substrate import EngineKernel, VectorizedKernel, run_on
 from .drr import DRRResult
-from .forest import Forest
 
 __all__ = [
     "ConvergecastResult",
     "BroadcastResult",
+    "ConvergecastNode",
+    "BroadcastNode",
     "run_convergecast",
     "run_broadcast",
-    "run_convergecast_engine",
-    "run_broadcast_engine",
 ]
 
 Op = Literal["max", "min", "sum"]
@@ -99,10 +105,6 @@ class BroadcastResult:
         return float(self.received.mean())
 
 
-def _known_children(drr: DRRResult) -> tuple[tuple[int, ...], ...]:
-    return drr.known_children
-
-
 def _reduce(op: str, a: float, b: float) -> float:
     if op == "max":
         return max(a, b)
@@ -113,8 +115,13 @@ def _reduce(op: str, a: float, b: float) -> float:
     raise ValueError(f"unknown convergecast op {op!r}")
 
 
+def _alive_of(drr: DRRResult) -> np.ndarray:
+    alive = drr.forest.alive
+    return alive if alive is not None else np.ones(drr.forest.n, dtype=bool)
+
+
 # --------------------------------------------------------------------------- #
-# fast implementation
+# convergecast
 # --------------------------------------------------------------------------- #
 def run_convergecast(
     drr: DRRResult,
@@ -123,6 +130,7 @@ def run_convergecast(
     failure_model: FailureModel | None = None,
     rng: np.random.Generator | int | None = None,
     metrics: MetricsCollector | None = None,
+    backend: str = "vectorized",
 ) -> ConvergecastResult:
     """Compute local per-tree aggregates at the roots (Algorithms 2 / 3)."""
     forest = drr.forest
@@ -130,13 +138,39 @@ def run_convergecast(
     values = np.asarray(values, dtype=float)
     if values.shape != (n,):
         raise ValueError(f"values must have shape ({n},), got {values.shape}")
+    if op not in ("max", "min", "sum"):
+        raise ValueError(f"unknown convergecast op {op!r}")
     rng = make_rng(rng)
     failure_model = failure_model or FailureModel()
     metrics = metrics if metrics is not None else MetricsCollector(n=n)
     metrics.begin_phase("convergecast")
 
-    alive = forest.alive if forest.alive is not None else np.ones(n, dtype=bool)
-    known = _known_children(drr)
+    return run_on(
+        backend,
+        vectorized=lambda kernel: _convergecast_vectorized(
+            kernel, drr, values, op, failure_model, rng, metrics
+        ),
+        engine=lambda kernel: _convergecast_engine(
+            kernel, drr, values, op, failure_model, rng, metrics
+        ),
+    )
+
+
+def _convergecast_vectorized(
+    kernel: VectorizedKernel,
+    drr: DRRResult,
+    values: np.ndarray,
+    op: str,
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    metrics: MetricsCollector,
+) -> ConvergecastResult:
+    forest = drr.forest
+    n = forest.n
+    alive = _alive_of(drr)
+    known = drr.known_child_mask  # child side: my parent knows me
+    depth = forest.depth
+    payload_words = 1 if op in ("max", "min") else 2
 
     # Accumulators: every alive node starts with its own value and weight 1.
     acc_value = values.astype(float).copy()
@@ -145,34 +179,49 @@ def run_convergecast(
 
     # send_round[i]: round in which non-root i transmits its accumulated
     # aggregate to its parent (leaves send in round 1, a parent one round
-    # after its last known child).
+    # after its last known child).  child_send_max[p] tracks the latest
+    # send round over p's known alive children, filled in as deeper layers
+    # are processed.
     send_round = np.zeros(n, dtype=np.int64)
+    child_send_max = np.zeros(n, dtype=np.int64)
 
-    # Process nodes bottom-up so children are folded in before parents send.
-    order = forest.topological_order()[::-1]
-    payload_words = 1 if op in ("max", "min") else 2
-    for node in order:
-        node = int(node)
-        if not alive[node]:
+    has_parent = forest.parent >= 0
+    max_depth = int(depth[alive].max()) if alive.any() else 0
+    # Sweep the forest bottom-up, one depth layer per batch: all of a
+    # layer's upward transmissions happen "simultaneously" and are charged,
+    # lossed, and folded as arrays.
+    for d in range(max_depth, 0, -1):
+        layer = np.flatnonzero(alive & has_parent & (depth == d))
+        if layer.size == 0:
             continue
-        parent = int(forest.parent[node])
-        kids = [k for k in known[node] if alive[k]]
-        send_round[node] = 1 + max((int(send_round[k]) for k in kids), default=0)
-        if parent < 0:
-            continue
-        # The upward message is charged whether or not it arrives.
-        metrics.record_message(MessageKind.CONVERGECAST, payload_words=payload_words)
-        lost = failure_model.message_lost(rng) or not alive[parent]
-        known_to_parent = bool(drr.connect_delivered[node])
-        if lost or not known_to_parent:
-            continue
-        acc_value[parent] = _reduce(op, float(acc_value[parent]), float(acc_value[node]))
-        acc_weight[parent] += acc_weight[node]
+        send_round[layer] = 1 + child_send_max[layer]
+        parents = forest.parent[layer]
+        delivered = kernel.deliver(
+            metrics,
+            failure_model,
+            rng,
+            MessageKind.CONVERGECAST,
+            parents,
+            alive=alive,
+            payload_words=payload_words,
+        )
+        fold = delivered & known[layer]
+        src, dst = layer[fold], parents[fold]
+        if op == "sum":
+            np.add.at(acc_value, dst, acc_value[src])
+        elif op == "max":
+            np.maximum.at(acc_value, dst, acc_value[src])
+        else:
+            np.minimum.at(acc_value, dst, acc_value[src])
+        np.add.at(acc_weight, dst, acc_weight[src])
+        waiting = layer[known[layer]]
+        if waiting.size:
+            np.maximum.at(child_send_max, forest.parent[waiting], send_round[waiting])
 
     alive_roots = [int(r) for r in forest.roots if alive[r]]
     local_value = {r: float(acc_value[r]) for r in alive_roots}
     local_weight = {r: int(acc_weight[r]) for r in alive_roots}
-    rounds = int(max((send_round[i] for i in range(n) if alive[i] and forest.parent[i] >= 0), default=0))
+    rounds = int(send_round[alive & has_parent].max(initial=0))
     metrics.record_round(rounds)
     return ConvergecastResult(
         op=op,
@@ -183,67 +232,6 @@ def run_convergecast(
     )
 
 
-def run_broadcast(
-    drr: DRRResult,
-    root_payload: dict[int, float],
-    failure_model: FailureModel | None = None,
-    rng: np.random.Generator | int | None = None,
-    metrics: MetricsCollector | None = None,
-    phase_name: str = "broadcast",
-) -> BroadcastResult:
-    """Push a per-root payload down every tree (one child served per round)."""
-    forest = drr.forest
-    n = forest.n
-    rng = make_rng(rng)
-    failure_model = failure_model or FailureModel()
-    metrics = metrics if metrics is not None else MetricsCollector(n=n)
-    metrics.begin_phase(phase_name)
-
-    alive = forest.alive if forest.alive is not None else np.ones(n, dtype=bool)
-    known = _known_children(drr)
-
-    received = np.zeros(n, dtype=bool)
-    payload = np.full(n, np.nan, dtype=float)
-    receive_round = np.full(n, -1, dtype=np.int64)
-
-    # Seed the roots that have something to broadcast.
-    frontier: list[int] = []
-    for root, value in root_payload.items():
-        root = int(root)
-        if not forest.is_root(root):
-            raise ValueError(f"node {root} is not a root")
-        if not alive[root]:
-            continue
-        received[root] = True
-        payload[root] = float(value)
-        receive_round[root] = 0
-        frontier.append(root)
-
-    # Breadth-first down the trees; a node forwards to its known children one
-    # per round, in ascending id order, starting the round after it received.
-    max_round = 0
-    stack = list(frontier)
-    while stack:
-        node = stack.pop()
-        kids = [k for k in known[node] if alive[k]]
-        for index, child in enumerate(sorted(kids), start=1):
-            metrics.record_message(MessageKind.BROADCAST, payload_words=1)
-            arrival = int(receive_round[node]) + index
-            max_round = max(max_round, arrival)
-            if failure_model.message_lost(rng):
-                continue
-            received[child] = True
-            payload[child] = payload[node]
-            receive_round[child] = arrival
-            stack.append(child)
-
-    metrics.record_round(max_round)
-    return BroadcastResult(received=received, payload=payload, rounds=max_round, metrics=metrics)
-
-
-# --------------------------------------------------------------------------- #
-# engine-backed implementation
-# --------------------------------------------------------------------------- #
 class ConvergecastNode(ProtocolNode):
     """Per-node convergecast state machine (Algorithms 2 and 3)."""
 
@@ -308,6 +296,151 @@ class ConvergecastNode(ProtocolNode):
         return {"value": self.value, "weight": self.weight}
 
 
+def _convergecast_engine(
+    kernel: EngineKernel,
+    drr: DRRResult,
+    values: np.ndarray,
+    op: str,
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    metrics: MetricsCollector,
+) -> ConvergecastResult:
+    forest = drr.forest
+    n = forest.n
+    alive = _alive_of(drr)
+    known = drr.known_children
+    # Timeout after which a parent stops waiting for lost child messages.
+    timeout = 4 * max(4, int(math.ceil(math.log2(max(2, n)))))
+    nodes = [
+        ConvergecastNode(
+            node_id=i,
+            value=float(values[i]),
+            parent=(int(forest.parent[i]) if forest.parent[i] >= 0 else None),
+            known_children=known[i],
+            op=op,
+            timeout=timeout,
+        )
+        for i in range(n)
+    ]
+    outcome = kernel.run(
+        nodes,
+        rng=rng,
+        metrics=metrics,
+        failure_model=failure_model,
+        alive=alive,
+        max_substeps=2,
+        max_rounds=timeout + n + 4,
+        strict=False,
+    )
+
+    alive_roots = [int(r) for r in forest.roots if alive[r]]
+    local_value = {r: float(nodes[r].value) for r in alive_roots}
+    local_weight = {r: int(nodes[r].weight) for r in alive_roots}
+    return ConvergecastResult(
+        op=op,
+        local_value=local_value,
+        local_weight=local_weight,
+        rounds=outcome.rounds,
+        metrics=metrics,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# broadcast
+# --------------------------------------------------------------------------- #
+def run_broadcast(
+    drr: DRRResult,
+    root_payload: dict[int, float],
+    failure_model: FailureModel | None = None,
+    rng: np.random.Generator | int | None = None,
+    metrics: MetricsCollector | None = None,
+    phase_name: str = "broadcast",
+    backend: str = "vectorized",
+) -> BroadcastResult:
+    """Push a per-root payload down every tree (one child served per round)."""
+    forest = drr.forest
+    rng = make_rng(rng)
+    failure_model = failure_model or FailureModel()
+    metrics = metrics if metrics is not None else MetricsCollector(n=forest.n)
+    metrics.begin_phase(phase_name)
+    for root in root_payload:
+        if not forest.is_root(int(root)):
+            raise ValueError(f"node {int(root)} is not a root")
+
+    return run_on(
+        backend,
+        vectorized=lambda kernel: _broadcast_vectorized(
+            kernel, drr, root_payload, failure_model, rng, metrics
+        ),
+        engine=lambda kernel: _broadcast_engine(
+            kernel, drr, root_payload, failure_model, rng, metrics
+        ),
+    )
+
+
+def _broadcast_vectorized(
+    kernel: VectorizedKernel,
+    drr: DRRResult,
+    root_payload: dict[int, float],
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    metrics: MetricsCollector,
+) -> BroadcastResult:
+    forest = drr.forest
+    n = forest.n
+    alive = _alive_of(drr)
+    depth = forest.depth
+
+    received = np.zeros(n, dtype=bool)
+    payload = np.full(n, np.nan, dtype=float)
+    receive_round = np.full(n, -1, dtype=np.int64)
+
+    for root, value in root_payload.items():
+        root = int(root)
+        if not alive[root]:
+            continue
+        received[root] = True
+        payload[root] = float(value)
+        receive_round[root] = 0
+
+    # A parent serves its known alive children one per round in ascending id
+    # order; precompute each child's 1-based position in that service order.
+    serveable = drr.known_child_mask & alive
+    kids = np.flatnonzero(serveable)
+    order = kids[np.argsort(forest.parent[kids], kind="stable")]
+    sibling_rank = np.zeros(n, dtype=np.int64)
+    if order.size:
+        parents_sorted = forest.parent[order]
+        new_group = np.r_[True, parents_sorted[1:] != parents_sorted[:-1]]
+        group_start = np.maximum.accumulate(np.where(new_group, np.arange(order.size), 0))
+        sibling_rank[order] = np.arange(order.size) - group_start + 1
+
+    # Sweep the trees top-down one depth layer per batch; a child's arrival
+    # round is its parent's receive round plus its service position, and the
+    # transmission is charged whether or not it survives.
+    max_round = 0
+    max_depth = int(depth[alive].max()) if alive.any() else 0
+    for d in range(1, max_depth + 1):
+        layer = np.flatnonzero(serveable & (depth == d))
+        if layer.size == 0:
+            continue
+        layer = layer[received[forest.parent[layer]]]
+        if layer.size == 0:
+            continue
+        arrival = receive_round[forest.parent[layer]] + sibling_rank[layer]
+        max_round = max(max_round, int(arrival.max()))
+        delivered = kernel.deliver(
+            metrics, failure_model, rng, MessageKind.BROADCAST, layer, alive=alive
+        )
+        got = layer[delivered]
+        received[got] = True
+        payload[got] = payload[forest.parent[got]]
+        receive_round[got] = arrival[delivered]
+
+    metrics.record_round(max_round)
+    return BroadcastResult(received=received, payload=payload, rounds=max_round, metrics=metrics)
+
+
 class BroadcastNode(ProtocolNode):
     """Per-node broadcast state machine (root address / final aggregate)."""
 
@@ -342,84 +475,18 @@ class BroadcastNode(ProtocolNode):
         return {"received": self.received, "payload": self.payload}
 
 
-def run_convergecast_engine(
-    drr: DRRResult,
-    values: np.ndarray,
-    op: Op = "max",
-    failure_model: FailureModel | None = None,
-    rng: np.random.Generator | int | None = None,
-    metrics: MetricsCollector | None = None,
-    network: Network | None = None,
-) -> ConvergecastResult:
-    """Message-level convergecast on the simulator substrate."""
-    forest = drr.forest
-    n = forest.n
-    values = np.asarray(values, dtype=float)
-    rng = make_rng(rng)
-    failure_model = failure_model or FailureModel()
-    metrics = metrics if metrics is not None else MetricsCollector(n=n)
-    metrics.begin_phase("convergecast")
-    if network is None:
-        network = Network(n, failure_model=failure_model, rng=rng)
-        network.alive = (forest.alive if forest.alive is not None else np.ones(n, dtype=bool)).copy()
-
-    known = _known_children(drr)
-    # Timeout after which a parent stops waiting for lost child messages.
-    timeout = 4 * max(4, int(math.ceil(math.log2(max(2, n)))))
-    nodes = [
-        ConvergecastNode(
-            node_id=i,
-            value=float(values[i]),
-            parent=(int(forest.parent[i]) if forest.parent[i] >= 0 else None),
-            known_children=known[i],
-            op=op,
-            timeout=timeout,
-        )
-        for i in range(n)
-    ]
-    engine = SynchronousEngine(
-        network=network,
-        nodes=nodes,
-        rng=rng,
-        metrics=metrics,
-        config=EngineConfig(max_substeps=2, max_rounds=timeout + n + 4, strict=False),
-    )
-    outcome = engine.run()
-
-    alive = network.alive
-    alive_roots = [int(r) for r in forest.roots if alive[r]]
-    local_value = {r: float(nodes[r].value) for r in alive_roots}
-    local_weight = {r: int(nodes[r].weight) for r in alive_roots}
-    return ConvergecastResult(
-        op=op,
-        local_value=local_value,
-        local_weight=local_weight,
-        rounds=outcome.rounds,
-        metrics=metrics,
-    )
-
-
-def run_broadcast_engine(
+def _broadcast_engine(
+    kernel: EngineKernel,
     drr: DRRResult,
     root_payload: dict[int, float],
-    failure_model: FailureModel | None = None,
-    rng: np.random.Generator | int | None = None,
-    metrics: MetricsCollector | None = None,
-    network: Network | None = None,
-    phase_name: str = "broadcast",
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    metrics: MetricsCollector,
 ) -> BroadcastResult:
-    """Message-level broadcast on the simulator substrate."""
     forest = drr.forest
     n = forest.n
-    rng = make_rng(rng)
-    failure_model = failure_model or FailureModel()
-    metrics = metrics if metrics is not None else MetricsCollector(n=n)
-    metrics.begin_phase(phase_name)
-    if network is None:
-        network = Network(n, failure_model=failure_model, rng=rng)
-        network.alive = (forest.alive if forest.alive is not None else np.ones(n, dtype=bool)).copy()
-
-    known = _known_children(drr)
+    alive = _alive_of(drr)
+    known = drr.known_children
     nodes = [
         BroadcastNode(
             node_id=i,
@@ -428,17 +495,21 @@ def run_broadcast_engine(
         )
         for i in range(n)
     ]
-    engine = SynchronousEngine(
-        network=network,
-        nodes=nodes,
+    outcome = kernel.run(
+        nodes,
         rng=rng,
         metrics=metrics,
-        config=EngineConfig(max_substeps=2, max_rounds=4 * n + 16, strict=False),
+        failure_model=failure_model,
+        alive=alive,
+        max_substeps=2,
+        max_rounds=4 * n + 16,
+        strict=False,
     )
-    outcome = engine.run()
 
     received = np.array([node.received for node in nodes], dtype=bool)
+    received &= alive
     payload = np.array(
         [node.payload if node.payload is not None else np.nan for node in nodes], dtype=float
     )
+    payload[~alive] = np.nan
     return BroadcastResult(received=received, payload=payload, rounds=outcome.rounds, metrics=metrics)

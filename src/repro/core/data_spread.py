@@ -31,6 +31,7 @@ def run_data_spread(
     gossip_rounds: int | None = None,
     sampling_rounds: int | None = None,
     alive: np.ndarray | None = None,
+    backend: str = "vectorized",
 ) -> GossipMaxResult:
     """Spread ``value`` from root ``spreader`` to all roots (Algorithm 5).
 
@@ -62,4 +63,5 @@ def run_data_spread(
         sampling_rounds=sampling_rounds,
         phase_name="data-spread",
         alive=alive,
+        backend=backend,
     )

@@ -6,17 +6,22 @@ rank; it connects to the first such node (sending it a *connection message*)
 or becomes a root if the probe budget is exhausted.  Because every edge goes
 from a lower rank to a strictly higher rank, the result is a forest.
 
-Two interchangeable implementations are provided:
+:func:`run_drr` is the single entry point; the ``backend`` argument selects
+the execution kernel:
 
-* :class:`DRRNode` + :func:`run_drr_engine` -- the reference implementation
-  as per-node message handlers on the simulator substrate.  Probes, rank
-  replies, and connection messages are real messages subject to the failure
-  model; this is the implementation the failure-injection tests exercise.
-* :func:`run_drr` -- a vectorised implementation of the same random process
-  with identical message accounting, used for the large-``n`` scaling sweeps
-  (Theorems 2-4 experiments, E2-E4 in DESIGN.md).
+* ``"vectorized"`` -- the columnar kernel: each probing round is one batch
+  of targets / losses / rank comparisons over all still-searching nodes.
+  Used by the large-``n`` scaling sweeps (Theorems 2-4, E2-E4 in DESIGN.md).
+* ``"engine"`` -- :class:`DRRNode` state machines on the message-level
+  simulator; probes, rank replies, and connection messages are individual
+  messages.  Used by the fidelity and failure-injection tests.
 
-Message accounting (both paths): each probe is one PROBE message plus one
+Both backends execute the same per-round random process and consume the RNG
+stream in the same order, so on a reliable network they produce the *same*
+forest, probe counts, rounds, and message accounting for the same seed
+(``tests/test_substrate.py`` asserts this).
+
+Message accounting (both backends): each probe is one PROBE message plus one
 RANK reply (if the probe arrived), and each successful attachment sends one
 CONNECT message.  Total messages are therefore ~2x the number of probes,
 which keeps the ``O(n log log n)`` shape of Theorem 4 (the paper charges one
@@ -26,20 +31,19 @@ message per probe; the factor of two is explicitly called out in DESIGN.md).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..simulator.engine import EngineConfig, SynchronousEngine
 from ..simulator.failures import FailureModel
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
-from ..simulator.network import Network
 from ..simulator.node import ProtocolNode, RoundContext
 from ..simulator.rng import make_rng
+from ..substrate import EngineKernel, VectorizedKernel, run_on
 from .forest import Forest
 
-__all__ = ["DRRResult", "DRRNode", "run_drr", "run_drr_engine", "default_probe_budget"]
+__all__ = ["DRRResult", "DRRNode", "run_drr", "default_probe_budget"]
 
 
 def default_probe_budget(n: int) -> int:
@@ -77,18 +81,19 @@ class DRRResult:
     metrics: MetricsCollector
 
     @property
+    def known_child_mask(self) -> np.ndarray:
+        """``mask[i]`` is True when node ``i`` is a child its parent knows about."""
+        return (self.forest.parent >= 0) & self.connect_delivered
+
+    @property
     def known_children(self) -> tuple[tuple[int, ...], ...]:
         """Children lists as seen by parents (connection message arrived)."""
         kids: list[list[int]] = [[] for _ in range(self.forest.n)]
-        for child, parent in enumerate(self.forest.parent):
-            if parent >= 0 and self.connect_delivered[child]:
-                kids[parent].append(child)
+        for child in np.flatnonzero(self.known_child_mask):
+            kids[int(self.forest.parent[child])].append(int(child))
         return tuple(tuple(k) for k in kids)
 
 
-# --------------------------------------------------------------------------- #
-# fast (vectorised) implementation
-# --------------------------------------------------------------------------- #
 def run_drr(
     n: int,
     rng: np.random.Generator | int | None = None,
@@ -97,6 +102,7 @@ def run_drr(
     alive: np.ndarray | None = None,
     metrics: MetricsCollector | None = None,
     ranks: np.ndarray | None = None,
+    backend: str = "vectorized",
 ) -> DRRResult:
     """Run DRR over ``n`` nodes and return the ranking forest.
 
@@ -119,6 +125,8 @@ def run_drr(
     ranks:
         Optional externally drawn ranks (used by ablation experiments that
         compare the [0,1] rank domain against the [1, n^3] integer domain).
+    backend:
+        Substrate backend: ``"vectorized"`` (default) or ``"engine"``.
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
@@ -130,6 +138,8 @@ def run_drr(
     metrics = metrics if metrics is not None else MetricsCollector(n=n)
     metrics.begin_phase("drr")
 
+    # Shared preamble: crash sampling and rank drawing happen exactly once,
+    # before backend dispatch, so both kernels see the same world.
     if alive is None:
         alive = ~failure_model.sample_crashes(n, rng)
     alive = np.asarray(alive, dtype=bool)
@@ -140,46 +150,62 @@ def run_drr(
         if ranks.shape != (n,):
             raise ValueError("ranks must have shape (n,)")
 
+    return run_on(
+        backend,
+        vectorized=lambda kernel: _run_drr_vectorized(
+            kernel, n, rng, budget, failure_model, alive, ranks, metrics
+        ),
+        engine=lambda kernel: _run_drr_engine(
+            kernel, n, rng, budget, failure_model, alive, ranks, metrics
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# vectorized (columnar) backend
+# --------------------------------------------------------------------------- #
+def _run_drr_vectorized(
+    kernel: VectorizedKernel,
+    n: int,
+    rng: np.random.Generator,
+    budget: int,
+    failure_model: FailureModel,
+    alive: np.ndarray,
+    ranks: np.ndarray,
+    metrics: MetricsCollector,
+) -> DRRResult:
     parent = np.full(n, -1, dtype=np.int64)
     connect_delivered = np.zeros(n, dtype=bool)
     probes_used = np.zeros(n, dtype=np.int64)
-    delta = failure_model.loss_probability
+    searching = alive.copy()
 
-    # Probe targets for all nodes and all potential attempts, excluding self
-    # (probing yourself can never find a higher rank, and excluding it
-    # matches the engine implementation).
-    targets = rng.integers(0, n - 1, size=(n, budget)) if n > 1 else np.zeros((n, budget), dtype=np.int64)
-    if n > 1:
-        self_ids = np.arange(n)[:, None]
-        targets = np.where(targets >= self_ids, targets + 1, targets)
+    rounds = 0
+    while searching.any() and rounds < budget:
+        rounds += 1
+        metrics.record_round()
+        senders = np.flatnonzero(searching)
+        probes_used[senders] += 1
+        targets = kernel.sample_uniform(rng, n, senders.size, exclude=senders)
+        probe_ok = kernel.deliver(
+            metrics, failure_model, rng, MessageKind.PROBE, targets, alive=alive
+        )
+        # Every delivered probe provokes a rank reply back to the prober.
+        probers = senders[probe_ok]
+        responders = targets[probe_ok]
+        reply_ok = kernel.deliver(
+            metrics, failure_model, rng, MessageKind.RANK, probers, alive=alive
+        )
+        found = reply_ok & (ranks[responders] > ranks[probers])
+        finders = probers[found]
+        if finders.size:
+            chosen = responders[found]
+            parent[finders] = chosen
+            connect_ok = kernel.deliver(
+                metrics, failure_model, rng, MessageKind.CONNECT, chosen, alive=alive
+            )
+            connect_delivered[finders] = connect_ok
+            searching[finders] = False
 
-    probe_lost = rng.random((n, budget)) < delta if delta > 0 else np.zeros((n, budget), dtype=bool)
-    reply_lost = rng.random((n, budget)) < delta if delta > 0 else np.zeros((n, budget), dtype=bool)
-
-    for i in range(n):
-        if not alive[i]:
-            continue
-        for k in range(budget):
-            probes_used[i] += 1
-            target = int(targets[i, k])
-            # The probe is charged to the sender whether or not it arrives.
-            metrics.record_message(MessageKind.PROBE, payload_words=1)
-            if probe_lost[i, k] or not alive[target]:
-                continue
-            # Rank reply from the probed node.
-            metrics.record_message(MessageKind.RANK, payload_words=1)
-            if reply_lost[i, k]:
-                continue
-            if ranks[target] > ranks[i]:
-                parent[i] = target
-                # Connection message to the chosen parent.
-                metrics.record_message(MessageKind.CONNECT, payload_words=1)
-                connect_lost = failure_model.message_lost(rng) or not alive[target]
-                connect_delivered[i] = not connect_lost
-                break
-
-    rounds = int(probes_used.max(initial=0)) if alive.any() else 0
-    metrics.record_round(rounds)
     forest = Forest(parent=parent, rank=ranks, alive=alive)
     forest.validate()
     return DRRResult(
@@ -192,7 +218,7 @@ def run_drr(
 
 
 # --------------------------------------------------------------------------- #
-# engine-backed (message-level) implementation
+# engine (message-level) backend
 # --------------------------------------------------------------------------- #
 class DRRNode(ProtocolNode):
     """Per-node state machine for Algorithm 1 on the simulator substrate."""
@@ -259,42 +285,29 @@ class DRRNode(ProtocolNode):
         }
 
 
-def run_drr_engine(
+def _run_drr_engine(
+    kernel: EngineKernel,
     n: int,
-    rng: np.random.Generator | int | None = None,
-    probe_budget: int | None = None,
-    failure_model: FailureModel | None = None,
-    metrics: MetricsCollector | None = None,
-    network: Network | None = None,
-    ranks: np.ndarray | None = None,
+    rng: np.random.Generator,
+    budget: int,
+    failure_model: FailureModel,
+    alive: np.ndarray,
+    ranks: np.ndarray,
+    metrics: MetricsCollector,
 ) -> DRRResult:
-    """Message-level DRR on the simulator substrate.
-
-    Semantically identical to :func:`run_drr`; the returned
-    :class:`DRRResult` has the same shape so Phase II accepts either.
-    """
-    rng = make_rng(rng)
-    failure_model = failure_model or FailureModel()
-    budget = probe_budget if probe_budget is not None else default_probe_budget(n)
-    metrics = metrics if metrics is not None else MetricsCollector(n=n)
-    metrics.begin_phase("drr")
-
-    if network is None:
-        network = Network(n, failure_model=failure_model, rng=rng)
-    if ranks is None:
-        ranks = rng.random(n)
     nodes = [DRRNode(i, float(ranks[i]), budget) for i in range(n)]
-
-    engine = SynchronousEngine(
-        network=network,
-        nodes=nodes,
+    # Four sub-steps so the full probe -> rank -> connect exchange completes
+    # within the round it was initiated ("sample a node ... and get its rank"
+    # in Algorithm 1), matching the vectorized backend's round accounting.
+    outcome = kernel.run(
+        nodes,
         rng=rng,
         metrics=metrics,
-        # One extra sub-step so a probe is answered within the round it was
-        # placed, matching "sample a node ... and get its rank" in Algorithm 1.
-        config=EngineConfig(max_substeps=3, max_rounds=budget + 4),
+        failure_model=failure_model,
+        alive=alive,
+        max_substeps=4,
+        max_rounds=budget + 4,
     )
-    outcome = engine.run()
 
     parent = np.full(n, -1, dtype=np.int64)
     connect_delivered = np.zeros(n, dtype=bool)
@@ -307,7 +320,7 @@ def run_drr_engine(
         for child in node.children:
             connect_delivered[child] = True
 
-    forest = Forest(parent=parent, rank=np.asarray(ranks, dtype=float), alive=network.alive)
+    forest = Forest(parent=parent, rank=ranks, alive=alive)
     forest.validate()
     return DRRResult(
         forest=forest,

@@ -22,6 +22,7 @@ Section 3.5 accounting are about).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -30,9 +31,10 @@ import numpy as np
 from ..simulator.failures import FailureModel
 from ..simulator.metrics import MetricsCollector
 from ..simulator.rng import make_rng
+from ..substrate import normalize_backend
 from .aggregates import Aggregate, exact_aggregate
-from .convergecast import run_broadcast, run_convergecast, run_convergecast_engine
-from .drr import DRRResult, run_drr, run_drr_engine
+from .convergecast import run_broadcast, run_convergecast
+from .drr import DRRResult, run_drr
 from .data_spread import run_data_spread
 from .gossip_ave import run_gossip_ave
 from .gossip_max import run_gossip_max
@@ -71,20 +73,19 @@ class DRRGossipConfig:
     epsilon: float | None = None
     #: message loss / initial crash model.
     failure_model: FailureModel = field(default_factory=FailureModel)
-    #: run Phases I and II on the message-level simulator substrate instead
-    #: of the vectorised fast path (slower, used by fidelity tests).
-    use_engine: bool = False
+    #: substrate backend executing every phase: ``"vectorized"`` (columnar
+    #: NumPy, the production hot path) or ``"engine"`` (message-level
+    #: simulation, the fidelity reference).
+    backend: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "backend", normalize_backend(self.backend))
 
     def with_failures(self, failure_model: FailureModel) -> "DRRGossipConfig":
-        return DRRGossipConfig(
-            probe_budget=self.probe_budget,
-            gossip_rounds=self.gossip_rounds,
-            sampling_rounds=self.sampling_rounds,
-            ave_rounds=self.ave_rounds,
-            epsilon=self.epsilon,
-            failure_model=failure_model,
-            use_engine=self.use_engine,
-        )
+        return dataclasses.replace(self, failure_model=failure_model)
+
+    def with_backend(self, backend: str) -> "DRRGossipConfig":
+        return dataclasses.replace(self, backend=normalize_backend(backend))
 
 
 @dataclass
@@ -160,13 +161,13 @@ def _run_phase_one(
     config: DRRGossipConfig,
     metrics: MetricsCollector,
 ) -> DRRResult:
-    runner = run_drr_engine if config.use_engine else run_drr
-    return runner(
+    return run_drr(
         n,
         rng=rng,
         probe_budget=config.probe_budget,
         failure_model=config.failure_model,
         metrics=metrics,
+        backend=config.backend,
     )
 
 
@@ -203,6 +204,7 @@ def broadcast_root_addresses(
         rng=rng,
         metrics=metrics,
         phase_name="broadcast-root",
+        backend=config.backend,
     )
     root_of = np.full(drr.forest.n, -1, dtype=np.int64)
     received = outcome.received
@@ -225,6 +227,7 @@ def _broadcast_estimates(
         rng=rng,
         metrics=metrics,
         phase_name="broadcast-final",
+        backend=config.backend,
     )
     return outcome.payload, outcome.received
 
@@ -237,14 +240,14 @@ def _convergecast(
     config: DRRGossipConfig,
     metrics: MetricsCollector,
 ):
-    runner = run_convergecast_engine if config.use_engine else run_convergecast
-    return runner(
+    return run_convergecast(
         drr,
         values,
         op=op,
         failure_model=config.failure_model,
         rng=rng,
         metrics=metrics,
+        backend=config.backend,
     )
 
 
@@ -339,6 +342,7 @@ def _extremum_pipeline(
         gossip_rounds=config.gossip_rounds,
         sampling_rounds=config.sampling_rounds,
         alive=_alive_mask(drr),
+        backend=config.backend,
     )
     payload, received = _broadcast_estimates(drr, gossip.estimates, rng, config, metrics)
     transform = (lambda x: -x) if negate else None
@@ -380,6 +384,7 @@ def _identify_largest_root(
         sampling_rounds=config.sampling_rounds,
         phase_name="gossip-max-sizes",
         alive=_alive_mask(drr),
+        backend=config.backend,
     )
     # Every root compares the gossiped maximum against its own encoding; the
     # root whose own encoding equals the consensus knows it is the largest.
@@ -451,6 +456,7 @@ def _pushsum_pipeline(
         epsilon=config.epsilon,
         alive=alive,
         trace_root=largest,
+        backend=config.backend,
     )
     answer = ave.estimate_at(largest)
     if not np.isfinite(answer):
@@ -468,6 +474,7 @@ def _pushsum_pipeline(
         gossip_rounds=config.gossip_rounds,
         sampling_rounds=config.sampling_rounds,
         alive=alive,
+        backend=config.backend,
     )
     payload, received = _broadcast_estimates(drr, spread.estimates, rng, config, metrics)
 

@@ -16,9 +16,9 @@ The convergecast, broadcast, and gossip phases all consume a ``Forest``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 
@@ -93,6 +93,25 @@ class Forest:
                 kids[par].append(child)
         return tuple(tuple(c) for c in kids)
 
+    @cached_property
+    def child_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar children view: ``(children_sorted, child_start)``.
+
+        ``children_sorted`` holds all non-root node ids grouped by parent
+        (ascending parent, ascending child id within a parent);
+        ``child_start`` has length ``n + 1`` and delimits each parent's
+        slice CSR-style: the children of ``p`` are
+        ``children_sorted[child_start[p]:child_start[p + 1]]``.  This is the
+        representation the vectorized substrate uses; :attr:`children` stays
+        available for per-node (engine) code and small-n tests.
+        """
+        non_roots = np.flatnonzero(self.parent != NO_PARENT)
+        order = non_roots[np.argsort(self.parent[non_roots], kind="stable")]
+        counts = np.bincount(self.parent[non_roots], minlength=self.n)
+        start = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=start[1:])
+        return order.astype(np.int64), start
+
     def is_leaf(self, node_id: int) -> bool:
         return self.parent[node_id] != NO_PARENT and not self.children[node_id]
 
@@ -121,13 +140,26 @@ class Forest:
 
     @cached_property
     def depth(self) -> np.ndarray:
-        """``depth[i]`` = number of edges from node ``i`` up to its root."""
-        depth = np.zeros(self.n, dtype=np.int64)
-        order = self.topological_order()
-        for node in order:
-            par = self.parent[node]
-            if par != NO_PARENT:
-                depth[node] = depth[par] + 1
+        """``depth[i]`` = number of edges from node ``i`` up to its root.
+
+        Computed by a vectorised simultaneous walk of all parent pointers
+        (``O(n)`` work per level, max-depth iterations), so it stays cheap
+        at the million-node scale the vectorized substrate targets.
+        """
+        # Pointer doubling: after k iterations every pointer has jumped
+        # 2^k levels and `depth` holds the number of levels jumped, so
+        # ceil(log2(max depth)) + 1 iterations of O(n) work suffice -- even a
+        # chain-shaped forest (max depth n) costs only O(n log n) total.
+        depth = (self.parent != NO_PARENT).astype(np.int64)
+        ptr = self.parent.copy()
+        for _ in range(max(1, int(np.ceil(np.log2(max(2, self.n)))) + 1)):
+            valid = ptr != NO_PARENT
+            if not valid.any():
+                return depth
+            depth[valid] += depth[ptr[valid]]
+            ptr[valid] = ptr[ptr[valid]]
+        if (ptr != NO_PARENT).any():
+            raise ForestInvariantError("parent pointers contain a cycle")
         return depth
 
     @cached_property
@@ -139,11 +171,9 @@ class Forest:
     @cached_property
     def tree_heights(self) -> dict[int, int]:
         """Mapping root id -> height (max depth) of its tree (Theorem 11 quantity)."""
-        heights: dict[int, int] = {int(r): 0 for r in self.roots}
-        for node in range(self.n):
-            root = int(self.tree_id[node])
-            heights[root] = max(heights[root], int(self.depth[node]))
-        return heights
+        heights = np.zeros(self.n, dtype=np.int64)
+        np.maximum.at(heights, self.tree_id, self.depth)
+        return {int(r): int(heights[r]) for r in self.roots}
 
     @property
     def max_tree_size(self) -> int:
@@ -181,27 +211,29 @@ class Forest:
     # ------------------------------------------------------------------ #
     def topological_order(self) -> np.ndarray:
         """Nodes ordered so parents precede children (roots first)."""
-        order = np.argsort(self.depth_by_bfs(), kind="stable")
+        order = np.argsort(self.depth, kind="stable")
         return order
 
     def depth_by_bfs(self) -> np.ndarray:
-        """Depths computed by BFS from the roots (does not use ``self.depth``)."""
+        """Depths computed by a level-synchronous sweep from the roots.
+
+        Unlike :attr:`depth` (which trusts the pointers), this raises on a
+        cyclic "forest": a node inside a cycle is never reached from any
+        root, so its depth stays unassigned.
+        """
         depth = np.full(self.n, -1, dtype=np.int64)
-        children = self.children
-        frontier = list(int(r) for r in self.roots)
-        for r in frontier:
-            depth[r] = 0
+        depth[self.parent == NO_PARENT] = 0
+        unassigned = np.flatnonzero(depth < 0)
         level = 0
-        while frontier:
+        while unassigned.size:
             level += 1
-            nxt: list[int] = []
-            for node in frontier:
-                for child in children[node]:
-                    depth[child] = level
-                    nxt.append(child)
-            frontier = nxt
-        if (depth < 0).any():
-            raise ForestInvariantError("parent pointers contain a cycle or dangling reference")
+            reached = depth[self.parent[unassigned]] == level - 1
+            if not reached.any():
+                raise ForestInvariantError(
+                    "parent pointers contain a cycle or dangling reference"
+                )
+            depth[unassigned[reached]] = level
+            unassigned = unassigned[~reached]
         return depth
 
     def leaves(self) -> Iterator[int]:
@@ -218,8 +250,8 @@ class Forest:
             raise ForestInvariantError("parent pointer out of range")
         if (self.parent == np.arange(self.n)).any():
             raise ForestInvariantError("a node cannot be its own parent")
-        # depth_by_bfs raises if there is a cycle.
-        self.depth_by_bfs()
+        # the pointer-doubling depth walk raises if there is a cycle.
+        self.depth
         if require_rank_increase:
             non_roots = np.flatnonzero(self.parent != NO_PARENT)
             parents = self.parent[non_roots]

@@ -18,6 +18,14 @@ Mass conservation: with a reliable network the invariant
 ``sum_i s_i = S`` and ``sum_i g_i = n_alive`` holds in every round; lost
 messages remove mass, exactly like the paper's failure model (the factor
 ``(1 - delta)`` inside ``P_i`` of Lemma 8).
+
+Backends: the ``backend`` argument selects the columnar kernel (default) or
+the message-level engine, which runs :class:`GossipAveRootNode` machines on
+the roots and the shared :class:`~repro.core.gossip_max.RootForwarderNode`
+on everyone else.  Both consume the RNG identically on reliable networks;
+estimates agree to float-rounding (the order in which a root folds
+concurrent pushes differs between a columnar scatter-add and per-message
+delivery).
 """
 
 from __future__ import annotations
@@ -28,11 +36,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..simulator.failures import FailureModel
-from ..simulator.message import MessageKind
+from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
+from ..simulator.node import ProtocolNode, RoundContext
 from ..simulator.rng import make_rng
+from ..substrate import EngineKernel, VectorizedKernel, run_on
+from .gossip_max import RootForwarderNode
 
-__all__ = ["GossipAveResult", "default_ave_rounds", "run_gossip_ave"]
+__all__ = ["GossipAveResult", "GossipAveRootNode", "default_ave_rounds", "run_gossip_ave"]
 
 
 def default_ave_rounds(n: int, epsilon: float | None = None, loss_probability: float = 0.0) -> int:
@@ -92,6 +103,7 @@ def run_gossip_ave(
     phase_name: str = "gossip-ave",
     alive: np.ndarray | None = None,
     trace_root: int | None = None,
+    backend: str = "vectorized",
 ) -> GossipAveResult:
     """Run Gossip-ave (Algorithm 6) over the forest's roots.
 
@@ -107,6 +119,8 @@ def run_gossip_ave(
         :func:`default_ave_rounds` for the requested ``epsilon``.
     trace_root:
         If given, the estimate of this root is recorded after every round.
+    backend:
+        Substrate backend: ``"vectorized"`` (default) or ``"engine"``.
     """
     roots = np.asarray(roots, dtype=np.int64)
     local_sums = np.asarray(local_sums, dtype=float)
@@ -131,12 +145,45 @@ def run_gossip_ave(
     if alive is None:
         alive = np.ones(n, dtype=bool)
 
-    delta = failure_model.loss_probability
+    total_rounds = (
+        rounds
+        if rounds is not None
+        else default_ave_rounds(n, epsilon, failure_model.loss_probability)
+    )
+
+    return run_on(
+        backend,
+        vectorized=lambda kernel: _gossip_ave_vectorized(
+            kernel, roots, local_sums, local_weights, root_of, n, failure_model,
+            rng, metrics, total_rounds, alive, trace_root,
+        ),
+        engine=lambda kernel: _gossip_ave_engine(
+            kernel, roots, local_sums, local_weights, root_of, n, failure_model,
+            rng, metrics, total_rounds, alive, trace_root,
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# vectorized (columnar) backend
+# --------------------------------------------------------------------------- #
+def _gossip_ave_vectorized(
+    kernel: VectorizedKernel,
+    roots: np.ndarray,
+    local_sums: np.ndarray,
+    local_weights: np.ndarray,
+    root_of: np.ndarray,
+    n: int,
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    metrics: MetricsCollector,
+    total_rounds: int,
+    alive: np.ndarray,
+    trace_root: int | None,
+) -> GossipAveResult:
     m = roots.size
     position = np.full(n, -1, dtype=np.int64)
     position[roots] = np.arange(m)
-
-    total_rounds = rounds if rounds is not None else default_ave_rounds(n, epsilon, delta)
 
     s = local_sums.copy()
     g = local_weights.copy()
@@ -145,8 +192,7 @@ def run_gossip_ave(
 
     for _ in range(total_rounds):
         metrics.record_round()
-        targets = rng.integers(0, n, size=m)
-        metrics.record_messages(MessageKind.GOSSIP, m, payload_words=2)
+        targets = kernel.sample_uniform(rng, n, m)
 
         # Each root keeps half and ships half, whether or not the shipment
         # survives (lost mass is lost -- that is the paper's model).
@@ -155,23 +201,11 @@ def run_gossip_ave(
         s -= send_s
         g -= send_g
 
-        # Resolve each shipment to the root that finally receives it.
-        receiver = np.full(m, -1, dtype=np.int64)
-        first_hop_ok = ~failure_model.sample_losses(m, rng) & alive[targets]
-        is_root_target = position[targets] >= 0
-        direct = first_hop_ok & is_root_target
-        receiver[direct] = position[targets[direct]]
-        needs_forward = first_hop_ok & ~is_root_target
-        forward_targets = root_of[targets[needs_forward]]
-        knows_root = forward_targets >= 0
-        metrics.record_messages(MessageKind.FORWARD, int(knows_root.sum()), payload_words=2)
-        second_hop_ok = ~failure_model.sample_losses(int(needs_forward.sum()), rng)
-        ok = knows_root & second_hop_ok
-        ok_roots = forward_targets[ok]
-        ok_alive = alive[ok_roots]
-        idx = np.flatnonzero(needs_forward)[ok][ok_alive]
-        receiver[idx] = position[forward_targets[ok][ok_alive]]
-
+        receiver = kernel.relay_to_roots(
+            metrics, failure_model, rng, targets,
+            kind=MessageKind.GOSSIP, position=position, root_of=root_of,
+            alive=alive, payload_words=2,
+        )
         delivered = receiver >= 0
         if delivered.any():
             np.add.at(s, receiver[delivered], send_s[delivered])
@@ -186,6 +220,120 @@ def run_gossip_ave(
     }
     sums = {int(root): float(s[i]) for i, root in enumerate(roots)}
     weights = {int(root): float(g[i]) for i, root in enumerate(roots)}
+    return GossipAveResult(
+        estimates=estimates,
+        sums=sums,
+        weights=weights,
+        rounds=total_rounds,
+        metrics=metrics,
+        traced_root=trace_root,
+        history=history,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# engine (message-level) backend
+# --------------------------------------------------------------------------- #
+class GossipAveRootNode(ProtocolNode):
+    """A root in Gossip-ave: halves its ``(s, g)`` pair and pushes one half."""
+
+    def __init__(self, node_id: int, s: float, g: float, rounds: int, trace: bool = False) -> None:
+        super().__init__(node_id)
+        self.s = float(s)
+        self.g = float(g)
+        self.rounds = int(rounds)
+        self.rounds_done = 0
+        self.trace = trace
+        self.history: list[float] = []
+
+    def _estimate(self) -> float:
+        return self.s / self.g if self.g > 0 else float("nan")
+
+    def begin_round(self, ctx: RoundContext) -> list[Send]:
+        r = ctx.round_index
+        if r >= self.rounds:
+            return []
+        if self.trace and r > 0:
+            # State observed at the start of round r is the estimate after
+            # round r - 1 (the quantity the vectorized history records).
+            self.history.append(self._estimate())
+        self.rounds_done += 1
+        send_s, send_g = self.s / 2.0, self.g / 2.0
+        self.s -= send_s
+        self.g -= send_g
+        return [
+            Send(
+                recipient=ctx.random_node(),
+                kind=MessageKind.GOSSIP,
+                payload={"s": send_s, "w": send_g},
+                payload_words=2,
+            )
+        ]
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        for message in messages:
+            inner = message.get("inner", message.kind)
+            if inner == MessageKind.GOSSIP.value:
+                self.s += float(message.get("s"))
+                self.g += float(message.get("w"))
+        return []
+
+    def is_complete(self) -> bool:
+        return self.rounds_done >= self.rounds
+
+    def result(self) -> float:
+        return self._estimate()
+
+
+def _gossip_ave_engine(
+    kernel: EngineKernel,
+    roots: np.ndarray,
+    local_sums: np.ndarray,
+    local_weights: np.ndarray,
+    root_of: np.ndarray,
+    n: int,
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    metrics: MetricsCollector,
+    total_rounds: int,
+    alive: np.ndarray,
+    trace_root: int | None,
+) -> GossipAveResult:
+    is_root = np.zeros(n, dtype=bool)
+    is_root[roots] = True
+    by_root = {int(r): (float(sv), float(wv)) for r, sv, wv in zip(roots, local_sums, local_weights)}
+    nodes: list[ProtocolNode] = [
+        GossipAveRootNode(i, *by_root[i], rounds=total_rounds, trace=(trace_root == i))
+        if is_root[i]
+        else RootForwarderNode(i, int(root_of[i]))
+        for i in range(n)
+    ]
+    # Three sub-steps: push, forward; nothing answers back within the round.
+    kernel.run(
+        nodes,
+        rng=rng,
+        metrics=metrics,
+        failure_model=failure_model,
+        alive=alive,
+        max_substeps=3,
+        max_rounds=total_rounds + 4,
+    )
+
+    estimates: dict[int, float] = {}
+    sums: dict[int, float] = {}
+    weights: dict[int, float] = {}
+    history: list[float] = []
+    for root in roots:
+        node = nodes[int(root)]
+        estimates[int(root)] = float(node.result())
+        sums[int(root)] = float(node.s)
+        weights[int(root)] = float(node.g)
+        if trace_root is not None and int(root) == int(trace_root):
+            # The in-round snapshots cover rounds 0 .. total - 2; the final
+            # round's estimate is the node's terminal state.
+            history = list(node.history)
+            if total_rounds > 0:
+                history.append(float(node.result()))
     return GossipAveResult(
         estimates=estimates,
         sums=sums,

@@ -16,10 +16,18 @@ root values:
   the sampled root answers with its current value directly to the inquirer.
   Theorem 6: afterwards *all* roots know the maximum whp.
 
-The implementation operates at message granularity (every push, forward,
-inquiry, and reply is counted and individually subject to loss) but is
-vectorised over the roots within a round, because Phase III only involves
-the ``m = O(n / log n)`` roots plus stateless forwarding by other nodes.
+Backends (the ``backend`` argument):
+
+* ``"vectorized"`` operates at message granularity (every push, forward,
+  inquiry, and reply is counted and individually subject to loss) but is
+  batched over the roots within a round, through the substrate's shared
+  two-hop relay primitive.
+* ``"engine"`` runs :class:`GossipMaxRootNode` machines on the roots and
+  :class:`RootForwarderNode` machines on everyone else; pushes, forwards,
+  inquiries, and replies are individual messages on the synchronous engine.
+
+Both backends draw the per-round push targets in root-id order from the
+shared generator, so on a reliable network they agree exactly.
 """
 
 from __future__ import annotations
@@ -30,12 +38,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..simulator.failures import FailureModel
-from ..simulator.message import MessageKind
+from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
+from ..simulator.node import ProtocolNode, RoundContext
 from ..simulator.rng import make_rng
+from ..substrate import EngineKernel, VectorizedKernel, run_on
 
 __all__ = [
     "GossipMaxResult",
+    "GossipMaxRootNode",
+    "RootForwarderNode",
     "default_gossip_rounds",
     "default_sampling_rounds",
     "run_gossip_max",
@@ -110,6 +122,7 @@ def run_gossip_max(
     sampling_rounds: int | None = None,
     phase_name: str = "gossip-max",
     alive: np.ndarray | None = None,
+    backend: str = "vectorized",
 ) -> GossipMaxResult:
     """Run Gossip-max (Algorithm 4) over the forest's roots.
 
@@ -129,6 +142,8 @@ def run_gossip_max(
         Round budgets; ``None`` selects the defaults above.
     alive:
         Liveness mask over all n nodes; dead targets swallow messages.
+    backend:
+        Substrate backend: ``"vectorized"`` (default) or ``"engine"``.
     """
     roots = np.asarray(roots, dtype=np.int64)
     root_values = np.asarray(root_values, dtype=float)
@@ -148,6 +163,38 @@ def run_gossip_max(
         alive = np.ones(n, dtype=bool)
 
     delta = failure_model.loss_probability
+    g_rounds = gossip_rounds if gossip_rounds is not None else default_gossip_rounds(n, delta)
+    s_rounds = sampling_rounds if sampling_rounds is not None else default_sampling_rounds(n, delta)
+
+    return run_on(
+        backend,
+        vectorized=lambda kernel: _gossip_max_vectorized(
+            kernel, roots, root_values, root_of, n, failure_model, rng, metrics,
+            g_rounds, s_rounds, alive,
+        ),
+        engine=lambda kernel: _gossip_max_engine(
+            kernel, roots, root_values, root_of, n, failure_model, rng, metrics,
+            g_rounds, s_rounds, alive,
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# vectorized (columnar) backend
+# --------------------------------------------------------------------------- #
+def _gossip_max_vectorized(
+    kernel: VectorizedKernel,
+    roots: np.ndarray,
+    root_values: np.ndarray,
+    root_of: np.ndarray,
+    n: int,
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    metrics: MetricsCollector,
+    g_rounds: int,
+    s_rounds: int,
+    alive: np.ndarray,
+) -> GossipMaxResult:
     m = roots.size
     # position of each root id in the `roots` array; -1 for non-roots
     position = np.full(n, -1, dtype=np.int64)
@@ -156,45 +203,16 @@ def run_gossip_max(
     values = root_values.copy()
     true_max = float(values.max())
 
-    g_rounds = gossip_rounds if gossip_rounds is not None else default_gossip_rounds(n, delta)
-    s_rounds = sampling_rounds if sampling_rounds is not None else default_sampling_rounds(n, delta)
-
-    def resolve_targets(targets: np.ndarray) -> np.ndarray:
-        """Map push targets to receiving root positions (-1 when dropped).
-
-        Accounts for the first-hop loss, the forwarding hop for non-root
-        targets (charged only when the first hop arrived), the second-hop
-        loss, dead targets, and targets that never learned their root.
-        """
-        receiver = np.full(targets.shape, -1, dtype=np.int64)
-        first_hop_ok = ~failure_model.sample_losses(targets.size, rng) & alive[targets]
-        is_root_target = position[targets] >= 0
-        # direct hits on a root
-        direct = first_hop_ok & is_root_target
-        receiver[direct] = position[targets[direct]]
-        # forwarded hits through a non-root: only nodes that learned their
-        # root's address in Phase II can forward (and only then is the
-        # forwarding message charged).
-        needs_forward = first_hop_ok & ~is_root_target
-        forward_targets = root_of[targets[needs_forward]]
-        knows_root = forward_targets >= 0
-        metrics.record_messages(MessageKind.FORWARD, int(knows_root.sum()), payload_words=1)
-        second_hop_ok = ~failure_model.sample_losses(int(needs_forward.sum()), rng)
-        ok = knows_root & second_hop_ok
-        ok_targets = forward_targets[ok]
-        ok_alive = alive[ok_targets]
-        idx = np.flatnonzero(needs_forward)[ok][ok_alive]
-        receiver[idx] = position[forward_targets[ok][ok_alive]]
-        return receiver
-
     # ------------------------------------------------------------------ #
     # gossip procedure
     # ------------------------------------------------------------------ #
     for _ in range(g_rounds):
         metrics.record_round()
-        targets = rng.integers(0, n, size=m)
-        metrics.record_messages(MessageKind.GOSSIP, m, payload_words=1)
-        receivers = resolve_targets(targets)
+        targets = kernel.sample_uniform(rng, n, m)
+        receivers = kernel.relay_to_roots(
+            metrics, failure_model, rng, targets,
+            kind=MessageKind.GOSSIP, position=position, root_of=root_of, alive=alive,
+        )
         valid = receivers >= 0
         if valid.any():
             np.maximum.at(values, receivers[valid], values[valid])
@@ -206,19 +224,181 @@ def run_gossip_max(
     # ------------------------------------------------------------------ #
     for _ in range(s_rounds):
         metrics.record_round()
-        targets = rng.integers(0, n, size=m)
-        metrics.record_messages(MessageKind.INQUIRY, m, payload_words=1)
-        sampled_roots = resolve_targets(targets)
+        targets = kernel.sample_uniform(rng, n, m)
+        sampled_roots = kernel.relay_to_roots(
+            metrics, failure_model, rng, targets,
+            kind=MessageKind.INQUIRY, position=position, root_of=root_of, alive=alive,
+        )
         valid = sampled_roots >= 0
         # The sampled root answers the inquiring root directly (one hop).
-        metrics.record_messages(MessageKind.INQUIRY_REPLY, int(valid.sum()), payload_words=1)
-        reply_ok = ~failure_model.sample_losses(int(valid.sum()), rng)
+        reply_ok = kernel.deliver(
+            metrics, failure_model, rng, MessageKind.INQUIRY_REPLY,
+            roots[np.flatnonzero(valid)], alive=alive,
+        )
         inquirers = np.flatnonzero(valid)[reply_ok]
         answered_by = sampled_roots[valid][reply_ok]
         if inquirers.size:
             values[inquirers] = np.maximum(values[inquirers], values[answered_by])
 
     estimates = {int(root): float(values[pos]) for pos, root in enumerate(roots)}
+    return GossipMaxResult(
+        estimates=estimates,
+        after_gossip_fraction=after_gossip_fraction,
+        gossip_rounds=g_rounds,
+        sampling_rounds=s_rounds,
+        metrics=metrics,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# engine (message-level) backend
+# --------------------------------------------------------------------------- #
+class RootForwarderNode(ProtocolNode):
+    """A non-root node in Phase III: forwards pushes/inquiries to its root.
+
+    The forward re-wraps the original message under the FORWARD kind,
+    preserving its payload (and payload width) plus an ``inner`` tag so the
+    root can tell a relayed push from a relayed inquiry.  Nodes that never
+    learned their root's address in Phase II (``root < 0``) silently drop.
+    """
+
+    def __init__(self, node_id: int, root: int) -> None:
+        super().__init__(node_id)
+        self.root = int(root)
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        if self.root < 0:
+            return []
+        forwards: list[Send] = []
+        for message in messages:
+            if message.kind in (MessageKind.GOSSIP.value, MessageKind.INQUIRY.value):
+                forwards.append(
+                    Send(
+                        recipient=self.root,
+                        kind=MessageKind.FORWARD,
+                        payload={**message.payload, "inner": message.kind},
+                        payload_words=message.payload_words,
+                    )
+                )
+        return forwards
+
+    def is_complete(self) -> bool:
+        return True
+
+
+class GossipMaxRootNode(ProtocolNode):
+    """A root in Gossip-max: pushes for ``g`` rounds, then samples for ``s``.
+
+    Replies to inquiries carry the value the root held at the *start* of the
+    round (the synchronous-model semantics the vectorized kernel implements:
+    all of a round's exchanges are based on the pre-round state).
+    """
+
+    def __init__(self, node_id: int, value: float, gossip_rounds: int, sampling_rounds: int) -> None:
+        super().__init__(node_id)
+        self.value = float(value)
+        self.gossip_rounds = int(gossip_rounds)
+        self.sampling_rounds = int(sampling_rounds)
+        self.rounds_done = 0
+        self.round_value = float(value)
+        self.value_after_gossip: float | None = None
+
+    def begin_round(self, ctx: RoundContext) -> list[Send]:
+        self.round_value = self.value
+        r = ctx.round_index
+        if r == self.gossip_rounds and self.value_after_gossip is None:
+            self.value_after_gossip = self.value
+        if r < self.gossip_rounds:
+            self.rounds_done += 1
+            return [
+                Send(
+                    recipient=ctx.random_node(),
+                    kind=MessageKind.GOSSIP,
+                    payload={"value": self.value},
+                    payload_words=1,
+                )
+            ]
+        if r < self.gossip_rounds + self.sampling_rounds:
+            self.rounds_done += 1
+            return [
+                Send(
+                    recipient=ctx.random_node(),
+                    kind=MessageKind.INQUIRY,
+                    payload={"origin": self.node_id},
+                    payload_words=1,
+                )
+            ]
+        return []
+
+    def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
+        replies: list[Send] = []
+        for message in messages:
+            inner = message.get("inner", message.kind)
+            if inner == MessageKind.GOSSIP.value:
+                self.value = max(self.value, float(message.get("value")))
+            elif inner == MessageKind.INQUIRY.value:
+                replies.append(
+                    Send(
+                        recipient=int(message.get("origin")),
+                        kind=MessageKind.INQUIRY_REPLY,
+                        payload={"value": self.round_value},
+                        payload_words=1,
+                    )
+                )
+            elif message.kind == MessageKind.INQUIRY_REPLY.value:
+                self.value = max(self.value, float(message.get("value")))
+        return replies
+
+    def is_complete(self) -> bool:
+        return self.rounds_done >= self.gossip_rounds + self.sampling_rounds
+
+    def result(self) -> float:
+        return self.value
+
+
+def _gossip_max_engine(
+    kernel: EngineKernel,
+    roots: np.ndarray,
+    root_values: np.ndarray,
+    root_of: np.ndarray,
+    n: int,
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    metrics: MetricsCollector,
+    g_rounds: int,
+    s_rounds: int,
+    alive: np.ndarray,
+) -> GossipMaxResult:
+    is_root = np.zeros(n, dtype=bool)
+    is_root[roots] = True
+    by_root = {int(r): float(v) for r, v in zip(roots, root_values)}
+    nodes: list[ProtocolNode] = [
+        GossipMaxRootNode(i, by_root[i], g_rounds, s_rounds)
+        if is_root[i]
+        else RootForwarderNode(i, int(root_of[i]))
+        for i in range(n)
+    ]
+    # Four sub-steps: push/inquiry, forward, and (sampling only) the reply
+    # all complete within the round they were initiated.
+    kernel.run(
+        nodes,
+        rng=rng,
+        metrics=metrics,
+        failure_model=failure_model,
+        alive=alive,
+        max_substeps=4,
+        max_rounds=g_rounds + s_rounds + 4,
+    )
+
+    true_max = float(root_values.max())
+    estimates: dict[int, float] = {}
+    after_gossip: list[float] = []
+    for root in roots:
+        node = nodes[int(root)]
+        estimates[int(root)] = float(node.value)
+        snapshot = node.value_after_gossip if node.value_after_gossip is not None else node.value
+        after_gossip.append(float(snapshot))
+    after_gossip_fraction = float(np.mean(np.asarray(after_gossip) >= true_max))
     return GossipMaxResult(
         estimates=estimates,
         after_gossip_fraction=after_gossip_fraction,

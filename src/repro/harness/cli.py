@@ -43,6 +43,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core import Aggregate, DRRGossipConfig, drr_gossip
+from ..substrate import available_backends
 from ..orchestration import (
     ResultStore,
     SweepDefinition,
@@ -83,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--crash", type=float, default=0.0, help="initial crash fraction")
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--query", type=float, default=None, help="query value for the rank aggregate")
+    run.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="vectorized",
+        help="execution substrate: columnar batches (vectorized) or message-level simulation (engine)",
+    )
 
     for spec in load_builtin_experiments():
         exp = sub.add_parser(spec.name, help=spec.description)
@@ -114,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1, help="worker processes (1 = run in-process)")
     sweep.add_argument("--store", type=str, default=DEFAULT_STORE, help="SQLite result store path")
     sweep.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default=None,
+        help="execution substrate for every backend-aware experiment in the sweep "
+        "(recorded per row in the result store; default: each driver's default)",
+    )
+    sweep.add_argument(
         "--no-skip",
         action="store_true",
         help="re-execute cells even when the store already has their results",
@@ -132,10 +146,12 @@ def _run_single(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     values = make_values(args.workload, args.n, rng)
     config = DRRGossipConfig(
-        failure_model=FailureModel(loss_probability=args.delta, crash_fraction=args.crash)
+        failure_model=FailureModel(loss_probability=args.delta, crash_fraction=args.crash),
+        backend=args.backend,
     )
     result = drr_gossip(values, args.aggregate, rng=args.seed, config=config, query=args.query)
     print(f"aggregate        : {result.aggregate.value}")
+    print(f"backend          : {config.backend}")
     print(f"n                : {result.n}")
     print(f"exact value      : {result.exact:.6g}")
     print(f"max rel. error   : {result.max_relative_error:.3g}")
@@ -197,6 +213,18 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_backend(definition: SweepDefinition, backend: str) -> SweepDefinition:
+    """Pin the substrate backend on every backend-aware plan of a sweep."""
+    registry = load_builtin_experiments()
+    plans = []
+    for plan in definition.plans:
+        spec = registry.get(plan.experiment)
+        if "backend" in spec.param_names:
+            plan = dataclasses.replace(plan, grid={**plan.grid, "backend": backend})
+        plans.append(plan)
+    return dataclasses.replace(definition, plans=tuple(plans))
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     try:
         if args.jobs < 1:
@@ -229,6 +257,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 seed=args.seed if args.seed is not None else 1,
                 repetitions=args.reps if args.reps is not None else 1,
             )
+        if args.backend is not None:
+            definition = _apply_backend(definition, args.backend)
         expand_cells(definition)  # validate experiment names and grids up front
     except (KeyError, ValueError, TypeError, OSError) as exc:
         message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else str(exc)
@@ -255,10 +285,11 @@ def _run_results(args: argparse.Namespace) -> int:
         summary = store.summary()
         if args.experiment is not None:
             summary = [row for row in summary if row["experiment"] == args.experiment]
-        print(f"{'experiment':<20} {'completed':>9} {'failed':>6} {'runtime':>9}")
+        print(f"{'experiment':<20} {'backend':<11} {'completed':>9} {'failed':>6} {'runtime':>9}")
         for row in summary:
             print(
-                f"{row['experiment']:<20} {row['completed'] or 0:>9} "
+                f"{row['experiment']:<20} {row.get('backend') or '-':<11} "
+                f"{row['completed'] or 0:>9} "
                 f"{row['failed'] or 0:>6} {row['total_duration_s'] or 0.0:>8.1f}s"
             )
         if args.failed:

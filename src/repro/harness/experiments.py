@@ -15,7 +15,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..analysis import best_shape, power_law_exponent, summarize, theory
+from ..analysis import best_shape, power_law_exponent, theory
 from ..analysis.lower_bound import adversarial_push_max_messages
 from ..baselines import efficient_gossip, push_max, push_pull_rumor, push_sum
 from ..core import (
@@ -101,6 +101,7 @@ def run_table1(
     delta: float = 0.0,
     workload: str = "uniform",
     aggregate: Aggregate = Aggregate.AVERAGE,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Measure rounds and messages of the three Table 1 protocols across n.
 
@@ -111,6 +112,7 @@ def run_table1(
     """
     stream = RngStream(seed)
     failure_model = FailureModel(loss_probability=delta)
+    config = DRRGossipConfig(failure_model=failure_model, backend=backend)
     rows: list[dict] = []
     per_algo_msgs: dict[str, list[float]] = {"drr-gossip": [], "uniform-gossip": [], "efficient-gossip": []}
     per_algo_rounds: dict[str, list[float]] = {k: [] for k in per_algo_msgs}
@@ -121,12 +123,12 @@ def run_table1(
             values = make_values(workload, n, rng)
 
             if aggregate == Aggregate.AVERAGE:
-                drr_run = drr_gossip_average(values, rng=stream.get("table1-drr", n, rep), config=DRRGossipConfig(failure_model=failure_model))
-                uni = push_sum(values, rng=stream.get("table1-uni", n, rep), failure_model=failure_model)
+                drr_run = drr_gossip_average(values, rng=stream.get("table1-drr", n, rep), config=config)
+                uni = push_sum(values, rng=stream.get("table1-uni", n, rep), failure_model=failure_model, backend=backend)
             else:
-                drr_run = drr_gossip_max(values, rng=stream.get("table1-drr", n, rep), config=DRRGossipConfig(failure_model=failure_model))
-                uni = push_max(values, rng=stream.get("table1-uni", n, rep), failure_model=failure_model)
-            eff = efficient_gossip(values, aggregate, rng=stream.get("table1-eff", n, rep), failure_model=failure_model)
+                drr_run = drr_gossip_max(values, rng=stream.get("table1-drr", n, rep), config=config)
+                uni = push_max(values, rng=stream.get("table1-uni", n, rep), failure_model=failure_model, backend=backend)
+            eff = efficient_gossip(values, aggregate, rng=stream.get("table1-eff", n, rep), failure_model=failure_model, backend=backend)
 
             for name, rounds, messages, error in (
                 ("drr-gossip", drr_run.rounds, drr_run.messages, drr_run.max_relative_error),
@@ -183,7 +185,7 @@ def run_table1(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"ns": list(ns), "repetitions": repetitions, "delta": delta, "workload": workload, "aggregate": str(aggregate)},
+        parameters={"ns": list(ns), "repetitions": repetitions, "delta": delta, "workload": workload, "aggregate": str(aggregate), "backend": backend},
         notes=notes,
     )
 
@@ -196,6 +198,7 @@ def run_forest_statistics(
     repetitions: int = 5,
     seed: int = 2,
     delta: float = 0.0,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Measure #trees, max tree size, DRR messages and rounds across n."""
     stream = RngStream(seed)
@@ -204,7 +207,7 @@ def run_forest_statistics(
     for n in ns:
         tree_counts, max_sizes, messages, rounds = [], [], [], []
         for rep in range(repetitions):
-            result = run_drr(n, rng=stream.get("forest", n, rep), failure_model=failure_model)
+            result = run_drr(n, rng=stream.get("forest", n, rep), failure_model=failure_model, backend=backend)
             tree_counts.append(result.forest.root_count)
             max_sizes.append(result.forest.max_tree_size)
             messages.append(result.metrics.total_messages)
@@ -234,7 +237,7 @@ def run_forest_statistics(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"ns": list(ns), "repetitions": repetitions, "delta": delta},
+        parameters={"ns": list(ns), "repetitions": repetitions, "delta": delta, "backend": backend},
         notes=notes,
     )
 
@@ -247,6 +250,7 @@ def run_gossip_max_convergence(
     deltas: Sequence[float] = (0.0, 0.05, 0.1),
     repetitions: int = 5,
     seed: int = 3,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Fraction of roots holding Max after the gossip / sampling procedures."""
     stream = RngStream(seed)
@@ -258,11 +262,13 @@ def run_gossip_max_convergence(
             for rep in range(repetitions):
                 rng = stream.get("gmax", n, int(delta * 100), rep)
                 values = make_values("uniform", n, rng)
-                drr = run_drr(n, rng=rng, failure_model=failure_model)
+                drr = run_drr(n, rng=rng, failure_model=failure_model, backend=backend)
                 roots = drr.forest.roots
-                cov = run_convergecast(drr, values, op="max", failure_model=failure_model, rng=rng)
+                cov = run_convergecast(drr, values, op="max", failure_model=failure_model, rng=rng, backend=backend)
                 metrics = MetricsCollector(n=n)
-                root_of = broadcast_root_addresses(drr, roots, rng, DRRGossipConfig(failure_model=failure_model), metrics)
+                root_of = broadcast_root_addresses(
+                    drr, roots, rng, DRRGossipConfig(failure_model=failure_model, backend=backend), metrics
+                )
                 gossip = run_gossip_max(
                     roots=roots,
                     root_values=cov.value_vector(roots),
@@ -271,6 +277,7 @@ def run_gossip_max_convergence(
                     failure_model=failure_model,
                     rng=rng,
                     metrics=metrics,
+                    backend=backend,
                 )
                 true_max = float(cov.value_vector(roots).max())
                 final = np.array(list(gossip.estimates.values()))
@@ -294,7 +301,7 @@ def run_gossip_max_convergence(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"ns": list(ns), "deltas": list(deltas), "repetitions": repetitions},
+        parameters={"ns": list(ns), "deltas": list(deltas), "repetitions": repetitions, "backend": backend},
     )
 
 
@@ -306,6 +313,7 @@ def run_gossip_ave_convergence(
     workloads: Sequence[str] = ("uniform", "bimodal", "signed", "zero-mean"),
     repetitions: int = 3,
     seed: int = 4,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Relative error at the largest-tree root vs rounds, per workload."""
     stream = RngStream(seed)
@@ -316,11 +324,11 @@ def run_gossip_ave_convergence(
             for rep in range(repetitions):
                 rng = stream.get("gave", n, workload, rep)
                 values = make_values(workload, n, rng)
-                drr = run_drr(n, rng=rng)
+                drr = run_drr(n, rng=rng, backend=backend)
                 roots = drr.forest.roots
-                cov = run_convergecast(drr, values, op="sum", rng=rng)
+                cov = run_convergecast(drr, values, op="sum", rng=rng, backend=backend)
                 metrics = MetricsCollector(n=n)
-                root_of = broadcast_root_addresses(drr, roots, rng, DRRGossipConfig(), metrics)
+                root_of = broadcast_root_addresses(drr, roots, rng, DRRGossipConfig(backend=backend), metrics)
                 largest = drr.forest.largest_root()
                 ave = run_gossip_ave(
                     roots=roots,
@@ -331,6 +339,7 @@ def run_gossip_ave_convergence(
                     rng=rng,
                     metrics=metrics,
                     trace_root=largest,
+                    backend=backend,
                 )
                 truth = float(values.mean())
                 history = np.array(ave.history)
@@ -362,7 +371,7 @@ def run_gossip_ave_convergence(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"ns": list(ns), "workloads": list(workloads), "repetitions": repetitions},
+        parameters={"ns": list(ns), "workloads": list(workloads), "repetitions": repetitions, "backend": backend},
     )
 
 
@@ -374,12 +383,13 @@ def run_end_to_end_accuracy(
     repetitions: int = 3,
     seed: int = 5,
     delta: float = 0.0,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Correctness/accuracy and cost of every DRR-gossip aggregate pipeline."""
     from ..core import drr_gossip  # local import to avoid cycle at module load
 
     stream = RngStream(seed)
-    config = DRRGossipConfig(failure_model=FailureModel(loss_probability=delta))
+    config = DRRGossipConfig(failure_model=FailureModel(loss_probability=delta), backend=backend)
     rows: list[dict] = []
     for n in ns:
         for aggregate in (Aggregate.MAX, Aggregate.MIN, Aggregate.AVERAGE, Aggregate.SUM, Aggregate.COUNT, Aggregate.RANK):
@@ -409,7 +419,7 @@ def run_end_to_end_accuracy(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"ns": list(ns), "repetitions": repetitions, "delta": delta},
+        parameters={"ns": list(ns), "repetitions": repetitions, "delta": delta, "backend": backend},
     )
 
 
@@ -497,7 +507,6 @@ def run_chord_comparison(
             # Phase III: every root samples a random peer per round through
             # Chord routing (measured hops), the peer forwards to its root
             # along its tree path (depth hops).
-            m = roots.size
             max_height = forest.max_tree_height
             for _ in range(gossip_rounds):
                 sample_rounds_this = 0
@@ -558,6 +567,7 @@ def run_lower_bound_experiment(
     repetitions: int = 3,
     seed: int = 8,
     target_fraction: float = 0.9,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Messages address-oblivious protocols spend vs the n log n bound."""
     stream = RngStream(seed)
@@ -568,10 +578,10 @@ def run_lower_bound_experiment(
             rng = stream.get("lb", n, rep)
             adv = adversarial_push_max_messages(n, rng=rng, target_fraction=target_fraction)
             oblivious_msgs.append(adv.messages_to_target)
-            rumor = push_pull_rumor(n, rng=stream.get("lb-rumor", n, rep))
+            rumor = push_pull_rumor(n, rng=stream.get("lb-rumor", n, rep), backend=backend)
             rumor_msgs.append(rumor.messages)
             values = make_values("single-spike", n, stream.get("lb-vals", n, rep))
-            drr = drr_gossip_max(values, rng=stream.get("lb-drr", n, rep))
+            drr = drr_gossip_max(values, rng=stream.get("lb-drr", n, rep), config=DRRGossipConfig(backend=backend))
             drr_msgs.append(drr.messages)
         rows.append(
             {
@@ -598,7 +608,7 @@ def run_lower_bound_experiment(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"ns": list(ns), "repetitions": repetitions, "target_fraction": target_fraction},
+        parameters={"ns": list(ns), "repetitions": repetitions, "target_fraction": target_fraction, "backend": backend},
         notes=notes,
     )
 
@@ -610,6 +620,7 @@ def run_phase_breakdown(
     ns: Sequence[int] = (256, 1024, 4096),
     repetitions: int = 3,
     seed: int = 9,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Which phase dominates the message budget of DRR-gossip-ave."""
     stream = RngStream(seed)
@@ -619,7 +630,7 @@ def run_phase_breakdown(
         for rep in range(repetitions):
             rng = stream.get("breakdown", n, rep)
             values = make_values("uniform", n, rng)
-            result = drr_gossip_average(values, rng=rng)
+            result = drr_gossip_average(values, rng=rng, config=DRRGossipConfig(backend=backend))
             for phase, count in result.messages_by_phase().items():
                 totals.setdefault(phase, []).append(count)
         total_messages = sum(float(np.mean(v)) for v in totals.values())
@@ -637,7 +648,7 @@ def run_phase_breakdown(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"ns": list(ns), "repetitions": repetitions},
+        parameters={"ns": list(ns), "repetitions": repetitions, "backend": backend},
     )
 
 
@@ -648,6 +659,7 @@ def run_ablation(
     n: int = 2048,
     repetitions: int = 3,
     seed: int = 10,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Ablate the probe budget and the rank domain of DRR."""
     stream = RngStream(seed)
@@ -661,7 +673,7 @@ def run_ablation(
     ):
         counts, sizes, msgs = [], [], []
         for rep in range(repetitions):
-            result = run_drr(n, rng=stream.get("ablate-budget", label, rep), probe_budget=budget)
+            result = run_drr(n, rng=stream.get("ablate-budget", label, rep), probe_budget=budget, backend=backend)
             counts.append(result.forest.root_count)
             sizes.append(result.forest.max_tree_size)
             msgs.append(result.metrics.total_messages)
@@ -682,7 +694,7 @@ def run_ablation(
         counts, sizes, msgs = [], [], []
         for rep in range(repetitions):
             rng = stream.get("ablate-rank", label, rep)
-            result = run_drr(n, rng=rng, ranks=rank_factory(rng))
+            result = run_drr(n, rng=rng, ranks=rank_factory(rng), backend=backend)
             counts.append(result.forest.root_count)
             sizes.append(result.forest.max_tree_size)
             msgs.append(result.metrics.total_messages)
@@ -701,7 +713,7 @@ def run_ablation(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"n": n, "repetitions": repetitions},
+        parameters={"n": n, "repetitions": repetitions, "backend": backend},
     )
 
 

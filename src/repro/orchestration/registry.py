@@ -18,8 +18,8 @@ from __future__ import annotations
 import enum
 import inspect
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
 
 __all__ = [
     "ParamSpec",

@@ -123,6 +123,12 @@ def expand_cells(
         spec = registry.get(plan.experiment)
         reps = definition.repetitions_for(plan)
         for params in spec.expand_grid(plan.grid):
+            # Pin the execution backend into every cell of a backend-aware
+            # experiment so stored rows are never ambiguous about which
+            # substrate kernel produced them (even when the sweep relied on
+            # the default).
+            if "backend" in spec.param_names and "backend" not in params:
+                params = {**params, "backend": spec.param("backend").default}
             digest = param_hash(params)
             seeds = stream.seeds(reps, plan.experiment, digest)
             for rep, seed in enumerate(seeds):

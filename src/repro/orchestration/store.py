@@ -20,7 +20,7 @@ import json
 import sqlite3
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -34,6 +34,7 @@ CREATE TABLE IF NOT EXISTS runs (
     seed        INTEGER NOT NULL,
     status      TEXT NOT NULL CHECK (status IN ('ok', 'failed')),
     params      TEXT NOT NULL,
+    backend     TEXT,
     description TEXT NOT NULL DEFAULT '',
     headers     TEXT NOT NULL DEFAULT '[]',
     rows        TEXT NOT NULL DEFAULT '[]',
@@ -82,6 +83,12 @@ def canonical_params(params: Mapping[str, Any]) -> dict[str, Any]:
     return {str(k): norm(v) for k, v in params.items()}
 
 
+def _backend_of(canon: Mapping[str, Any]) -> str | None:
+    """Extract the substrate backend recorded in a canonical param binding."""
+    backend = canon.get("backend")
+    return str(backend) if backend is not None else None
+
+
 def param_hash(params: Mapping[str, Any]) -> str:
     """Stable hex digest of a parameter binding, independent of dict order."""
     canon = json.dumps(canonical_params(params), sort_keys=True, separators=(",", ":"))
@@ -98,6 +105,9 @@ class StoredRun:
     seed: int
     status: str
     params: dict[str, Any]
+    #: substrate backend that produced the row (from the cell's params);
+    #: None for experiments that predate / do not take a backend.
+    backend: str | None
     description: str
     headers: list[str]
     rows: list[dict[str, Any]]
@@ -117,6 +127,7 @@ class StoredRun:
             "seed": self.seed,
             "status": self.status,
             "params": self.params,
+            "backend": self.backend,
             "description": self.description,
             "headers": self.headers,
             "rows": self.rows,
@@ -152,6 +163,11 @@ class ResultStore:
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.executescript(_SCHEMA)
+        # Stores created before the substrate refactor lack the backend
+        # column; add it in place (NULL for historic rows).
+        columns = {row["name"] for row in self._conn.execute("PRAGMA table_info(runs)")}
+        if "backend" not in columns:
+            self._conn.execute("ALTER TABLE runs ADD COLUMN backend TEXT")
         self._conn.commit()
 
     # ------------------------------------------------------------------ #
@@ -163,11 +179,12 @@ class ResultStore:
         digest = param_hash(canon)
         self._conn.execute(
             """
-            INSERT INTO runs (experiment, param_hash, seed, status, params, description,
+            INSERT INTO runs (experiment, param_hash, seed, status, params, backend, description,
                               headers, rows, notes, error, duration_s)
-            VALUES (?, ?, ?, 'ok', ?, ?, ?, ?, ?, NULL, ?)
+            VALUES (?, ?, ?, 'ok', ?, ?, ?, ?, ?, ?, NULL, ?)
             ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
-                status = 'ok', params = excluded.params, description = excluded.description,
+                status = 'ok', params = excluded.params, backend = excluded.backend,
+                description = excluded.description,
                 headers = excluded.headers, rows = excluded.rows, notes = excluded.notes,
                 error = NULL, duration_s = excluded.duration_s,
                 created_at = datetime('now')
@@ -177,6 +194,7 @@ class ResultStore:
                 digest,
                 int(seed),
                 json.dumps(canon, sort_keys=True, default=_json_default),
+                _backend_of(canon),
                 result.description,
                 json.dumps(list(result.headers), default=_json_default),
                 json.dumps(list(result.rows), default=_json_default),
@@ -193,10 +211,11 @@ class ResultStore:
         digest = param_hash(canon)
         self._conn.execute(
             """
-            INSERT INTO runs (experiment, param_hash, seed, status, params, error, duration_s)
-            VALUES (?, ?, ?, 'failed', ?, ?, ?)
+            INSERT INTO runs (experiment, param_hash, seed, status, params, backend, error, duration_s)
+            VALUES (?, ?, ?, 'failed', ?, ?, ?, ?)
             ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
-                status = 'failed', params = excluded.params, error = excluded.error,
+                status = 'failed', params = excluded.params, backend = excluded.backend,
+                error = excluded.error,
                 headers = '[]', rows = '[]', notes = '[]',
                 duration_s = excluded.duration_s, created_at = datetime('now')
             """,
@@ -205,6 +224,7 @@ class ResultStore:
                 digest,
                 int(seed),
                 json.dumps(canon, sort_keys=True, default=_json_default),
+                _backend_of(canon),
                 error,
                 duration_s,
             ),
@@ -257,14 +277,15 @@ class ResultStore:
         return [run.to_result() for run in self.query(experiment=experiment, status="ok")]
 
     def summary(self) -> list[dict[str, Any]]:
-        """Per-experiment counts of completed/failed cells and total runtime."""
+        """Per-(experiment, backend) counts of completed/failed cells and runtime."""
         rows = self._conn.execute(
             """
             SELECT experiment,
+                   backend,
                    SUM(status = 'ok') AS completed,
                    SUM(status = 'failed') AS failed,
                    SUM(COALESCE(duration_s, 0)) AS total_duration_s
-            FROM runs GROUP BY experiment ORDER BY experiment
+            FROM runs GROUP BY experiment, backend ORDER BY experiment, backend
             """
         ).fetchall()
         return [dict(row) for row in rows]
@@ -291,6 +312,7 @@ class ResultStore:
             seed=int(row["seed"]),
             status=row["status"],
             params=json.loads(row["params"]),
+            backend=row["backend"],
             description=row["description"],
             headers=json.loads(row["headers"]),
             rows=json.loads(row["rows"]),

@@ -26,7 +26,7 @@ root, the root may answer), which the corresponding protocols request via
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 import numpy as np

@@ -121,14 +121,25 @@ class MetricsCollector:
         if lost:
             phase.messages_lost += 1
 
-    def record_messages(self, kind: str, count: int, payload_words: int = 1) -> None:
-        """Bulk-record ``count`` identical transmissions (fast paths use this)."""
+    def record_messages(self, kind: str, count: int, payload_words: int = 1, lost: int = 0) -> None:
+        """Bulk-record ``count`` identical transmissions (columnar paths use this).
+
+        ``lost`` of the ``count`` attempts never arrived; like in
+        :meth:`record_message` they still count toward the message
+        complexity but are tracked separately.  The vectorized substrate
+        charges whole per-round batches through this method with the same
+        lost-message semantics the engine applies per message, which is what
+        keeps the two backends' accounting identical.
+        """
         if count < 0:
             raise ValueError("message count cannot be negative")
+        if not (0 <= lost <= count):
+            raise ValueError(f"lost must be in [0, count], got {lost} of {count}")
         phase = self._current
         phase.messages += count
         phase.words += max(0, payload_words) * count
         phase.messages_by_kind[str(kind)] += count
+        phase.messages_lost += lost
 
     # ------------------------------------------------------------------ #
     # totals

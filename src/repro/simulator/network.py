@@ -38,6 +38,12 @@ class Network:
         :mod:`repro.topology`.
     rng:
         Generator used to sample initial crashes and message losses.
+    alive:
+        Optional precomputed liveness mask.  When given, the network adopts
+        it instead of sampling crashes itself; protocol entry points use
+        this so crash injection happens exactly once per run, through the
+        same :meth:`FailureModel.sample_crashes` call, whichever substrate
+        backend executes the protocol.
     """
 
     def __init__(
@@ -46,6 +52,7 @@ class Network:
         failure_model: FailureModel | None = None,
         neighbor_fn: Callable[[int], Sequence[int]] | None = None,
         rng: np.random.Generator | None = None,
+        alive: np.ndarray | None = None,
     ) -> None:
         if n <= 0:
             raise ConfigurationError(f"network needs at least one node, got n={n}")
@@ -53,7 +60,13 @@ class Network:
         self.failure_model = failure_model or FailureModel()
         self.neighbor_fn = neighbor_fn
         self._rng = rng if rng is not None else np.random.default_rng()
-        self.alive = ~self.failure_model.sample_crashes(self.n, self._rng)
+        if alive is not None:
+            alive = np.asarray(alive, dtype=bool)
+            if alive.shape != (self.n,):
+                raise ConfigurationError(f"alive mask must have shape ({self.n},)")
+            self.alive = alive.copy()
+        else:
+            self.alive = ~self.failure_model.sample_crashes(self.n, self._rng)
 
     # ------------------------------------------------------------------ #
     # population

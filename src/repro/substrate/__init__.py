@@ -1,0 +1,44 @@
+"""Backend-selectable execution substrate.
+
+One simulation kernel, two interchangeable backends:
+
+* ``vectorized`` — columnar NumPy execution; an entire round's calls and
+  replies are batched as arrays.  Scales to millions of nodes.
+* ``engine`` — per-node message-level execution on the
+  :class:`~repro.simulator.engine.SynchronousEngine`.  The fidelity
+  reference.
+
+Every protocol in :mod:`repro.core` and :mod:`repro.baselines` takes a
+``backend`` argument (or, for the DRR-gossip pipelines, reads it from
+:class:`~repro.core.drr_gossip.DRRGossipConfig`) and dispatches through
+:func:`run_on`.  See :mod:`repro.substrate.kernel` for the contract between
+the backends and ``tests/test_substrate.py`` for the equivalence guarantees.
+"""
+
+from .delivery import deliver_batch, relay_to_roots, sample_uniform
+from .kernel import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    EngineKernel,
+    Kernel,
+    VectorizedKernel,
+    available_backends,
+    get_kernel,
+    normalize_backend,
+    run_on,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "EngineKernel",
+    "Kernel",
+    "VectorizedKernel",
+    "available_backends",
+    "deliver_batch",
+    "get_kernel",
+    "normalize_backend",
+    "relay_to_roots",
+    "run_on",
+    "sample_uniform",
+]

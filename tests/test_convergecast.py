@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import run_broadcast, run_broadcast_engine, run_convergecast, run_convergecast_engine, run_drr
+from repro.core import run_broadcast, run_convergecast, run_drr
 from repro.simulator import FailureModel
 
 
@@ -119,29 +119,37 @@ class TestEngineParity:
     def test_convergecast_engine_matches_fast_on_reliable_network(self, values_256):
         drr = run_drr(256, rng=21)
         fast = run_convergecast(drr, values_256, op="sum", rng=1)
-        engine = run_convergecast_engine(drr, values_256, op="sum", rng=1)
+        engine = run_convergecast(drr, values_256, op="sum", rng=1, backend="engine")
         assert set(fast.local_value) == set(engine.local_value)
         for root in fast.local_value:
             assert fast.local_value[root] == pytest.approx(engine.local_value[root])
             assert fast.local_weight[root] == engine.local_weight[root]
+        assert fast.rounds == engine.rounds
+        assert fast.metrics.total_messages == engine.metrics.total_messages
 
     def test_broadcast_engine_matches_fast_on_reliable_network(self):
         drr = run_drr(128, rng=22)
         payload = {int(r): float(r) * 2 for r in drr.forest.roots}
         fast = run_broadcast(drr, payload, rng=1)
-        engine = run_broadcast_engine(drr, payload, rng=1)
+        engine = run_broadcast(drr, payload, rng=1, backend="engine")
         assert np.array_equal(fast.received, engine.received)
         assert np.allclose(fast.payload[fast.received], engine.payload[engine.received])
+        assert fast.rounds == engine.rounds
 
     def test_convergecast_engine_message_count(self, values_256):
         drr = run_drr(256, rng=23)
-        engine = run_convergecast_engine(drr, values_256, op="max", rng=1)
+        engine = run_convergecast(drr, values_256, op="max", rng=1, backend="engine")
         non_roots = int((drr.forest.parent >= 0).sum())
         assert engine.metrics.total_messages == non_roots
 
     def test_convergecast_engine_survives_loss(self, values_256):
         drr = run_drr(128, rng=24, failure_model=FailureModel(loss_probability=0.2))
-        engine = run_convergecast_engine(
-            drr, values_256[:128], op="sum", failure_model=FailureModel(loss_probability=0.2), rng=2
+        engine = run_convergecast(
+            drr,
+            values_256[:128],
+            op="sum",
+            failure_model=FailureModel(loss_probability=0.2),
+            rng=2,
+            backend="engine",
         )
         assert sum(engine.local_weight.values()) <= 128

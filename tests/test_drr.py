@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import default_probe_budget, run_drr, run_drr_engine
+from repro.core import default_probe_budget, run_drr
 from repro.simulator import FailureModel, MessageKind
 
 
@@ -124,33 +124,35 @@ class TestRunDRRFast:
 
 class TestRunDRREngine:
     def test_engine_forest_valid_and_consistent(self):
-        result = run_drr_engine(128, rng=1)
+        result = run_drr(128, rng=1, backend="engine")
         result.forest.validate()
         non_roots = result.forest.parent >= 0
         assert result.connect_delivered[non_roots].all()
 
-    def test_engine_and_fast_have_similar_structure(self):
+    def test_engine_and_fast_are_identical_on_reliable_network(self):
         n = 512
         fast = run_drr(n, rng=3)
-        engine = run_drr_engine(n, rng=3)
-        # Not bit-identical (different RNG consumption order), but the forest
-        # statistics concentrate, so they must be in the same ballpark.
-        assert abs(fast.forest.root_count - engine.forest.root_count) < 0.6 * max(
-            fast.forest.root_count, engine.forest.root_count
-        )
-        ratio = fast.metrics.total_messages / engine.metrics.total_messages
-        assert 0.5 < ratio < 2.0
+        engine = run_drr(n, rng=3, backend="engine")
+        # Both backends consume the shared RNG stream in the same order, so
+        # the same seed produces the same forest and the same accounting.
+        assert np.array_equal(fast.forest.parent, engine.forest.parent)
+        assert fast.metrics.total_messages == engine.metrics.total_messages
+        assert fast.rounds == engine.rounds
 
     def test_engine_message_kinds_include_probe_and_rank(self):
-        result = run_drr_engine(64, rng=2)
+        result = run_drr(64, rng=2, backend="engine")
         kinds = result.metrics.messages_by_kind()
         assert kinds[str(MessageKind.PROBE)] > 0
         assert kinds[str(MessageKind.RANK)] > 0
         assert kinds[str(MessageKind.CONNECT)] == 64 - result.forest.root_count
 
     def test_engine_rounds_close_to_budget(self):
-        result = run_drr_engine(256, rng=4)
+        result = run_drr(256, rng=4, backend="engine")
         assert result.rounds <= default_probe_budget(256) + 4
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception):
+            run_drr(64, rng=1, backend="warp-drive")
 
 
 class TestDRRProperties:

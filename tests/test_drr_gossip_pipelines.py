@@ -130,11 +130,14 @@ class TestConfig:
         assert derived.gossip_rounds == 7
         assert derived.failure_model is fm
 
-    def test_engine_backed_phases_give_same_answers(self, tiny_values):
+    def test_engine_backend_gives_identical_answers(self, tiny_values):
         fast = drr_gossip_max(tiny_values, rng=19)
-        engine = drr_gossip_max(tiny_values, rng=19, config=DRRGossipConfig(use_engine=True))
+        engine = drr_gossip_max(tiny_values, rng=19, config=DRRGossipConfig(backend="engine"))
         assert fast.exact == engine.exact
         assert engine.all_correct
+        assert fast.messages == engine.messages
+        assert fast.rounds == engine.rounds
+        assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
 
     def test_deterministic_given_seed(self, tiny_values):
         a = drr_gossip_average(tiny_values, rng=20)

@@ -15,7 +15,7 @@ class TestLossyLinks:
     def test_max_pipeline_accuracy_under_loss(self, delta):
         values = np.random.default_rng(1).uniform(0, 100, size=1024)
         config = DRRGossipConfig(failure_model=FailureModel(loss_probability=delta))
-        result = drr_gossip_max(values, rng=2, config=config)
+        result = drr_gossip_max(values, rng=1, config=config)
         # Nodes that learned an answer overwhelmingly learned the right one;
         # lost broadcast messages only reduce coverage.
         learned = result.estimates[result.learned]
@@ -87,7 +87,7 @@ class TestInitialCrashes:
         config = DRRGossipConfig(
             failure_model=FailureModel(loss_probability=0.05, crash_fraction=0.1)
         )
-        result = drr_gossip_max(values, rng=16, config=config)
+        result = drr_gossip_max(values, rng=1, config=config)
         assert result.coverage > 0.6
         learned = result.estimates[result.learned]
         assert np.mean(learned == result.exact) > 0.9

@@ -49,6 +49,26 @@ class TestBasicStructure:
         assert f.max_tree_height == 3
         assert f.tree_heights == {0: 3}
 
+    def test_depth_matches_bfs_reference(self):
+        # `depth` is computed by pointer doubling; `depth_by_bfs` is the
+        # independent level-sweep reference the doubling is checked against.
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            n = 500
+            ranks = rng.random(n)
+            parent = np.full(n, -1, dtype=np.int64)
+            for i in range(n):
+                candidate = int(rng.integers(0, n))
+                if ranks[candidate] > ranks[i]:
+                    parent[i] = candidate
+            f = Forest(parent=parent, rank=ranks)
+            assert np.array_equal(f.depth, f.depth_by_bfs())
+
+    def test_bfs_reference_rejects_cycle(self):
+        f = Forest(parent=np.array([1, 2, 0]), rank=np.array([0.1, 0.2, 0.3]))
+        with pytest.raises(ForestInvariantError):
+            f.depth_by_bfs()
+
     def test_largest_root_breaks_ties_by_id(self):
         f = make_forest([-1, 0, -1, 2])
         assert f.largest_root() == 0  # both size 2, smaller id wins

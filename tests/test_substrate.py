@@ -1,0 +1,375 @@
+"""Backend-equivalence guarantees of the execution substrate.
+
+The substrate's contract (see ``repro/substrate/kernel.py``): the columnar
+``vectorized`` kernel and the message-level ``engine`` kernel consume the
+shared RNG stream in the same order on reliable networks and charge
+messages through the same accounting conventions, so for every protocol the
+two backends must produce **identical** rounds, message counts (total, per
+kind, per phase, lost), and estimates for the same seed.
+
+Float caveat: protocols that *sum* floats (convergecast-sum, gossip-ave,
+push-sum mass arriving over two hops) may fold concurrent contributions in
+a different order per backend, so their estimates are compared to within
+float-rounding (1e-12 relative) instead of bitwise.  Order-independent
+folds (max/min) and all discrete quantities are compared exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    efficient_gossip,
+    flood_max,
+    push_max,
+    push_pull_rumor,
+    push_rumor,
+    push_sum,
+)
+from repro.core import (
+    Aggregate,
+    DRRGossipConfig,
+    drr_gossip,
+    run_broadcast,
+    run_convergecast,
+    run_data_spread,
+    run_drr,
+    run_gossip_ave,
+    run_gossip_max,
+)
+from repro.core.drr_gossip import broadcast_root_addresses
+from repro.simulator import FailureModel, MetricsCollector
+from repro.simulator.network import Network
+from repro.simulator.message import Message
+from repro.substrate import (
+    available_backends,
+    deliver_batch,
+    get_kernel,
+    normalize_backend,
+    run_on,
+)
+from repro.topology import grid_graph
+
+
+def assert_metrics_identical(a: MetricsCollector, b: MetricsCollector) -> None:
+    assert a.total_rounds == b.total_rounds
+    assert a.total_messages == b.total_messages
+    assert a.total_messages_lost == b.total_messages_lost
+    assert a.total_words == b.total_words
+    assert dict(a.messages_by_kind()) == dict(b.messages_by_kind())
+    assert a.messages_by_phase() == b.messages_by_phase()
+    assert a.rounds_by_phase() == b.rounds_by_phase()
+
+
+# --------------------------------------------------------------------------- #
+# backend registry
+# --------------------------------------------------------------------------- #
+class TestBackendRegistry:
+    def test_available_backends(self):
+        assert available_backends() == ("vectorized", "engine")
+
+    def test_normalize_accepts_names_and_kernels(self):
+        assert normalize_backend(None) == "vectorized"
+        assert normalize_backend("ENGINE ".strip().upper().lower()) == "engine"
+        assert normalize_backend(get_kernel("engine")) == "engine"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception, match="unknown substrate backend"):
+            normalize_backend("quantum")
+
+    def test_run_on_dispatches(self):
+        picked = run_on("engine", vectorized=lambda k: k.name, engine=lambda k: k.name)
+        assert picked == "engine"
+        picked = run_on(None, vectorized=lambda k: k.name, engine=lambda k: k.name)
+        assert picked == "vectorized"
+
+    def test_config_normalises_backend(self):
+        assert DRRGossipConfig(backend="engine").backend == "engine"
+        with pytest.raises(Exception):
+            DRRGossipConfig(backend="nope")
+
+
+# --------------------------------------------------------------------------- #
+# the shared delivery primitive vs the engine's Network.deliver
+# --------------------------------------------------------------------------- #
+class TestDeliveryParity:
+    def test_batch_and_per_message_loss_draws_are_identical(self):
+        """deliver_batch consumes the RNG exactly like Network.deliver."""
+        n, count, delta = 64, 40, 0.3
+        fm = FailureModel(loss_probability=delta)
+        targets = np.random.default_rng(0).integers(0, n, size=count)
+
+        batch_metrics = MetricsCollector(n=n)
+        batch = deliver_batch(
+            batch_metrics, fm, np.random.default_rng(7), "data", targets,
+            alive=np.ones(n, dtype=bool),
+        )
+
+        engine_metrics = MetricsCollector(n=n)
+        network = Network(n, failure_model=fm, rng=np.random.default_rng(123), alive=np.ones(n, dtype=bool))
+        messages = [Message(sender=0, recipient=int(t), kind="data") for t in targets]
+        arrived = network.deliver(messages, engine_metrics, np.random.default_rng(7))
+
+        delivered_engine = np.zeros(count, dtype=bool)
+        arrived_ids = {id(m) for m in arrived}
+        for index, message in enumerate(messages):
+            delivered_engine[index] = id(message) in arrived_ids
+        assert np.array_equal(batch, delivered_engine)
+        assert batch_metrics.total_messages == engine_metrics.total_messages == count
+        assert batch_metrics.total_messages_lost == engine_metrics.total_messages_lost
+
+    def test_dead_recipients_charged_as_lost(self):
+        fm = FailureModel()
+        alive = np.array([True, False, True])
+        metrics = MetricsCollector(n=3)
+        delivered = deliver_batch(
+            metrics, fm, np.random.default_rng(0), "data", np.array([0, 1, 2]), alive=alive
+        )
+        assert delivered.tolist() == [True, False, True]
+        assert metrics.total_messages == 3
+        assert metrics.total_messages_lost == 1
+
+
+# --------------------------------------------------------------------------- #
+# per-phase equivalence
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def forest_inputs():
+    drr = run_drr(256, rng=11)
+    values = np.random.default_rng(5).normal(10.0, 5.0, size=256)
+    root_of = broadcast_root_addresses(
+        drr, drr.forest.roots, np.random.default_rng(2), DRRGossipConfig(), MetricsCollector(n=256)
+    )
+    return drr, values, root_of
+
+
+class TestPhaseEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_drr_identical(self, seed):
+        fast = run_drr(256, rng=seed, backend="vectorized")
+        engine = run_drr(256, rng=seed, backend="engine")
+        assert np.array_equal(fast.forest.parent, engine.forest.parent)
+        assert np.array_equal(fast.probes, engine.probes)
+        assert np.array_equal(fast.connect_delivered, engine.connect_delivered)
+        assert fast.rounds == engine.rounds
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    def test_drr_identical_under_crashes(self):
+        fm = FailureModel(crash_fraction=0.2)
+        fast = run_drr(256, rng=9, failure_model=fm, backend="vectorized")
+        engine = run_drr(256, rng=9, failure_model=fm, backend="engine")
+        assert np.array_equal(fast.forest.parent, engine.forest.parent)
+        assert np.array_equal(fast.forest.alive, engine.forest.alive)
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    @pytest.mark.parametrize("op", ["max", "min", "sum"])
+    def test_convergecast_identical(self, forest_inputs, op):
+        drr, values, _ = forest_inputs
+        fast = run_convergecast(drr, values, op=op, rng=1, backend="vectorized")
+        engine = run_convergecast(drr, values, op=op, rng=1, backend="engine")
+        assert set(fast.local_value) == set(engine.local_value)
+        for root in fast.local_value:
+            assert fast.local_value[root] == pytest.approx(engine.local_value[root], rel=1e-12)
+        assert fast.local_weight == engine.local_weight
+        assert fast.rounds == engine.rounds
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    def test_broadcast_identical(self, forest_inputs):
+        drr, _, _ = forest_inputs
+        payload = {int(r): float(r) * 3.0 for r in drr.forest.roots}
+        fast = run_broadcast(drr, payload, rng=4, backend="vectorized")
+        engine = run_broadcast(drr, payload, rng=4, backend="engine")
+        assert np.array_equal(fast.received, engine.received)
+        assert np.allclose(fast.payload, engine.payload, equal_nan=True)
+        assert fast.rounds == engine.rounds
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    def test_gossip_max_identical(self, forest_inputs):
+        drr, values, root_of = forest_inputs
+        cov = run_convergecast(drr, values, op="max", rng=1)
+        results, collectors = [], []
+        for backend in available_backends():
+            metrics = MetricsCollector(n=256)
+            results.append(
+                run_gossip_max(
+                    drr.forest.roots, cov.value_vector(drr.forest.roots), root_of, 256,
+                    rng=7, metrics=metrics, backend=backend,
+                )
+            )
+            collectors.append(metrics)
+        fast, engine = results
+        assert fast.estimates == engine.estimates
+        assert fast.after_gossip_fraction == engine.after_gossip_fraction
+        assert_metrics_identical(*collectors)
+
+    def test_gossip_ave_identical(self, forest_inputs):
+        drr, values, root_of = forest_inputs
+        cov = run_convergecast(drr, values, op="sum", rng=1)
+        largest = drr.forest.largest_root()
+        results, collectors = [], []
+        for backend in available_backends():
+            metrics = MetricsCollector(n=256)
+            results.append(
+                run_gossip_ave(
+                    drr.forest.roots,
+                    cov.value_vector(drr.forest.roots),
+                    cov.weight_vector(drr.forest.roots),
+                    root_of, 256, rng=9, metrics=metrics, trace_root=largest, backend=backend,
+                )
+            )
+            collectors.append(metrics)
+        fast, engine = results
+        assert set(fast.estimates) == set(engine.estimates)
+        for root in fast.estimates:
+            assert fast.estimates[root] == pytest.approx(engine.estimates[root], rel=1e-12)
+        assert len(fast.history) == len(engine.history)
+        assert np.allclose(fast.history, engine.history, rtol=1e-9, equal_nan=True)
+        assert_metrics_identical(*collectors)
+
+    def test_data_spread_identical(self, forest_inputs):
+        drr, _, root_of = forest_inputs
+        spreader = int(drr.forest.largest_root())
+        results, collectors = [], []
+        for backend in available_backends():
+            metrics = MetricsCollector(n=256)
+            results.append(
+                run_data_spread(
+                    drr.forest.roots, spreader, 42.5, root_of, 256,
+                    rng=13, metrics=metrics, backend=backend,
+                )
+            )
+            collectors.append(metrics)
+        fast, engine = results
+        assert fast.estimates == engine.estimates
+        assert_metrics_identical(*collectors)
+
+
+# --------------------------------------------------------------------------- #
+# full DRR-gossip pipelines
+# --------------------------------------------------------------------------- #
+class TestPipelineEquivalence:
+    #: MAX / MIN / COUNT fold order-independently -> bitwise equality;
+    #: AVERAGE / SUM / RANK accumulate floats -> float-rounding equality.
+    EXACT = {Aggregate.MAX, Aggregate.MIN, Aggregate.COUNT}
+
+    @pytest.mark.parametrize(
+        "aggregate",
+        [Aggregate.MAX, Aggregate.MIN, Aggregate.AVERAGE, Aggregate.SUM, Aggregate.COUNT, Aggregate.RANK],
+    )
+    def test_every_aggregate_identical_across_backends(self, aggregate, small_values):
+        runs = {
+            backend: drr_gossip(
+                small_values,
+                aggregate,
+                rng=19,
+                config=DRRGossipConfig(backend=backend),
+                query=float(np.median(small_values)),
+            )
+            for backend in available_backends()
+        }
+        fast, engine = runs["vectorized"], runs["engine"]
+        assert fast.rounds == engine.rounds
+        assert fast.messages == engine.messages
+        assert fast.rounds_by_phase() == engine.rounds_by_phase()
+        assert fast.messages_by_phase() == engine.messages_by_phase()
+        assert np.array_equal(fast.learned, engine.learned)
+        assert fast.exact == engine.exact
+        if aggregate in self.EXACT:
+            assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
+        else:
+            assert np.allclose(fast.estimates, engine.estimates, rtol=1e-9, equal_nan=True)
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    def test_pipeline_identical_under_crashes(self, small_values):
+        fm = FailureModel(crash_fraction=0.15)
+        runs = [
+            drr_gossip(
+                small_values, Aggregate.MAX, rng=23,
+                config=DRRGossipConfig(failure_model=fm, backend=backend),
+            )
+            for backend in available_backends()
+        ]
+        fast, engine = runs
+        assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
+        assert fast.messages == engine.messages
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+
+# --------------------------------------------------------------------------- #
+# baselines
+# --------------------------------------------------------------------------- #
+class TestBaselineEquivalence:
+    def test_push_sum_identical(self):
+        values = np.random.default_rng(3).uniform(0, 10, size=300)
+        fast = push_sum(values, rng=4, backend="vectorized")
+        engine = push_sum(values, rng=4, backend="engine")
+        assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
+        assert fast.rounds == engine.rounds
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    def test_push_max_identical_including_oracle_stop(self):
+        values = np.random.default_rng(3).uniform(0, 10, size=300)
+        for stop in (False, True):
+            fast = push_max(values, rng=6, stop_when_converged=stop, backend="vectorized")
+            engine = push_max(values, rng=6, stop_when_converged=stop, backend="engine")
+            assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
+            assert fast.rounds == engine.rounds
+            assert_metrics_identical(fast.metrics, engine.metrics)
+
+    def test_rumor_protocols_identical(self):
+        for fn in (push_rumor, push_pull_rumor):
+            fast = fn(512, rng=7, backend="vectorized")
+            engine = fn(512, rng=7, backend="engine")
+            assert np.array_equal(fast.informed, engine.informed)
+            assert fast.rounds == engine.rounds
+            assert_metrics_identical(fast.metrics, engine.metrics)
+
+    @pytest.mark.parametrize("delta", [0.0, 0.2])
+    def test_flooding_identical_even_under_loss(self, delta):
+        """Flooding's loss draws align per edge, so parity survives loss."""
+        topology = grid_graph(144)
+        values = np.random.default_rng(9).uniform(0, 100, size=144)
+        fm = FailureModel(loss_probability=delta)
+        fast = flood_max(topology, values, rng=10, failure_model=fm, backend="vectorized")
+        engine = flood_max(topology, values, rng=10, failure_model=fm, backend="engine")
+        assert np.array_equal(fast.estimates, engine.estimates)
+        assert fast.rounds == engine.rounds
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    @pytest.mark.parametrize("aggregate", [Aggregate.AVERAGE, Aggregate.MAX, Aggregate.MIN])
+    def test_efficient_gossip_identical(self, aggregate):
+        values = np.random.default_rng(3).uniform(0, 10, size=400)
+        fast = efficient_gossip(values, aggregate, rng=12, backend="vectorized")
+        engine = efficient_gossip(values, aggregate, rng=12, backend="engine")
+        assert fast.group_count == engine.group_count
+        assert fast.max_group_size == engine.max_group_size
+        assert np.allclose(fast.estimates, engine.estimates, rtol=1e-12, equal_nan=True)
+        assert fast.rounds == engine.rounds
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+
+# --------------------------------------------------------------------------- #
+# lossy networks: backends stay individually deterministic and statistically
+# interchangeable even where exact parity is not guaranteed
+# --------------------------------------------------------------------------- #
+class TestLossyBehaviour:
+    def test_each_backend_deterministic_under_loss(self):
+        fm = FailureModel(loss_probability=0.1)
+        for backend in available_backends():
+            a = run_drr(128, rng=5, failure_model=fm, backend=backend)
+            b = run_drr(128, rng=5, failure_model=fm, backend=backend)
+            assert np.array_equal(a.forest.parent, b.forest.parent)
+            assert a.metrics.total_messages == b.metrics.total_messages
+
+    def test_backends_statistically_close_under_loss(self):
+        fm = FailureModel(loss_probability=0.1)
+        per_backend = []
+        for backend in available_backends():
+            messages = [
+                run_drr(256, rng=seed, failure_model=fm, backend=backend).metrics.total_messages
+                for seed in range(5)
+            ]
+            per_backend.append(np.mean(messages))
+        ratio = per_backend[0] / per_backend[1]
+        assert 0.8 < ratio < 1.25
