@@ -7,10 +7,13 @@ Two uses:
   performance regressions show up in the benchmark history.
 * As a script (``python benchmarks/bench_substrate.py``) it runs the CI
   smoke comparison: the vectorized kernel must beat the message-level
-  engine by at least ``--min-speedup`` (default 5x) on uniform gossip at
-  ``--n`` (default 10^5) nodes, and with ``--scale`` a full
-  ``drr_gossip_average`` run must complete at 10^6 nodes under the
-  vectorized backend.  Exit status is non-zero when either bar is missed.
+  engine by at least ``--min-speedup`` (default 5x) on uniform gossip *and*
+  on Local-DRR over a random regular graph at ``--n`` (default 10^5)
+  nodes; a batch of Chord lookups must complete on both backends with
+  identical owners; and with ``--scale`` a full ``drr_gossip_average``
+  run at 10^6 nodes plus a vectorized Local-DRR over a 10^6-node sparse
+  random graph must finish (the Local-DRR run in single-digit seconds).
+  Exit status is non-zero when any bar is missed.
 """
 
 from __future__ import annotations
@@ -22,8 +25,10 @@ import time
 import numpy as np
 
 from repro.baselines import push_sum
-from repro.core import DRRGossipConfig, drr_gossip_average, run_drr
+from repro.core import DRRGossipConfig, drr_gossip_average, run_drr, run_local_drr
 from repro.harness import make_values
+from repro.substrate import run_chord_lookups
+from repro.topology import ChordNetwork, random_regular_graph
 
 
 # --------------------------------------------------------------------------- #
@@ -53,6 +58,19 @@ def test_bench_full_average_pipeline(benchmark):
     assert result.max_relative_error < 1e-2
 
 
+def test_bench_local_drr_vectorized(benchmark):
+    topo = random_regular_graph(4096, 4, np.random.default_rng(0))
+    benchmark(run_local_drr, topo, rng=1)
+
+
+def test_bench_chord_lookup_batch(benchmark):
+    rng = np.random.default_rng(0)
+    chord = ChordNetwork(4096, rng)
+    sources = rng.integers(0, 4096, size=4096)
+    targets = rng.integers(0, chord.ring_size, size=4096)
+    benchmark(run_chord_lookups, chord, sources, targets, rng=1)
+
+
 # --------------------------------------------------------------------------- #
 # CI smoke mode
 # --------------------------------------------------------------------------- #
@@ -76,6 +94,67 @@ def smoke_speedup(n: int, rounds: int, min_speedup: float) -> bool:
         print(f"FAIL: speedup {speedup:.1f}x below the required {min_speedup:g}x")
         return False
     print(f"OK: vectorized backend wins by >= {min_speedup:g}x")
+    return True
+
+
+def smoke_local_drr_speedup(n: int, min_speedup: float) -> bool:
+    """Vectorized vs engine Local-DRR on a random 4-regular graph."""
+    topo = random_regular_graph(n, 4, np.random.default_rng(0))
+    vectorized_s = _time(lambda: run_local_drr(topo, rng=1))
+    engine_s = _time(lambda: run_local_drr(topo, rng=1, backend="engine"))
+    speedup = engine_s / max(vectorized_s, 1e-9)
+    print(
+        f"local-drr, n={n} (random 4-regular): "
+        f"vectorized {vectorized_s:.3f}s, engine {engine_s:.3f}s -> {speedup:.1f}x"
+    )
+    if speedup < min_speedup:
+        print(f"FAIL: local-drr speedup {speedup:.1f}x below the required {min_speedup:g}x")
+        return False
+    print(f"OK: vectorized local-drr wins by >= {min_speedup:g}x")
+    return True
+
+
+def smoke_chord_batch(n: int) -> bool:
+    """A batch of n Chord lookups completes, identically on both backends."""
+    rng = np.random.default_rng(0)
+    chord = ChordNetwork(n, rng)
+    sources = rng.integers(0, n, size=n)
+    targets = rng.integers(0, chord.ring_size, size=n)
+    fast = run_chord_lookups(chord, sources, targets, rng=1, backend="vectorized")
+    engine = run_chord_lookups(chord, sources, targets, rng=1, backend="engine")
+    print(
+        f"chord lookup batch, n={n}: {fast.rounds} rounds, "
+        f"{fast.messages} messages, completion={fast.completion_fraction:.3f}"
+    )
+    if fast.completion_fraction != 1.0:
+        print("FAIL: chord lookup batch did not complete on a reliable network")
+        return False
+    if not (np.array_equal(fast.owners, engine.owners) and fast.rounds == engine.rounds):
+        print("FAIL: chord lookup backends disagree")
+        return False
+    print("OK: chord lookup batch completes identically on both backends")
+    return True
+
+
+def smoke_local_drr_scale(n: int, budget_s: float = 9.0) -> bool:
+    """Vectorized Local-DRR on an n-node sparse graph in single-digit seconds."""
+    topo = random_regular_graph(n, 4, np.random.default_rng(0))
+    start = time.perf_counter()
+    result = run_local_drr(topo, rng=1)
+    elapsed = time.perf_counter() - start
+    trees = result.forest.root_count
+    expected = topo.expected_local_drr_trees()
+    print(
+        f"local-drr, n={n} (random 4-regular): {elapsed:.2f}s, "
+        f"trees={trees} (theory {expected:.0f}), messages={result.metrics.total_messages}"
+    )
+    if elapsed > budget_s:
+        print(f"FAIL: local-drr at n={n} took {elapsed:.1f}s (> {budget_s:g}s)")
+        return False
+    if not (0.8 * expected < trees < 1.2 * expected):
+        print("FAIL: tree count far from the Theorem 13 expectation")
+        return False
+    print("OK: vectorized local-drr handles sparse graphs at scale")
     return True
 
 
@@ -107,11 +186,15 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the 10^6-node drr_gossip_average completion check",
     )
     parser.add_argument("--scale-n", type=int, default=1_000_000)
+    parser.add_argument("--chord-n", type=int, default=4096, help="nodes/lookups for the Chord batch check")
     args = parser.parse_args(argv)
 
     ok = smoke_speedup(args.n, args.rounds, args.min_speedup)
+    ok = smoke_local_drr_speedup(args.n, args.min_speedup) and ok
+    ok = smoke_chord_batch(args.chord_n) and ok
     if args.scale:
         ok = smoke_scale(args.scale_n) and ok
+        ok = smoke_local_drr_scale(args.scale_n) and ok
     return 0 if ok else 1
 
 

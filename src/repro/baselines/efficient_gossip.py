@@ -53,7 +53,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import PassiveNode, ProtocolNode, RoundContext
@@ -315,6 +315,11 @@ def efficient_gossip(
 
     alive = ~failure_model.sample_crashes(n, rng)
     alive_idx = np.flatnonzero(alive)
+    oracle = LossOracle.for_run(failure_model, rng)
+    # Stages run under one oracle; `loss_round` offsets each stage's round
+    # counter so round identities stay unique across the whole protocol
+    # (engine executions restart their local counter at zero per stage).
+    loss_round = 0
 
     # ------------------------------------------------------------------ #
     # stage 1: grouping (Theta(log n log log n) rounds, Theta(n log log n) msgs)
@@ -345,6 +350,8 @@ def efficient_gossip(
                 metrics=metrics,
                 failure_model=failure_model,
                 alive=alive,
+                loss_oracle=oracle,
+                loss_base_round=loss_round,
                 max_substeps=3,
                 max_rounds=pad,
                 strict=False,
@@ -359,10 +366,12 @@ def efficient_gossip(
             # round.
             metrics.record_round(pad)
             if pending.size == 0:
+                loss_round += pad
                 continue
             probes = kernel.sample_uniform(rng, n, pending.size)
             probe_ok = kernel.deliver(
-                metrics, failure_model, rng, MessageKind.PROBE, probes, alive=alive
+                metrics, oracle, MessageKind.PROBE, probes,
+                senders=pending, round_index=loss_round, alive=alive,
             )
             # A probe succeeds when it lands on a node that already belongs to
             # a group (leader or member) and the reply survives; the prober
@@ -370,11 +379,13 @@ def efficient_gossip(
             target_group = group_of[probes]
             joins = probe_ok & (target_group >= 0)
             reply_ok = kernel.deliver(
-                metrics, failure_model, rng, MessageKind.DATA, pending[joins], alive=alive
+                metrics, oracle, MessageKind.DATA, pending[joins],
+                senders=probes[joins], round_index=loss_round, alive=alive,
             )
             joined = pending[joins][reply_ok]
             group_of[joined] = target_group[joins][reply_ok]
             unattached[joined] = False
+        loss_round += pad
     # Still-unattached nodes become singleton leaders.
     stragglers = np.flatnonzero(unattached)
     group_of[stragglers] = stragglers
@@ -412,6 +423,8 @@ def efficient_gossip(
             metrics=metrics,
             failure_model=failure_model,
             alive=alive,
+            loss_oracle=oracle,
+            loss_base_round=loss_round,
             max_substeps=2,
             max_rounds=pad,
             strict=False,
@@ -422,7 +435,8 @@ def efficient_gossip(
             group_max[i], group_min[i] = node.acc_max, node.acc_min
     else:
         member_ok = kernel.deliver(
-            metrics, failure_model, rng, MessageKind.CONVERGECAST, group_of[member_ids],
+            metrics, oracle, MessageKind.CONVERGECAST, group_of[member_ids],
+            senders=member_ids, round_index=loss_round,
             alive=alive, payload_words=2,
         )
         metrics.record_round(pad)
@@ -436,6 +450,7 @@ def efficient_gossip(
         np.add.at(group_cnt, group_of[received], 1.0)
         np.maximum.at(group_max, group_of[received], values[received])
         np.minimum.at(group_min, group_of[received], values[received])
+    loss_round += pad
 
     # ------------------------------------------------------------------ #
     # stage 3: gossip among leaders (O(n) messages, O(log n) rounds)
@@ -470,6 +485,8 @@ def efficient_gossip(
             metrics=metrics,
             failure_model=failure_model,
             alive=alive,
+            loss_oracle=oracle,
+            loss_base_round=loss_round,
             max_substeps=2,
             max_rounds=gossip_rounds + 4,
         )
@@ -483,11 +500,12 @@ def efficient_gossip(
     elif extremum:
         # Gossip the extremum among leaders; MIN is MAX on negated values.
         current = start[leader_idx].copy()
-        for _ in range(gossip_rounds):
+        for r in range(gossip_rounds):
             metrics.record_round()
             targets = rng.integers(0, m, size=m)
             delivered = kernel.deliver(
-                metrics, failure_model, rng, MessageKind.PUSH, leader_idx[targets], alive=alive
+                metrics, oracle, MessageKind.PUSH, leader_idx[targets],
+                senders=leader_idx, round_index=loss_round + r, alive=alive,
             )
             np.maximum.at(current, targets[delivered], current[delivered])
         leader_estimate = current if aggregate == Aggregate.MAX else -current
@@ -495,14 +513,15 @@ def efficient_gossip(
         s = group_sum[leader_idx].copy()
         w = group_cnt[leader_idx].copy()
         w[w == 0] = 1e-12
-        for _ in range(gossip_rounds):
+        for r in range(gossip_rounds):
             metrics.record_round()
             targets = rng.integers(0, m, size=m)
             send_s, send_w = s / 2.0, w / 2.0
             s -= send_s
             w -= send_w
             delivered = kernel.deliver(
-                metrics, failure_model, rng, MessageKind.PUSH, leader_idx[targets],
+                metrics, oracle, MessageKind.PUSH, leader_idx[targets],
+                senders=leader_idx, round_index=loss_round + r,
                 alive=alive, payload_words=2,
             )
             np.add.at(s, targets[delivered], send_s[delivered])
@@ -512,6 +531,7 @@ def efficient_gossip(
     # ------------------------------------------------------------------ #
     # stage 4: dissemination back into the groups (O(n) messages)
     # ------------------------------------------------------------------ #
+    loss_round += gossip_rounds
     metrics.begin_phase("dissemination")
     estimates = np.full(n, np.nan, dtype=float)
     estimates[leader_idx] = leader_estimate
@@ -534,6 +554,8 @@ def efficient_gossip(
             metrics=metrics,
             failure_model=failure_model,
             alive=alive,
+            loss_oracle=oracle,
+            loss_base_round=loss_round,
             max_substeps=2,
             max_rounds=pad,
             strict=False,
@@ -543,7 +565,8 @@ def efficient_gossip(
             estimates[member] = nodes[int(member)].estimate
     else:
         broadcast_ok = kernel.deliver(
-            metrics, failure_model, rng, MessageKind.BROADCAST, member_ids, alive=alive
+            metrics, oracle, MessageKind.BROADCAST, member_ids,
+            senders=group_of[member_ids], round_index=loss_round, alive=alive,
         )
         reached = member_ids[broadcast_ok]
         leader_pos = {int(leader): i for i, leader in enumerate(leader_idx)}

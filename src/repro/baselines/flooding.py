@@ -9,9 +9,8 @@ should beat it on message count whenever the diameter is non-trivial.
 
 Flooding runs in the message-passing model (a node may message all its
 neighbours in one round), so the engine backend disables the phone-call
-one-call-per-round budget.  Both backends sample per-edge losses in the
-same order (sender-ascending, neighbour-list order), so they agree exactly
-even on lossy networks.
+one-call-per-round budget.  Per-edge loss fates come from the identity-keyed
+loss oracle, so the backends agree exactly even on lossy networks.
 """
 
 from __future__ import annotations
@@ -21,7 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -66,14 +65,15 @@ def flood_max(
     metrics = metrics if metrics is not None else MetricsCollector(n=n)
     metrics.begin_phase("flooding")
     max_rounds = max_rounds if max_rounds is not None else 2 * n
+    oracle = LossOracle.for_run(failure_model, rng)
 
     return run_on(
         backend,
         vectorized=lambda kernel: _flood_max_vectorized(
-            kernel, topology, values, rng, failure_model, metrics, max_rounds
+            kernel, topology, values, rng, oracle, metrics, max_rounds
         ),
         engine=lambda kernel: _flood_max_engine(
-            kernel, topology, values, rng, failure_model, metrics, max_rounds
+            kernel, topology, values, rng, failure_model, oracle, metrics, max_rounds
         ),
     )
 
@@ -83,7 +83,7 @@ def _flood_max_vectorized(
     topology: Topology,
     values: np.ndarray,
     rng: np.random.Generator,
-    failure_model: FailureModel,
+    oracle: LossOracle,
     metrics: MetricsCollector,
     max_rounds: int,
 ) -> FloodingResult:
@@ -98,9 +98,11 @@ def _flood_max_vectorized(
         senders = np.flatnonzero(changed)
         changed = np.zeros(n, dtype=bool)
         for node in senders:
-            neighbors = np.asarray(topology.neighbors(int(node)), dtype=np.int64)
+            # zero-copy CSR slice; Topology.neighbors() would re-box to tuples
+            neighbors = topology.indices[topology.indptr[node]:topology.indptr[node + 1]]
             delivered = kernel.deliver(
-                metrics, failure_model, rng, MessageKind.DATA, neighbors
+                metrics, oracle, MessageKind.DATA, neighbors,
+                senders=int(node), round_index=rounds - 1,
             )
             for neighbor in neighbors[delivered]:
                 if current[node] > next_values[neighbor]:
@@ -154,6 +156,7 @@ def _flood_max_engine(
     values: np.ndarray,
     rng: np.random.Generator,
     failure_model: FailureModel,
+    oracle: LossOracle,
     metrics: MetricsCollector,
     max_rounds: int,
 ) -> FloodingResult:
@@ -166,6 +169,7 @@ def _flood_max_engine(
         failure_model=failure_model,
         alive=np.ones(n, dtype=bool),
         neighbor_fn=topology.neighbors,
+        loss_oracle=oracle,
         max_substeps=2,
         max_rounds=max_rounds,
         strict=False,

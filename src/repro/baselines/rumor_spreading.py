@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -76,14 +76,15 @@ def push_rumor(
     metrics = metrics if metrics is not None else MetricsCollector(n=n)
     metrics.begin_phase("push-rumor")
     total_rounds = rounds if rounds is not None else int(math.ceil(2 * math.log2(max(2, n)) + 8))
+    oracle = LossOracle.for_run(failure_model, rng)
 
     return run_on(
         backend,
         vectorized=lambda kernel: _push_rumor_vectorized(
-            kernel, n, source, rng, total_rounds, failure_model, metrics
+            kernel, n, source, rng, total_rounds, oracle, metrics
         ),
         engine=lambda kernel: _push_rumor_engine(
-            kernel, n, source, rng, total_rounds, failure_model, metrics
+            kernel, n, source, rng, total_rounds, failure_model, oracle, metrics
         ),
     )
 
@@ -94,18 +95,20 @@ def _push_rumor_vectorized(
     source: int,
     rng: np.random.Generator,
     total_rounds: int,
-    failure_model: FailureModel,
+    oracle: LossOracle,
     metrics: MetricsCollector,
 ) -> RumorResult:
     informed = np.zeros(n, dtype=bool)
     informed[source] = True
     executed = 0
-    for _ in range(total_rounds):
+    for r in range(total_rounds):
         metrics.record_round()
         executed += 1
         senders = np.flatnonzero(informed)
         targets = kernel.sample_uniform(rng, n, senders.size)
-        delivered = kernel.deliver(metrics, failure_model, rng, MessageKind.PUSH, targets)
+        delivered = kernel.deliver(
+            metrics, oracle, MessageKind.PUSH, targets, senders=senders, round_index=r
+        )
         informed[targets[delivered]] = True
         if informed.all():
             break
@@ -150,6 +153,7 @@ def _push_rumor_engine(
     rng: np.random.Generator,
     total_rounds: int,
     failure_model: FailureModel,
+    oracle: LossOracle,
     metrics: MetricsCollector,
 ) -> RumorResult:
     nodes = [PushRumorNode(i, i == source, total_rounds) for i in range(n)]
@@ -159,6 +163,7 @@ def _push_rumor_engine(
         metrics=metrics,
         failure_model=failure_model,
         alive=np.ones(n, dtype=bool),
+        loss_oracle=oracle,
         max_substeps=2,
         max_rounds=total_rounds,
         strict=False,
@@ -208,14 +213,15 @@ def push_pull_rumor(
     log_n = max(1.0, math.log2(max(2, n)))
     cooldown = cooldown if cooldown is not None else max(2, int(math.ceil(math.log2(log_n))) + 2)
     max_rounds = max_rounds if max_rounds is not None else int(math.ceil(3 * log_n + 3 * cooldown + 8))
+    oracle = LossOracle.for_run(failure_model, rng)
 
     return run_on(
         backend,
         vectorized=lambda kernel: _push_pull_vectorized(
-            kernel, n, source, rng, cooldown, max_rounds, failure_model, metrics
+            kernel, n, source, rng, cooldown, max_rounds, oracle, metrics
         ),
         engine=lambda kernel: _push_pull_engine(
-            kernel, n, source, rng, cooldown, max_rounds, failure_model, metrics
+            kernel, n, source, rng, cooldown, max_rounds, failure_model, oracle, metrics
         ),
     )
 
@@ -227,7 +233,7 @@ def _push_pull_vectorized(
     rng: np.random.Generator,
     cooldown: int,
     max_rounds: int,
-    failure_model: FailureModel,
+    oracle: LossOracle,
     metrics: MetricsCollector,
 ) -> RumorResult:
     informed = np.zeros(n, dtype=bool)
@@ -256,18 +262,25 @@ def _push_pull_vectorized(
         # because the uninformed population shrinks doubly exponentially in
         # the shrinking phase (Karp et al., Lemma 2).
         if pushers.size:
-            delivered = kernel.deliver(metrics, failure_model, rng, MessageKind.PUSH, push_targets)
+            delivered = kernel.deliver(
+                metrics, oracle, MessageKind.PUSH, push_targets,
+                senders=pushers, round_index=t - 1,
+            )
             newly = push_targets[delivered]
             fresh = newly[~informed[newly]]
             informed[fresh] = True
             informed_round[fresh] = t
         if pullers.size:
-            request_ok = kernel.deliver(metrics, failure_model, rng, MessageKind.PULL, pull_targets)
+            request_ok = kernel.deliver(
+                metrics, oracle, MessageKind.PULL, pull_targets,
+                senders=pullers, round_index=t - 1,
+            )
             partner_informed = request_ok & informed_start[pull_targets]
             # Reply only happens when the partner held the rumor at the start
             # of the round.
             reply_ok = kernel.deliver(
-                metrics, failure_model, rng, MessageKind.DATA, pullers[partner_informed]
+                metrics, oracle, MessageKind.DATA, pullers[partner_informed],
+                senders=pull_targets[partner_informed], round_index=t - 1,
             )
             lucky = pullers[partner_informed][reply_ok]
             fresh = lucky[~informed[lucky]]
@@ -348,6 +361,7 @@ def _push_pull_engine(
     cooldown: int,
     max_rounds: int,
     failure_model: FailureModel,
+    oracle: LossOracle,
     metrics: MetricsCollector,
 ) -> RumorResult:
     nodes = [PushPullRumorNode(i, i == source, cooldown) for i in range(n)]
@@ -357,6 +371,7 @@ def _push_pull_engine(
         metrics=metrics,
         failure_model=failure_model,
         alive=np.ones(n, dtype=bool),
+        loss_oracle=oracle,
         max_substeps=3,
         max_rounds=max_rounds,
         strict=False,

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -103,15 +103,16 @@ def push_sum(
     metrics.begin_phase("push-sum")
 
     alive = ~failure_model.sample_crashes(n, rng)
+    oracle = LossOracle.for_run(failure_model, rng)
     total_rounds = rounds if rounds is not None else default_push_rounds(n, epsilon)
 
     return run_on(
         backend,
         vectorized=lambda kernel: _push_sum_vectorized(
-            kernel, values, n, rng, total_rounds, failure_model, alive, metrics
+            kernel, values, n, rng, total_rounds, oracle, alive, metrics
         ),
         engine=lambda kernel: _push_sum_engine(
-            kernel, values, n, rng, total_rounds, failure_model, alive, metrics
+            kernel, values, n, rng, total_rounds, failure_model, oracle, alive, metrics
         ),
     )
 
@@ -122,7 +123,7 @@ def _push_sum_vectorized(
     n: int,
     rng: np.random.Generator,
     total_rounds: int,
-    failure_model: FailureModel,
+    oracle: LossOracle,
     alive: np.ndarray,
     metrics: MetricsCollector,
 ) -> UniformGossipResult:
@@ -132,7 +133,7 @@ def _push_sum_vectorized(
     convergence: list[float] = []
     alive_idx = np.flatnonzero(alive)
 
-    for _ in range(total_rounds):
+    for r in range(total_rounds):
         metrics.record_round()
         senders = alive_idx
         targets = kernel.sample_uniform(rng, n, senders.size)
@@ -141,8 +142,8 @@ def _push_sum_vectorized(
         s[senders] -= send_s
         w[senders] -= send_w
         delivered = kernel.deliver(
-            metrics, failure_model, rng, MessageKind.PUSH, targets,
-            alive=alive, payload_words=2,
+            metrics, oracle, MessageKind.PUSH, targets,
+            senders=senders, round_index=r, alive=alive, payload_words=2,
         )
         np.add.at(s, targets[delivered], send_s[delivered])
         np.add.at(w, targets[delivered], send_w[delivered])
@@ -212,6 +213,7 @@ def _push_sum_engine(
     rng: np.random.Generator,
     total_rounds: int,
     failure_model: FailureModel,
+    oracle: LossOracle,
     alive: np.ndarray,
     metrics: MetricsCollector,
 ) -> UniformGossipResult:
@@ -222,6 +224,7 @@ def _push_sum_engine(
         metrics=metrics,
         failure_model=failure_model,
         alive=alive,
+        loss_oracle=oracle,
         max_substeps=2,
         max_rounds=total_rounds + 4,
     )
@@ -266,15 +269,16 @@ def push_max(
     metrics.begin_phase("push-max")
 
     alive = ~failure_model.sample_crashes(n, rng)
+    oracle = LossOracle.for_run(failure_model, rng)
     total_rounds = rounds if rounds is not None else int(math.ceil(2.0 * math.log2(max(2, n)) + 6))
 
     return run_on(
         backend,
         vectorized=lambda kernel: _push_max_vectorized(
-            kernel, values, n, rng, total_rounds, failure_model, alive, metrics, stop_when_converged
+            kernel, values, n, rng, total_rounds, oracle, alive, metrics, stop_when_converged
         ),
         engine=lambda kernel: _push_max_engine(
-            kernel, values, n, rng, total_rounds, failure_model, alive, metrics, stop_when_converged
+            kernel, values, n, rng, total_rounds, failure_model, oracle, alive, metrics, stop_when_converged
         ),
     )
 
@@ -285,7 +289,7 @@ def _push_max_vectorized(
     n: int,
     rng: np.random.Generator,
     total_rounds: int,
-    failure_model: FailureModel,
+    oracle: LossOracle,
     alive: np.ndarray,
     metrics: MetricsCollector,
     stop_when_converged: bool,
@@ -296,12 +300,13 @@ def _push_max_vectorized(
     convergence: list[float] = []
 
     executed = 0
-    for _ in range(total_rounds):
+    for r in range(total_rounds):
         metrics.record_round()
         executed += 1
         targets = kernel.sample_uniform(rng, n, alive_idx.size)
         delivered = kernel.deliver(
-            metrics, failure_model, rng, MessageKind.PUSH, targets, alive=alive
+            metrics, oracle, MessageKind.PUSH, targets,
+            senders=alive_idx, round_index=r, alive=alive,
         )
         np.maximum.at(current, targets[delivered], current[alive_idx][delivered])
         informed = float(np.mean(current[alive] >= exact))
@@ -358,6 +363,7 @@ def _push_max_engine(
     rng: np.random.Generator,
     total_rounds: int,
     failure_model: FailureModel,
+    oracle: LossOracle,
     alive: np.ndarray,
     metrics: MetricsCollector,
     stop_when_converged: bool,
@@ -378,6 +384,7 @@ def _push_max_engine(
         metrics=metrics,
         failure_model=failure_model,
         alive=alive,
+        loss_oracle=oracle,
         max_substeps=2,
         max_rounds=total_rounds + 4,
         stop_condition=stop_condition,

@@ -30,21 +30,25 @@ Semantics under failures (both backends):
   CONNECT message it actually received in Phase I ("known children").
 * If a convergecast message is lost, that child's whole subtree contribution
   is missing from the root's local aggregate; there are no retransmissions,
-  matching the paper's model.  The engine implementation uses a timeout so a
-  lost message cannot deadlock a waiting parent.
+  matching the paper's model.  Transmission times follow the *send
+  schedule*: a node transmits one round after the last scheduled send of
+  its known children, whether or not those messages survived (silence past
+  the scheduled round means loss; synchronous rounds make the schedule
+  locally computable).  The schedule is a pure function of the forest, so
+  loss changes which contributions arrive but never when anything is sent —
+  both backends run the identical schedule, rounds included.
 * If a broadcast message is lost, the child's subtree never learns the
   payload (such nodes cannot forward Phase III gossip to their root).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -120,6 +124,37 @@ def _alive_of(drr: DRRResult) -> np.ndarray:
     return alive if alive is not None else np.ones(drr.forest.n, dtype=bool)
 
 
+def _send_schedule(drr: DRRResult, alive: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The structure-determined convergecast send schedule (see module docstring).
+
+    Returns ``(send_round, last_child_round)``: ``send_round[i]`` is the
+    1-based round in which alive non-root ``i`` transmits its accumulated
+    aggregate to its parent (leaves in round 1, a parent one round after its
+    last *known* child's scheduled send); ``last_child_round[p]`` is the
+    latest scheduled send over ``p``'s known alive children (0 for childless
+    nodes), i.e. the round after which a root's aggregate is final.  Computed
+    without touching the RNG, in the shared preamble, so both backends run
+    the identical schedule.
+    """
+    forest = drr.forest
+    n = forest.n
+    known = drr.known_child_mask
+    depth = forest.depth
+    has_parent = forest.parent >= 0
+    send_round = np.zeros(n, dtype=np.int64)
+    last_child_round = np.zeros(n, dtype=np.int64)
+    max_depth = int(depth[alive].max()) if alive.any() else 0
+    for d in range(max_depth, 0, -1):
+        layer = np.flatnonzero(alive & has_parent & (depth == d))
+        if layer.size == 0:
+            continue
+        send_round[layer] = 1 + last_child_round[layer]
+        waiting = layer[known[layer]]
+        if waiting.size:
+            np.maximum.at(last_child_round, forest.parent[waiting], send_round[waiting])
+    return send_round, last_child_round
+
+
 # --------------------------------------------------------------------------- #
 # convergecast
 # --------------------------------------------------------------------------- #
@@ -144,14 +179,16 @@ def run_convergecast(
     failure_model = failure_model or FailureModel()
     metrics = metrics if metrics is not None else MetricsCollector(n=n)
     metrics.begin_phase("convergecast")
+    oracle = LossOracle.for_run(failure_model, rng)
+    schedule = _send_schedule(drr, _alive_of(drr))
 
     return run_on(
         backend,
         vectorized=lambda kernel: _convergecast_vectorized(
-            kernel, drr, values, op, failure_model, rng, metrics
+            kernel, drr, values, op, oracle, rng, metrics, schedule
         ),
         engine=lambda kernel: _convergecast_engine(
-            kernel, drr, values, op, failure_model, rng, metrics
+            kernel, drr, values, op, failure_model, oracle, rng, metrics, schedule
         ),
     )
 
@@ -161,15 +198,17 @@ def _convergecast_vectorized(
     drr: DRRResult,
     values: np.ndarray,
     op: str,
-    failure_model: FailureModel,
+    oracle: LossOracle,
     rng: np.random.Generator,
     metrics: MetricsCollector,
+    schedule: tuple[np.ndarray, np.ndarray],
 ) -> ConvergecastResult:
     forest = drr.forest
     n = forest.n
     alive = _alive_of(drr)
     known = drr.known_child_mask  # child side: my parent knows me
     depth = forest.depth
+    send_round, _ = schedule
     payload_words = 1 if op in ("max", "min") else 2
 
     # Accumulators: every alive node starts with its own value and weight 1.
@@ -177,31 +216,24 @@ def _convergecast_vectorized(
     acc_weight = np.ones(n, dtype=np.int64)
     acc_weight[~alive] = 0
 
-    # send_round[i]: round in which non-root i transmits its accumulated
-    # aggregate to its parent (leaves send in round 1, a parent one round
-    # after its last known child).  child_send_max[p] tracks the latest
-    # send round over p's known alive children, filled in as deeper layers
-    # are processed.
-    send_round = np.zeros(n, dtype=np.int64)
-    child_send_max = np.zeros(n, dtype=np.int64)
-
     has_parent = forest.parent >= 0
     max_depth = int(depth[alive].max()) if alive.any() else 0
-    # Sweep the forest bottom-up, one depth layer per batch: all of a
-    # layer's upward transmissions happen "simultaneously" and are charged,
-    # lossed, and folded as arrays.
+    # Sweep the forest bottom-up, one depth layer per batch: a layer's
+    # upward transmissions are charged, lossed, and folded as arrays.  The
+    # loss oracle keys each transmission by its scheduled send round, so
+    # batching by depth instead of by round changes nothing.
     for d in range(max_depth, 0, -1):
         layer = np.flatnonzero(alive & has_parent & (depth == d))
         if layer.size == 0:
             continue
-        send_round[layer] = 1 + child_send_max[layer]
         parents = forest.parent[layer]
         delivered = kernel.deliver(
             metrics,
-            failure_model,
-            rng,
+            oracle,
             MessageKind.CONVERGECAST,
             parents,
+            senders=layer,
+            round_index=send_round[layer] - 1,
             alive=alive,
             payload_words=payload_words,
         )
@@ -214,9 +246,6 @@ def _convergecast_vectorized(
         else:
             np.minimum.at(acc_value, dst, acc_value[src])
         np.add.at(acc_weight, dst, acc_weight[src])
-        waiting = layer[known[layer]]
-        if waiting.size:
-            np.maximum.at(child_send_max, forest.parent[waiting], send_round[waiting])
 
     alive_roots = [int(r) for r in forest.roots if alive[r]]
     local_value = {r: float(acc_value[r]) for r in alive_roots}
@@ -233,7 +262,13 @@ def _convergecast_vectorized(
 
 
 class ConvergecastNode(ProtocolNode):
-    """Per-node convergecast state machine (Algorithms 2 and 3)."""
+    """Per-node convergecast state machine (Algorithms 2 and 3).
+
+    Transmissions follow the precomputed send schedule (see
+    :func:`_send_schedule`): the node sends in round ``send_at`` whether or
+    not every known child's message arrived — a lost message means a missing
+    contribution, never a delay, matching the vectorized backend exactly.
+    """
 
     def __init__(
         self,
@@ -242,24 +277,25 @@ class ConvergecastNode(ProtocolNode):
         parent: int | None,
         known_children: tuple[int, ...],
         op: str,
-        timeout: int,
+        send_at: int,
+        done_at: int,
     ) -> None:
         super().__init__(node_id)
         self.value = float(value)
         self.weight = 1
         self.parent = parent
-        self.waiting_for = set(known_children)
+        self.known = set(known_children)
         self.op = op
-        self.timeout = timeout
+        #: 0-based round in which this node transmits to its parent
+        self.send_at = int(send_at)
+        #: 0-based round after which a root's aggregate is final
+        self.done_at = int(done_at)
         self.sent = False
-        self._rounds_seen = 0
-
-    def _ready(self, ctx: RoundContext) -> bool:
-        return not self.waiting_for or ctx.round_index >= self.timeout
+        self._rounds_seen = -1
 
     def begin_round(self, ctx: RoundContext) -> list[Send]:
         self._rounds_seen = ctx.round_index
-        if self.parent is None or self.sent or not self._ready(ctx):
+        if self.parent is None or self.sent or ctx.round_index < self.send_at:
             return []
         self.sent = True
         return [
@@ -276,20 +312,18 @@ class ConvergecastNode(ProtocolNode):
             if message.kind != MessageKind.CONVERGECAST.value:
                 continue
             child = int(message.get("child", message.sender))
-            if child not in self.waiting_for:
+            if child not in self.known:
                 # Unknown child (its CONNECT was lost): ignore, see module
                 # docstring for the rationale.
                 continue
-            self.waiting_for.discard(child)
+            self.known.discard(child)
             self.value = _reduce(self.op, self.value, float(message.get("value")))
             self.weight += int(message.get("weight", 1))
         return []
 
     def is_complete(self) -> bool:
         if self.parent is None:
-            # A root waiting for a child whose message was lost gives up at
-            # the same timeout its descendants use, so loss never deadlocks.
-            return not self.waiting_for or self._rounds_seen >= self.timeout
+            return self._rounds_seen >= self.done_at - 1
         return self.sent
 
     def result(self) -> dict:
@@ -302,15 +336,16 @@ def _convergecast_engine(
     values: np.ndarray,
     op: str,
     failure_model: FailureModel,
+    oracle: LossOracle,
     rng: np.random.Generator,
     metrics: MetricsCollector,
+    schedule: tuple[np.ndarray, np.ndarray],
 ) -> ConvergecastResult:
     forest = drr.forest
     n = forest.n
     alive = _alive_of(drr)
     known = drr.known_children
-    # Timeout after which a parent stops waiting for lost child messages.
-    timeout = 4 * max(4, int(math.ceil(math.log2(max(2, n)))))
+    send_round, last_child_round = schedule
     nodes = [
         ConvergecastNode(
             node_id=i,
@@ -318,7 +353,8 @@ def _convergecast_engine(
             parent=(int(forest.parent[i]) if forest.parent[i] >= 0 else None),
             known_children=known[i],
             op=op,
-            timeout=timeout,
+            send_at=int(send_round[i]) - 1,
+            done_at=int(last_child_round[i]),
         )
         for i in range(n)
     ]
@@ -328,8 +364,9 @@ def _convergecast_engine(
         metrics=metrics,
         failure_model=failure_model,
         alive=alive,
+        loss_oracle=oracle,
         max_substeps=2,
-        max_rounds=timeout + n + 4,
+        max_rounds=int(send_round.max(initial=0)) + 4,
         strict=False,
     )
 
@@ -363,6 +400,7 @@ def run_broadcast(
     failure_model = failure_model or FailureModel()
     metrics = metrics if metrics is not None else MetricsCollector(n=forest.n)
     metrics.begin_phase(phase_name)
+    oracle = LossOracle.for_run(failure_model, rng)
     for root in root_payload:
         if not forest.is_root(int(root)):
             raise ValueError(f"node {int(root)} is not a root")
@@ -370,10 +408,10 @@ def run_broadcast(
     return run_on(
         backend,
         vectorized=lambda kernel: _broadcast_vectorized(
-            kernel, drr, root_payload, failure_model, rng, metrics
+            kernel, drr, root_payload, oracle, rng, metrics
         ),
         engine=lambda kernel: _broadcast_engine(
-            kernel, drr, root_payload, failure_model, rng, metrics
+            kernel, drr, root_payload, failure_model, oracle, rng, metrics
         ),
     )
 
@@ -382,7 +420,7 @@ def _broadcast_vectorized(
     kernel: VectorizedKernel,
     drr: DRRResult,
     root_payload: dict[int, float],
-    failure_model: FailureModel,
+    oracle: LossOracle,
     rng: np.random.Generator,
     metrics: MetricsCollector,
 ) -> BroadcastResult:
@@ -429,8 +467,12 @@ def _broadcast_vectorized(
             continue
         arrival = receive_round[forest.parent[layer]] + sibling_rank[layer]
         max_round = max(max_round, int(arrival.max()))
+        # A transmission to a depth-d child is sent in the round before its
+        # arrival (its parent's serving round), which is the round the
+        # engine stamps on the same message.
         delivered = kernel.deliver(
-            metrics, failure_model, rng, MessageKind.BROADCAST, layer, alive=alive
+            metrics, oracle, MessageKind.BROADCAST, layer,
+            senders=forest.parent[layer], round_index=arrival - 1, alive=alive,
         )
         got = layer[delivered]
         received[got] = True
@@ -480,6 +522,7 @@ def _broadcast_engine(
     drr: DRRResult,
     root_payload: dict[int, float],
     failure_model: FailureModel,
+    oracle: LossOracle,
     rng: np.random.Generator,
     metrics: MetricsCollector,
 ) -> BroadcastResult:
@@ -501,6 +544,7 @@ def _broadcast_engine(
         metrics=metrics,
         failure_model=failure_model,
         alive=alive,
+        loss_oracle=oracle,
         max_substeps=2,
         max_rounds=4 * n + 16,
         strict=False,

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -138,8 +138,9 @@ def run_drr(
     metrics = metrics if metrics is not None else MetricsCollector(n=n)
     metrics.begin_phase("drr")
 
-    # Shared preamble: crash sampling and rank drawing happen exactly once,
-    # before backend dispatch, so both kernels see the same world.
+    # Shared preamble: crash sampling, rank drawing, and loss-oracle key
+    # derivation happen exactly once, before backend dispatch, so both
+    # kernels see the same world.
     if alive is None:
         alive = ~failure_model.sample_crashes(n, rng)
     alive = np.asarray(alive, dtype=bool)
@@ -149,14 +150,15 @@ def run_drr(
         ranks = np.asarray(ranks, dtype=float)
         if ranks.shape != (n,):
             raise ValueError("ranks must have shape (n,)")
+    oracle = LossOracle.for_run(failure_model, rng)
 
     return run_on(
         backend,
         vectorized=lambda kernel: _run_drr_vectorized(
-            kernel, n, rng, budget, failure_model, alive, ranks, metrics
+            kernel, n, rng, budget, failure_model, oracle, alive, ranks, metrics
         ),
         engine=lambda kernel: _run_drr_engine(
-            kernel, n, rng, budget, failure_model, alive, ranks, metrics
+            kernel, n, rng, budget, failure_model, oracle, alive, ranks, metrics
         ),
     )
 
@@ -170,6 +172,7 @@ def _run_drr_vectorized(
     rng: np.random.Generator,
     budget: int,
     failure_model: FailureModel,
+    oracle: LossOracle,
     alive: np.ndarray,
     ranks: np.ndarray,
     metrics: MetricsCollector,
@@ -187,13 +190,15 @@ def _run_drr_vectorized(
         probes_used[senders] += 1
         targets = kernel.sample_uniform(rng, n, senders.size, exclude=senders)
         probe_ok = kernel.deliver(
-            metrics, failure_model, rng, MessageKind.PROBE, targets, alive=alive
+            metrics, oracle, MessageKind.PROBE, targets,
+            senders=senders, round_index=rounds - 1, alive=alive,
         )
         # Every delivered probe provokes a rank reply back to the prober.
         probers = senders[probe_ok]
         responders = targets[probe_ok]
         reply_ok = kernel.deliver(
-            metrics, failure_model, rng, MessageKind.RANK, probers, alive=alive
+            metrics, oracle, MessageKind.RANK, probers,
+            senders=responders, round_index=rounds - 1, alive=alive,
         )
         found = reply_ok & (ranks[responders] > ranks[probers])
         finders = probers[found]
@@ -201,7 +206,8 @@ def _run_drr_vectorized(
             chosen = responders[found]
             parent[finders] = chosen
             connect_ok = kernel.deliver(
-                metrics, failure_model, rng, MessageKind.CONNECT, chosen, alive=alive
+                metrics, oracle, MessageKind.CONNECT, chosen,
+                senders=finders, round_index=rounds - 1, alive=alive,
             )
             connect_delivered[finders] = connect_ok
             searching[finders] = False
@@ -291,6 +297,7 @@ def _run_drr_engine(
     rng: np.random.Generator,
     budget: int,
     failure_model: FailureModel,
+    oracle: LossOracle,
     alive: np.ndarray,
     ranks: np.ndarray,
     metrics: MetricsCollector,
@@ -305,6 +312,7 @@ def _run_drr_engine(
         metrics=metrics,
         failure_model=failure_model,
         alive=alive,
+        loss_oracle=oracle,
         max_substeps=4,
         max_rounds=budget + 4,
     )

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -144,6 +144,7 @@ def run_gossip_ave(
     metrics.begin_phase(phase_name)
     if alive is None:
         alive = np.ones(n, dtype=bool)
+    oracle = LossOracle.for_run(failure_model, rng)
 
     total_rounds = (
         rounds
@@ -154,12 +155,12 @@ def run_gossip_ave(
     return run_on(
         backend,
         vectorized=lambda kernel: _gossip_ave_vectorized(
-            kernel, roots, local_sums, local_weights, root_of, n, failure_model,
+            kernel, roots, local_sums, local_weights, root_of, n, oracle,
             rng, metrics, total_rounds, alive, trace_root,
         ),
         engine=lambda kernel: _gossip_ave_engine(
             kernel, roots, local_sums, local_weights, root_of, n, failure_model,
-            rng, metrics, total_rounds, alive, trace_root,
+            oracle, rng, metrics, total_rounds, alive, trace_root,
         ),
     )
 
@@ -174,7 +175,7 @@ def _gossip_ave_vectorized(
     local_weights: np.ndarray,
     root_of: np.ndarray,
     n: int,
-    failure_model: FailureModel,
+    oracle: LossOracle,
     rng: np.random.Generator,
     metrics: MetricsCollector,
     total_rounds: int,
@@ -190,7 +191,7 @@ def _gossip_ave_vectorized(
     history: list[float] = []
     trace_pos = int(position[trace_root]) if trace_root is not None else None
 
-    for _ in range(total_rounds):
+    for r in range(total_rounds):
         metrics.record_round()
         targets = kernel.sample_uniform(rng, n, m)
 
@@ -202,7 +203,7 @@ def _gossip_ave_vectorized(
         g -= send_g
 
         receiver = kernel.relay_to_roots(
-            metrics, failure_model, rng, targets,
+            metrics, oracle, targets, senders=roots, round_index=r,
             kind=MessageKind.GOSSIP, position=position, root_of=root_of,
             alive=alive, payload_words=2,
         )
@@ -293,6 +294,7 @@ def _gossip_ave_engine(
     root_of: np.ndarray,
     n: int,
     failure_model: FailureModel,
+    oracle: LossOracle,
     rng: np.random.Generator,
     metrics: MetricsCollector,
     total_rounds: int,
@@ -315,6 +317,7 @@ def _gossip_ave_engine(
         metrics=metrics,
         failure_model=failure_model,
         alive=alive,
+        loss_oracle=oracle,
         max_substeps=3,
         max_rounds=total_rounds + 4,
     )

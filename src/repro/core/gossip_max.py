@@ -37,7 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -161,6 +161,7 @@ def run_gossip_max(
     metrics.begin_phase(phase_name)
     if alive is None:
         alive = np.ones(n, dtype=bool)
+    oracle = LossOracle.for_run(failure_model, rng)
 
     delta = failure_model.loss_probability
     g_rounds = gossip_rounds if gossip_rounds is not None else default_gossip_rounds(n, delta)
@@ -169,11 +170,11 @@ def run_gossip_max(
     return run_on(
         backend,
         vectorized=lambda kernel: _gossip_max_vectorized(
-            kernel, roots, root_values, root_of, n, failure_model, rng, metrics,
+            kernel, roots, root_values, root_of, n, oracle, rng, metrics,
             g_rounds, s_rounds, alive,
         ),
         engine=lambda kernel: _gossip_max_engine(
-            kernel, roots, root_values, root_of, n, failure_model, rng, metrics,
+            kernel, roots, root_values, root_of, n, failure_model, oracle, rng, metrics,
             g_rounds, s_rounds, alive,
         ),
     )
@@ -188,7 +189,7 @@ def _gossip_max_vectorized(
     root_values: np.ndarray,
     root_of: np.ndarray,
     n: int,
-    failure_model: FailureModel,
+    oracle: LossOracle,
     rng: np.random.Generator,
     metrics: MetricsCollector,
     g_rounds: int,
@@ -206,11 +207,11 @@ def _gossip_max_vectorized(
     # ------------------------------------------------------------------ #
     # gossip procedure
     # ------------------------------------------------------------------ #
-    for _ in range(g_rounds):
+    for r in range(g_rounds):
         metrics.record_round()
         targets = kernel.sample_uniform(rng, n, m)
         receivers = kernel.relay_to_roots(
-            metrics, failure_model, rng, targets,
+            metrics, oracle, targets, senders=roots, round_index=r,
             kind=MessageKind.GOSSIP, position=position, root_of=root_of, alive=alive,
         )
         valid = receivers >= 0
@@ -222,18 +223,20 @@ def _gossip_max_vectorized(
     # ------------------------------------------------------------------ #
     # sampling procedure
     # ------------------------------------------------------------------ #
-    for _ in range(s_rounds):
+    for t in range(s_rounds):
         metrics.record_round()
         targets = kernel.sample_uniform(rng, n, m)
         sampled_roots = kernel.relay_to_roots(
-            metrics, failure_model, rng, targets,
+            metrics, oracle, targets, senders=roots, round_index=g_rounds + t,
             kind=MessageKind.INQUIRY, position=position, root_of=root_of, alive=alive,
         )
         valid = sampled_roots >= 0
         # The sampled root answers the inquiring root directly (one hop).
         reply_ok = kernel.deliver(
-            metrics, failure_model, rng, MessageKind.INQUIRY_REPLY,
-            roots[np.flatnonzero(valid)], alive=alive,
+            metrics, oracle, MessageKind.INQUIRY_REPLY,
+            roots[np.flatnonzero(valid)],
+            senders=roots[sampled_roots[valid]], round_index=g_rounds + t,
+            alive=alive,
         )
         inquirers = np.flatnonzero(valid)[reply_ok]
         answered_by = sampled_roots[valid][reply_ok]
@@ -278,6 +281,11 @@ class RootForwarderNode(ProtocolNode):
                         kind=MessageKind.FORWARD,
                         payload={**message.payload, "inner": message.kind},
                         payload_words=message.payload_words,
+                        # All of a round's forwards go to the same root; the
+                        # send rank disambiguates them for the loss oracle
+                        # (the vectorized relay numbers them identically, in
+                        # push order).
+                        nonce=len(forwards),
                     )
                 )
         return forwards
@@ -363,6 +371,7 @@ def _gossip_max_engine(
     root_of: np.ndarray,
     n: int,
     failure_model: FailureModel,
+    oracle: LossOracle,
     rng: np.random.Generator,
     metrics: MetricsCollector,
     g_rounds: int,
@@ -386,6 +395,7 @@ def _gossip_max_engine(
         metrics=metrics,
         failure_model=failure_model,
         alive=alive,
+        loss_oracle=oracle,
         max_substeps=4,
         max_rounds=g_rounds + s_rounds + 4,
     )

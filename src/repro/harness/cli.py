@@ -31,6 +31,10 @@ Inspect and export what the store holds::
 
     drr-gossip results --markdown results/report.md
     drr-gossip results --failed
+
+Render figures purely from stored rows (no recomputation; needs matplotlib)::
+
+    drr-gossip plot --store results/results.sqlite --output results/figures
 """
 
 from __future__ import annotations
@@ -97,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
         exp.add_argument("--reps", type=int, default=None, help="repetitions per configuration")
         exp.add_argument("--ns", type=int, nargs="+", default=None, help="network sizes to sweep")
         exp.add_argument("--json", type=str, default=None, help="write the result to this JSON path")
+        if "backend" in spec.param_names:
+            exp.add_argument(
+                "--backend",
+                choices=list(available_backends()),
+                default=None,
+                help="execution substrate for this experiment (recorded in the result parameters)",
+            )
 
     report = sub.add_parser("report", help="run every experiment and write a markdown report")
     report.add_argument("--output", type=str, default="results", help="output directory")
@@ -132,6 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-execute cells even when the store already has their results",
     )
+
+    plot = sub.add_parser(
+        "plot",
+        help="render figures from stored sweep rows (no recomputation; needs matplotlib)",
+    )
+    plot.add_argument("--store", type=str, default=DEFAULT_STORE, help="SQLite result store path")
+    plot.add_argument("--experiment", type=str, default=None, help="restrict to one experiment")
+    plot.add_argument("--output", type=str, default="results/figures", help="output directory")
+    plot.add_argument("--format", dest="fmt", choices=["png", "svg", "pdf"], default="png")
 
     results = sub.add_parser("results", help="summarise/export the sweep result store")
     results.add_argument("--store", type=str, default=DEFAULT_STORE, help="SQLite result store path")
@@ -172,6 +192,8 @@ def _run_experiment(name: str, args: argparse.Namespace) -> int:
         kwargs["seed"] = args.seed
     if args.reps is not None:
         kwargs["repetitions"] = args.reps
+    if getattr(args, "backend", None) is not None:
+        kwargs["backend"] = args.backend
     if args.ns is not None:
         if name == "ablation":
             kwargs["n"] = args.ns[0]
@@ -277,6 +299,26 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0 if report.failed == 0 else 1
 
 
+def _run_plot(args: argparse.Namespace) -> int:
+    from .plotting import PlottingUnavailableError, render_plots
+
+    if not Path(args.store).exists():
+        print(f"no result store at {args.store} (run `drr-gossip sweep` first)", file=sys.stderr)
+        return 1
+    with ResultStore(args.store) as store:
+        try:
+            written = render_plots(store, args.output, experiment=args.experiment, fmt=args.fmt)
+        except PlottingUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if not written:
+        print("no completed rows to plot (check --experiment / run a sweep first)", file=sys.stderr)
+        return 1
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def _run_results(args: argparse.Namespace) -> int:
     if not Path(args.store).exists():
         print(f"no result store at {args.store} (run `drr-gossip sweep` first)", file=sys.stderr)
@@ -314,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_report(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "plot":
+        return _run_plot(args)
     if args.command == "results":
         return _run_results(args)
     if args.command in EXPERIMENTS:

@@ -34,7 +34,8 @@ from ..core.drr_gossip import broadcast_root_addresses  # reused forwarding-tabl
 from ..orchestration import registry
 from ..simulator import FailureModel, MetricsCollector
 from ..simulator.rng import RngStream
-from ..topology import ChordNetwork, ChordSampler, make_graph
+from ..substrate import run_chord_lookups
+from ..topology import ChordNetwork, make_graph
 from .tables import format_markdown_table, format_table
 from .workloads import make_values
 
@@ -431,6 +432,7 @@ def run_local_drr_statistics(
     families: Sequence[str] = ("ring", "grid", "regular4", "hypercube", "erdos-renyi"),
     repetitions: int = 3,
     seed: int = 6,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Tree height and tree count of Local-DRR across graph families."""
     stream = RngStream(seed)
@@ -441,7 +443,7 @@ def run_local_drr_statistics(
             for rep in range(repetitions):
                 rng = stream.get("localdrr", family, n, rep)
                 topo = make_graph(family, n, rng)
-                result = run_local_drr(topo, rng=rng)
+                result = run_local_drr(topo, rng=rng, backend=backend)
                 heights.append(result.forest.max_tree_height)
                 counts.append(result.forest.root_count)
                 predicted.append(topo.expected_local_drr_trees())
@@ -462,7 +464,7 @@ def run_local_drr_statistics(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"ns": list(ns), "families": list(families), "repetitions": repetitions},
+        parameters={"ns": list(ns), "families": list(families), "repetitions": repetitions, "backend": backend},
     )
 
 
@@ -474,12 +476,17 @@ def run_chord_comparison(
     repetitions: int = 3,
     seed: int = 7,
     gossip_rounds_factor: float = 2.0,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Compare message/round cost of DRR-gossip and uniform gossip on Chord.
 
     Both protocols obtain random peers through Chord identifier routing and
     the measured per-sample hop cost is what enters the totals, so this is a
     measurement of Theorem 14's statement rather than a restatement of it.
+    Every phase runs on the execution substrate: Local-DRR and convergecast
+    under ``backend``, and each gossip round's peer sampling as one batched
+    lookup (all routes advancing one overlay hop per round) through
+    :func:`repro.substrate.run_chord_lookups`.
     """
     stream = RngStream(seed)
     rows: list[dict] = []
@@ -489,32 +496,31 @@ def run_chord_comparison(
             rng = stream.get("chord", n, rep)
             chord = ChordNetwork(n, rng)
             topo = chord.to_topology()
-            sampler = ChordSampler(chord)
+            all_nodes = np.arange(n, dtype=np.int64)
             gossip_rounds = int(math.ceil(gossip_rounds_factor * math.log2(n))) + 4
 
             # ---- DRR-gossip on Chord -------------------------------------- #
-            local = run_local_drr(topo, rng=rng)
+            local = run_local_drr(topo, rng=rng, backend=backend)
             forest = local.forest
             roots = forest.roots
             messages = local.metrics.total_messages
             rounds = local.rounds
             # Phase II: convergecast + root broadcast along tree edges.
             values = make_values("uniform", n, rng)
-            cov = run_convergecast(local, values, op="max", rng=rng)
+            cov = run_convergecast(local, values, op="max", rng=rng, backend=backend)
             messages += cov.metrics.phase("convergecast").messages
             rounds += cov.rounds
             depth = forest.depth
-            # Phase III: every root samples a random peer per round through
-            # Chord routing (measured hops), the peer forwards to its root
-            # along its tree path (depth hops).
+            # Phase III: every root samples a random identifier per round and
+            # routes to its owner (one batched lookup; measured hops), the
+            # owner forwards to its root along its tree path (depth hops).
             max_height = forest.max_tree_height
             for _ in range(gossip_rounds):
-                sample_rounds_this = 0
-                for root in roots:
-                    cost = sampler.sample(int(root), rng)
-                    messages += cost.messages + int(depth[cost.peer])
-                    sample_rounds_this = max(sample_rounds_this, cost.rounds)
-                rounds += sample_rounds_this + max_height
+                identifiers = rng.integers(0, chord.ring_size, size=roots.size)
+                batch = run_chord_lookups(chord, roots, identifiers, rng=rng, backend=backend)
+                peers = batch.owners[batch.delivered]
+                messages += batch.messages + int(depth[peers].sum())
+                rounds += batch.rounds + max_height
             drr_msgs.append(messages)
             drr_rounds.append(rounds)
 
@@ -522,13 +528,11 @@ def run_chord_comparison(
             messages_u = 0
             rounds_u = 0
             for _ in range(gossip_rounds):
-                sample_rounds_this = 0
                 # every node samples a random peer through routing and pushes
-                for node in range(n):
-                    cost = sampler.sample(node, rng)
-                    messages_u += cost.messages
-                    sample_rounds_this = max(sample_rounds_this, cost.rounds)
-                rounds_u += sample_rounds_this
+                identifiers = rng.integers(0, chord.ring_size, size=n)
+                batch = run_chord_lookups(chord, all_nodes, identifiers, rng=rng, backend=backend)
+                messages_u += batch.messages
+                rounds_u += batch.rounds
             uni_msgs.append(messages_u)
             uni_rounds.append(rounds_u)
         rows.append(
@@ -554,7 +558,7 @@ def run_chord_comparison(
         headers=headers,
         rows=rows,
         seed=seed,
-        parameters={"ns": list(ns), "repetitions": repetitions},
+        parameters={"ns": list(ns), "repetitions": repetitions, "backend": backend},
         notes=notes,
     )
 

@@ -9,10 +9,30 @@ The paper's model tolerates two kinds of failure:
    analysis (larger deltas only need ``O(1/log(1/delta))`` repetitions,
    smaller ones only help), but the simulator accepts any ``delta`` in
    ``[0, 1)`` so experiments can explore the whole range.
+
+Loss decisions and the substrate
+--------------------------------
+The execution substrate runs every protocol on two interchangeable backends
+(columnar batches vs a message-level engine) which deliver the same
+transmissions in *different orders* within a round.  Drawing loss variates
+from the shared RNG stream would therefore tie a message's fate to the
+backend's internal batching.  Instead, :class:`LossOracle` makes the loss of
+a transmission a pure function of its *identity*::
+
+    lost = hash(run_key, round, kind, sender, recipient, nonce) < delta
+
+where ``run_key`` is drawn once per protocol run from the shared generator
+(only when ``delta > 0``, so reliable runs consume nothing).  Both backends
+compute identical fates for the same seed no matter how they batch, which is
+what extends the same-seed backend-equivalence guarantee to lossy networks.
+A useful side effect: the protocol's own randomness (targets, ranks) is
+identical across different ``delta`` values for a fixed seed -- common
+random numbers across the loss axis of a sweep.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 
@@ -20,7 +40,7 @@ import numpy as np
 
 from .errors import ConfigurationError
 
-__all__ = ["FailureModel", "paper_delta_range"]
+__all__ = ["FailureModel", "LossOracle", "kind_salt", "paper_delta_range"]
 
 
 def paper_delta_range(n: int) -> tuple[float, float]:
@@ -88,17 +108,17 @@ class FailureModel:
             crashed[rng.choice(n, size=count, replace=False)] = True
         return crashed
 
-    def message_lost(self, rng: np.random.Generator) -> bool:
-        """Sample whether a single transmission is lost."""
-        if self.loss_probability == 0.0:
-            return False
-        return bool(rng.random() < self.loss_probability)
-
     def sample_losses(self, count: int, rng: np.random.Generator) -> np.ndarray:
-        """Vectorised loss sampling for fast-path implementations."""
+        """Vectorised loss sampling for fast-path implementations.
+
+        The zero-size path is explicit: ``count == 0`` (an empty frontier,
+        a round in which nobody transmits) returns an empty mask without
+        touching ``rng``, so callers that hit the edge case consume exactly
+        zero draws on every backend.
+        """
         if count < 0:
             raise ConfigurationError("count must be non-negative")
-        if self.loss_probability == 0.0:
+        if count == 0 or self.loss_probability == 0.0:
             return np.zeros(count, dtype=bool)
         return rng.random(count) < self.loss_probability
 
@@ -109,3 +129,134 @@ class FailureModel:
             f"lossy (delta={self.loss_probability:g}, "
             f"crash_fraction={self.crash_fraction:g})"
         )
+
+
+# --------------------------------------------------------------------------- #
+# identity-keyed loss decisions
+# --------------------------------------------------------------------------- #
+_KIND_SALTS: dict[str, int] = {}
+
+#: splitmix64 constants (Steele, Lea & Flood 2014) -- the standard 64-bit
+#: finaliser; statistical quality is more than sufficient for Bernoulli
+#: thinning and it vectorises to a handful of uint64 ops.
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def kind_salt(kind: object) -> int:
+    """Stable 64-bit salt of a message kind (process- and backend-independent)."""
+    key = str(kind)
+    salt = _KIND_SALTS.get(key)
+    if salt is None:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        salt = int.from_bytes(digest, "big")
+        _KIND_SALTS[key] = salt
+    return salt
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    x = x + _SM64_GAMMA
+    x = (x ^ (x >> np.uint64(30))) * _SM64_M1
+    x = (x ^ (x >> np.uint64(27))) * _SM64_M2
+    return x ^ (x >> np.uint64(31))
+
+
+def _as_u64(value) -> np.ndarray:
+    """Coerce ints / int arrays (possibly negative) to wrapping uint64."""
+    return np.asarray(value, dtype=np.int64).astype(np.uint64)
+
+
+class LossOracle:
+    """Per-transmission loss decisions keyed by transmission identity.
+
+    One oracle is created per protocol run (see the module docstring); both
+    substrate backends consult the same oracle, so a transmission's fate
+    depends only on ``(round, kind, sender, recipient, nonce)`` -- never on
+    the order a backend happens to batch its deliveries in.
+
+    ``nonce`` disambiguates the rare case of two same-kind transmissions
+    between the same pair in the same round (e.g. a Phase III forwarder
+    relaying two pushes to its root, or two Chord routes crossing the same
+    overlay link); protocols assign it identically on both backends.
+    """
+
+    __slots__ = ("loss_probability", "key", "_threshold")
+
+    def __init__(self, loss_probability: float, key: int = 0) -> None:
+        if not (0.0 <= loss_probability < 1.0):
+            raise ConfigurationError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        self.loss_probability = float(loss_probability)
+        self.key = int(key) & 0xFFFFFFFFFFFFFFFF
+        #: compare the top 53 bits of the hash against delta * 2^53
+        self._threshold = np.uint64(int(self.loss_probability * float(1 << 53)))
+
+    @classmethod
+    def for_run(cls, failure_model: "FailureModel", rng: np.random.Generator) -> "LossOracle":
+        """Derive the run-scoped oracle in a protocol's shared preamble.
+
+        The 64-bit run key is a hash of the shared generator's *state* —
+        run-specific (it depends on the seed and on everything drawn so
+        far) without consuming a single variate.  Two consequences: both
+        backends derive the same key from the same preamble, and a lossy
+        run draws exactly the same protocol randomness (targets, ranks) as
+        the reliable run with the same seed — common random numbers across
+        the ``delta`` axis of a sweep.
+        """
+        if failure_model.loss_probability == 0.0:
+            return cls(0.0, 0)
+        digest = hashlib.blake2b(
+            repr(rng.bit_generator.state).encode("utf-8"), digest_size=8
+        ).digest()
+        return cls(failure_model.loss_probability, int.from_bytes(digest, "big"))
+
+    @property
+    def reliable(self) -> bool:
+        return self.loss_probability == 0.0
+
+    def _mix(self, round_index, kind_value, senders, recipients, nonces):
+        with np.errstate(over="ignore"):
+            x = _splitmix64(np.uint64(self.key) ^ np.uint64(kind_value))
+            x = _splitmix64(x ^ _as_u64(round_index))
+            x = _splitmix64(x ^ _as_u64(senders))
+            x = _splitmix64(x ^ _as_u64(recipients))
+            x = _splitmix64(x ^ _as_u64(nonces if nonces is not None else 0))
+        return x
+
+    def lost(
+        self,
+        round_index: int,
+        kind: object,
+        sender: int,
+        recipient: int,
+        nonce: int = 0,
+    ) -> bool:
+        """Fate of a single transmission (message-level engine path)."""
+        if self.loss_probability == 0.0:
+            return False
+        x = self._mix(round_index, kind_salt(kind), sender, recipient, nonce)
+        return bool((x >> np.uint64(11)) < self._threshold)
+
+    def sample(
+        self,
+        round_index: int | np.ndarray,
+        kind: object,
+        senders: int | np.ndarray,
+        recipients: np.ndarray,
+        nonces: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Fates of a batch of transmissions (columnar path).
+
+        ``round_index`` and ``senders`` may be scalars (a whole batch from
+        one sender in one round) or arrays aligned with ``recipients``
+        (depth-layer sweeps that charge several rounds' transmissions in one
+        call).  Returns the boolean *lost* mask.
+        """
+        recipients = np.asarray(recipients)
+        count = int(recipients.size)
+        if count == 0 or self.loss_probability == 0.0:
+            return np.zeros(count, dtype=bool)
+        x = self._mix(round_index, kind_salt(kind), senders, recipients, nonces)
+        return np.broadcast_to((x >> np.uint64(11)) < self._threshold, recipients.shape)

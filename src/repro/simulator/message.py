@@ -49,6 +49,8 @@ class MessageKind(str, enum.Enum):
     PUSH = "push"
     #: Baselines: pull request / rumor-spreading pull.
     PULL = "pull"
+    #: Overlay routing: one hop of a Chord identifier lookup.
+    LOOKUP = "lookup"
     #: Baselines / misc: generic application payload.
     DATA = "data"
 
@@ -79,6 +81,11 @@ class Message:
     round_sent:
         The engine stamps the round in which the message was handed over for
         delivery.  ``-1`` until stamped.
+    nonce:
+        Disambiguator consumed by the loss oracle when a protocol can send
+        two same-kind messages between the same pair in one round (e.g. a
+        Phase III forwarder relaying two pushes, or two Chord routes
+        crossing one link).  ``0`` for the common unique case.
     """
 
     sender: int
@@ -87,6 +94,7 @@ class Message:
     payload: Mapping[str, Any] = field(default_factory=dict)
     payload_words: int = -1
     round_sent: int = -1
+    nonce: int = 0
 
     def __post_init__(self) -> None:
         if self.payload_words < 0:
@@ -103,6 +111,7 @@ class Message:
             payload=self.payload,
             payload_words=self.payload_words,
             round_sent=round_index,
+            nonce=self.nonce,
         )
 
     def get(self, key: str, default: Any = None) -> Any:
@@ -124,6 +133,7 @@ class Send:
     kind: str
     payload: Mapping[str, Any] = field(default_factory=dict)
     payload_words: int = -1
+    nonce: int = 0
 
     def to_message(self, sender: int) -> Message:
         return Message(
@@ -132,4 +142,5 @@ class Send:
             kind=self.kind,
             payload=self.payload,
             payload_words=self.payload_words,
+            nonce=self.nonce,
         )

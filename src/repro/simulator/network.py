@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from .errors import ConfigurationError, UnknownNodeError
-from .failures import FailureModel
+from .failures import FailureModel, LossOracle
 from .message import Message
 from .metrics import MetricsCollector
 
@@ -44,6 +44,17 @@ class Network:
         this so crash injection happens exactly once per run, through the
         same :meth:`FailureModel.sample_crashes` call, whichever substrate
         backend executes the protocol.
+    loss_oracle:
+        The run-scoped :class:`LossOracle` deciding per-transmission fates.
+        Protocol entry points derive it once in their shared preamble and
+        pass it to both backends; when omitted the network derives its own
+        from the failure model and ``rng`` (convenient for direct engine
+        use in tests).
+    loss_base_round:
+        Offset added to every message's ``round_sent`` before consulting
+        the oracle.  Multi-stage protocols that run several engine
+        executions under one oracle (each restarting its round counter at
+        zero) use it to keep round identities unique across stages.
     """
 
     def __init__(
@@ -53,6 +64,8 @@ class Network:
         neighbor_fn: Callable[[int], Sequence[int]] | None = None,
         rng: np.random.Generator | None = None,
         alive: np.ndarray | None = None,
+        loss_oracle: LossOracle | None = None,
+        loss_base_round: int = 0,
     ) -> None:
         if n <= 0:
             raise ConfigurationError(f"network needs at least one node, got n={n}")
@@ -67,6 +80,12 @@ class Network:
             self.alive = alive.copy()
         else:
             self.alive = ~self.failure_model.sample_crashes(self.n, self._rng)
+        self.loss_oracle = (
+            loss_oracle
+            if loss_oracle is not None
+            else LossOracle.for_run(self.failure_model, self._rng)
+        )
+        self.loss_base_round = int(loss_base_round)
 
     # ------------------------------------------------------------------ #
     # population
@@ -135,13 +154,27 @@ class Network:
         arrive, and only those addressed to alive nodes.  Messages sent *to*
         crashed nodes are charged to the sender but silently dropped, which
         is exactly what a call to a dead host looks like.
+
+        Loss is decided by the :class:`LossOracle` from the transmission's
+        identity (round, kind, sender, recipient, nonce), so the fate of a
+        message is independent of its position in the batch -- the property
+        that keeps the engine exactly equivalent to the columnar backend on
+        lossy networks.  ``rng`` is accepted for signature compatibility but
+        no longer consumed here.
         """
-        rng = rng if rng is not None else self._rng
+        del rng  # loss fates are identity-keyed, not stream-drawn
+        oracle = self.loss_oracle
         delivered: list[Message] = []
         for message in messages:
             self._check_id(message.recipient)
             self._check_id(message.sender)
-            lost = self.failure_model.message_lost(rng)
+            lost = oracle.lost(
+                self.loss_base_round + message.round_sent,
+                message.kind,
+                message.sender,
+                message.recipient,
+                message.nonce,
+            )
             dead_recipient = not self.alive[message.recipient]
             metrics.record_message(
                 message.kind,

@@ -11,11 +11,22 @@ One simulation kernel, two interchangeable backends:
 Every protocol in :mod:`repro.core` and :mod:`repro.baselines` takes a
 ``backend`` argument (or, for the DRR-gossip pipelines, reads it from
 :class:`~repro.core.drr_gossip.DRRGossipConfig`) and dispatches through
-:func:`run_on`.  See :mod:`repro.substrate.kernel` for the contract between
-the backends and ``tests/test_substrate.py`` for the equivalence guarantees.
+:func:`run_on`.  Topology-bound workloads — Local-DRR's neighbour broadcast
+and batched Chord lookups — go through the topology kernel
+(:mod:`repro.substrate.topology_kernel`) under the same contract.  See
+:mod:`repro.substrate.kernel` for the contract between the backends and
+``tests/test_substrate.py`` for the equivalence guarantees, which hold on
+reliable *and* lossy networks (loss fates are identity-keyed through
+:class:`~repro.simulator.failures.LossOracle`, never draw-order-dependent).
 """
 
-from .delivery import deliver_batch, relay_to_roots, sample_uniform
+from .delivery import deliver_batch, occurrence_index, relay_to_roots, sample_uniform
+from .topology_kernel import (
+    ChordLookupBatch,
+    ChordLookupNode,
+    neighbor_broadcast,
+    run_chord_lookups,
+)
 from .kernel import (
     BACKENDS,
     DEFAULT_BACKEND,
@@ -30,6 +41,8 @@ from .kernel import (
 
 __all__ = [
     "BACKENDS",
+    "ChordLookupBatch",
+    "ChordLookupNode",
     "DEFAULT_BACKEND",
     "EngineKernel",
     "Kernel",
@@ -37,8 +50,11 @@ __all__ = [
     "available_backends",
     "deliver_batch",
     "get_kernel",
+    "neighbor_broadcast",
+    "occurrence_index",
     "normalize_backend",
     "relay_to_roots",
+    "run_chord_lookups",
     "run_on",
     "sample_uniform",
 ]

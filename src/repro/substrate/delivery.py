@@ -4,7 +4,7 @@ These three functions are the vectorized counterpart of
 :meth:`repro.simulator.network.Network.deliver` and
 :meth:`repro.simulator.node.RoundContext.random_node`:
 
-* :func:`deliver_batch` applies the failure model to one batch of directed
+* :func:`deliver_batch` applies the loss oracle to one batch of directed
   transmissions and charges them to the metrics collector — including the
   lost-message accounting that the message-level engine applies, so both
   backends report identical ``messages`` *and* ``messages_lost`` on the
@@ -14,24 +14,32 @@ These three functions are the vectorized counterpart of
   all use (it used to be hand-rolled separately in each of them).
 * :func:`sample_uniform` draws uniform targets in the exact order per-node
   engine protocols draw them, which is what makes the two backends
-  bit-compatible on reliable networks.
+  bit-compatible.
 
-Both the loss sampling (`FailureModel.sample_losses`, one ``rng.random(k)``)
-and the target sampling (one ``rng.integers(..., size=k)``) produce the same
-variates as ``k`` sequential scalar draws from the same generator state, so
-a columnar round consumes the RNG stream exactly like ``k`` engine nodes
-acting in id order.
+Loss fates come from the run-scoped
+:class:`~repro.simulator.failures.LossOracle`: the fate of a transmission is
+a pure function of ``(round, kind, sender, recipient, nonce)``, never of the
+order a backend batches its deliveries in.  Every call therefore threads the
+*identity* of its transmissions (senders and the sending round) alongside the
+recipients; the engine derives the same identities from its stamped
+:class:`~repro.simulator.message.Message` objects, which is what makes the
+two backends agree message-for-message even on lossy networks.
+
+Target sampling still comes from the shared RNG stream: one
+``rng.integers(..., size=k)`` batch produces the same variates as ``k``
+sequential scalar draws, so a columnar round consumes the stream exactly like
+``k`` engine nodes acting in id order.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import LossOracle
 from ..simulator.message import MessageKind
 from ..simulator.metrics import MetricsCollector
 
-__all__ = ["deliver_batch", "relay_to_roots", "sample_uniform"]
+__all__ = ["deliver_batch", "occurrence_index", "relay_to_roots", "sample_uniform"]
 
 
 def sample_uniform(
@@ -60,15 +68,37 @@ def sample_uniform(
     return np.where(targets >= exclude, targets + 1, targets)
 
 
+def occurrence_index(keys: np.ndarray) -> np.ndarray:
+    """Occurrence rank of each element among equal keys, in array order.
+
+    ``occurrence_index([5, 3, 5, 5, 3]) == [0, 0, 1, 2, 1]``.  Used to build
+    loss-oracle nonces for batches that may repeat a (sender, recipient)
+    pair within a round: the engine assigns the same ranks by counting a
+    node's sends in arrival order, which equals batch order here.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    new_group = np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+    group_start = np.maximum.accumulate(np.where(new_group, np.arange(keys.size), 0))
+    ranks = np.empty(keys.size, dtype=np.int64)
+    ranks[order] = np.arange(keys.size) - group_start
+    return ranks
+
+
 def deliver_batch(
     metrics: MetricsCollector,
-    failure_model: FailureModel,
-    rng: np.random.Generator,
+    oracle: LossOracle,
     kind: str | MessageKind,
     targets: np.ndarray,
     *,
+    senders: int | np.ndarray,
+    round_index: int | np.ndarray,
     alive: np.ndarray | None = None,
     payload_words: int = 1,
+    nonces: np.ndarray | None = None,
 ) -> np.ndarray:
     """Deliver one batch of transmissions; returns the delivered mask.
 
@@ -76,12 +106,16 @@ def deliver_batch(
     charged; a transmission is lost when the link drops it *or* the
     recipient is dead.  Lost transmissions count toward the message
     complexity (the sender spent the call) and toward ``messages_lost``.
+
+    ``senders`` and ``round_index`` identify the transmissions for the loss
+    oracle; either may be a scalar shared by the whole batch or an array
+    aligned with ``targets``.
     """
     targets = np.asarray(targets, dtype=np.int64)
     count = int(targets.size)
     if count == 0:
         return np.zeros(0, dtype=bool)
-    delivered = ~failure_model.sample_losses(count, rng)
+    delivered = ~oracle.sample(round_index, kind, senders, targets, nonces)
     if alive is not None:
         delivered &= alive[targets]
     metrics.record_messages(
@@ -92,10 +126,11 @@ def deliver_batch(
 
 def relay_to_roots(
     metrics: MetricsCollector,
-    failure_model: FailureModel,
-    rng: np.random.Generator,
+    oracle: LossOracle,
     targets: np.ndarray,
     *,
+    senders: np.ndarray,
+    round_index: int,
     kind: str | MessageKind,
     position: np.ndarray,
     root_of: np.ndarray,
@@ -113,8 +148,17 @@ def relay_to_roots(
     INQUIRY, depending on the procedure) and the forwarding hop under
     FORWARD, both with engine-identical lost-message accounting.
 
+    A forwarder relaying several same-round pushes sends several FORWARD
+    messages to the same root; their oracle nonces are the forwarder's send
+    ranks in push order, exactly how the engine's forwarder node numbers
+    its sends in arrival order.
+
     Parameters
     ----------
+    senders:
+        Originating root node ids, aligned with ``targets``.
+    round_index:
+        The round in which the pushes (and their forwards) are sent.
     position:
         ``position[node]`` is the index of ``node`` in the caller's roots
         array, or ``-1`` for non-roots.
@@ -123,7 +167,8 @@ def relay_to_roots(
     """
     targets = np.asarray(targets, dtype=np.int64)
     receiver = np.full(targets.shape, -1, dtype=np.int64)
-    first_hop_ok = ~failure_model.sample_losses(targets.size, rng) & alive[targets]
+    first_lost = oracle.sample(round_index, kind, senders, targets)
+    first_hop_ok = ~first_lost & alive[targets]
     metrics.record_messages(
         kind,
         int(targets.size),
@@ -134,22 +179,28 @@ def relay_to_roots(
     # direct hits on a root
     direct = first_hop_ok & is_root_target
     receiver[direct] = position[targets[direct]]
-    # forwarded hits through a non-root
-    needs_forward = first_hop_ok & ~is_root_target
-    forward_targets = root_of[targets[needs_forward]]
-    knows_root = forward_targets >= 0
-    second_hop_ok = ~failure_model.sample_losses(int(needs_forward.sum()), rng)
-    ok = knows_root & second_hop_ok
-    ok_roots = forward_targets[ok]
-    ok_alive = alive[ok_roots]
-    if knows_root.any():
-        delivered_forwards = int(ok_alive.sum())
+    # forwarded hits through a non-root that knows its root (nodes whose
+    # Phase II broadcast was lost silently drop, sending nothing)
+    needs_forward = np.flatnonzero(first_hop_ok & ~is_root_target)
+    forwarders = targets[needs_forward]
+    knows_root = root_of[forwarders] >= 0
+    send_idx = needs_forward[knows_root]
+    if send_idx.size:
+        hop_from = targets[send_idx]
+        hop_to = root_of[hop_from]
+        second_lost = oracle.sample(
+            round_index,
+            MessageKind.FORWARD,
+            hop_from,
+            hop_to,
+            nonces=occurrence_index(hop_from),
+        )
+        arrived = ~second_lost & alive[hop_to]
         metrics.record_messages(
             MessageKind.FORWARD,
-            int(knows_root.sum()),
+            int(send_idx.size),
             payload_words=payload_words,
-            lost=int(knows_root.sum()) - delivered_forwards,
+            lost=int(send_idx.size) - int(arrived.sum()),
         )
-    idx = np.flatnonzero(needs_forward)[ok][ok_alive]
-    receiver[idx] = position[forward_targets[ok][ok_alive]]
+        receiver[send_idx[arrived]] = position[hop_to[arrived]]
     return receiver

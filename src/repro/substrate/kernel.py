@@ -19,13 +19,16 @@ with a ``backend`` parameter; the function body dispatches through
     is an individual :class:`~repro.simulator.message.Message`.  This is
     the fidelity reference the paper semantics are validated against.
 
-The two kernels are engineered to be *equivalent*, not merely similar: on a
-reliable network they consume the shared RNG stream in the same order (a
-NumPy generator produces identical variates for one ``size=k`` batch draw
-and ``k`` sequential scalar draws), charge messages through the same
-accounting conventions, and therefore produce identical round counts,
-message counts, and estimates for the same seed.  ``tests/test_substrate.py``
-asserts this for every protocol.
+The two kernels are engineered to be *equivalent*, not merely similar: they
+consume the shared RNG stream in the same order (a NumPy generator produces
+identical variates for one ``size=k`` batch draw and ``k`` sequential scalar
+draws), decide per-message loss through the identity-keyed
+:class:`~repro.simulator.failures.LossOracle` (so fates are independent of
+batching order), and charge messages through the same accounting
+conventions.  They therefore produce identical round counts, message counts
+(total, per kind, per phase, lost), and estimates for the same seed — on
+reliable *and* lossy networks.  ``tests/test_substrate.py`` asserts this for
+every protocol.
 """
 
 from __future__ import annotations
@@ -36,11 +39,11 @@ import numpy as np
 
 from ..simulator.engine import EngineConfig, EngineResult, SynchronousEngine
 from ..simulator.errors import ConfigurationError
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.metrics import MetricsCollector
 from ..simulator.network import Network
 from ..simulator.node import ProtocolNode
-from .delivery import deliver_batch, relay_to_roots, sample_uniform
+from .delivery import deliver_batch, occurrence_index, relay_to_roots, sample_uniform
 
 __all__ = [
     "Kernel",
@@ -84,6 +87,8 @@ class VectorizedKernel(Kernel):
     relay_to_roots = staticmethod(relay_to_roots)
     #: uniform target sampling, draw-order compatible with RoundContext.random_node
     sample_uniform = staticmethod(sample_uniform)
+    #: per-(key) send ranks, matching the engine's per-node send numbering
+    occurrence_index = staticmethod(occurrence_index)
 
 
 class EngineKernel(Kernel):
@@ -100,6 +105,8 @@ class EngineKernel(Kernel):
         failure_model: FailureModel | None = None,
         alive: np.ndarray | None = None,
         neighbor_fn: Callable[[int], Sequence[int]] | None = None,
+        loss_oracle: LossOracle | None = None,
+        loss_base_round: int = 0,
         max_substeps: int = 2,
         max_rounds: int | None = None,
         strict: bool = True,
@@ -110,9 +117,13 @@ class EngineKernel(Kernel):
 
         This replaces the per-protocol boilerplate that used to build a
         :class:`Network` and :class:`EngineConfig` by hand.  Passing
-        ``alive`` injects a crash mask sampled by the caller — crash
-        sampling happens exactly once per protocol run, in the shared entry
-        point, for both backends.
+        ``alive`` injects a crash mask sampled by the caller, and
+        ``loss_oracle`` the caller's run-scoped loss oracle — crash sampling
+        and oracle-key derivation each happen exactly once per protocol run,
+        in the shared entry point, for both backends.  ``loss_base_round``
+        offsets this execution's round counter in the oracle's identity
+        space (multi-stage protocols run several engine executions under
+        one oracle).
         """
         network = Network(
             len(nodes),
@@ -120,6 +131,8 @@ class EngineKernel(Kernel):
             neighbor_fn=neighbor_fn,
             rng=rng,
             alive=alive,
+            loss_oracle=loss_oracle,
+            loss_base_round=loss_base_round,
         )
         engine = SynchronousEngine(
             network=network,

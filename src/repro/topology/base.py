@@ -2,15 +2,21 @@
 
 The complete-graph experiments of Sections 2-3 do not need an explicit
 topology (any node can call any other).  Section 4 runs Local-DRR and gossip
-over arbitrary undirected graphs, so we provide a small :class:`Topology`
-wrapper around an adjacency structure with the queries the protocols and the
-analysis need: neighbour lists, degrees, connectivity, and the
-``sum(1/(d_i+1))`` quantity of Theorem 13.
+over arbitrary undirected graphs, so we provide a :class:`Topology` wrapper
+with the queries the protocols and the analysis need: neighbour lists,
+degrees, connectivity, and the ``sum(1/(d_i+1))`` quantity of Theorem 13.
+
+Storage is columnar: the adjacency lives in CSR form (``indptr`` /
+``indices`` int64 arrays, neighbour lists sorted ascending).  That is what
+lets the vectorized topology kernel run Local-DRR at ``n = 10^6`` — a
+round's worth of per-edge transmissions is two flat arrays, not a million
+Python tuples.  The tuple-based views (:meth:`neighbors`,
+:attr:`adjacency`) are kept for the message-level engine and for tests;
+they are materialised on demand.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -18,39 +24,84 @@ import numpy as np
 __all__ = ["Topology"]
 
 
-@dataclass
 class Topology:
-    """An undirected graph over node ids ``0 .. n-1``.
+    """An undirected simple graph over node ids ``0 .. n-1`` (CSR-backed)."""
 
-    The adjacency is stored as a tuple of sorted tuples so the object is
-    cheap to share between protocol nodes and safe from accidental mutation.
-    """
+    __slots__ = ("name", "_indptr", "_indices", "_adjacency")
 
-    name: str
-    adjacency: tuple[tuple[int, ...], ...]
+    def __init__(self, name: str, adjacency: Sequence[Sequence[int]] | None = None, *,
+                 indptr: np.ndarray | None = None, indices: np.ndarray | None = None) -> None:
+        self.name = name
+        self._adjacency: tuple[tuple[int, ...], ...] | None = None
+        if adjacency is not None:
+            if indptr is not None or indices is not None:
+                raise ValueError("pass either adjacency or indptr/indices, not both")
+            degrees = np.fromiter((len(neigh) for neigh in adjacency), dtype=np.int64,
+                                  count=len(adjacency))
+            self._indptr = np.concatenate([[0], np.cumsum(degrees)])
+            self._indices = (
+                np.concatenate([np.sort(np.asarray(neigh, dtype=np.int64)) for neigh in adjacency])
+                if len(adjacency) and degrees.sum()
+                else np.zeros(0, dtype=np.int64)
+            )
+        else:
+            if indptr is None or indices is None:
+                raise ValueError("need adjacency or indptr/indices")
+            self._indptr = np.asarray(indptr, dtype=np.int64)
+            self._indices = np.asarray(indices, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_edges(cls, name: str, n: int, edges: Iterable[tuple[int, int]]) -> "Topology":
-        """Build a topology from an undirected edge list.
+    def from_edge_arrays(cls, name: str, n: int, u: np.ndarray, v: np.ndarray) -> "Topology":
+        """Build a topology from undirected edge arrays (the columnar path).
 
         Self-loops are rejected and duplicate edges are collapsed; both are
         modelling errors rather than things a physical network would have.
+        Runs entirely in NumPy, so graph construction keeps up with the
+        vectorized kernel at ``n`` in the millions.
         """
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
-        neighbor_sets: list[set[int]] = [set() for _ in range(n)]
-        for u, v in edges:
-            if not (0 <= u < n and 0 <= v < n):
-                raise ValueError(f"edge ({u}, {v}) references a node outside 0..{n - 1}")
-            if u == v:
-                raise ValueError(f"self-loop on node {u} is not allowed")
-            neighbor_sets[u].add(v)
-            neighbor_sets[v].add(u)
-        adjacency = tuple(tuple(sorted(s)) for s in neighbor_sets)
-        return cls(name=name, adjacency=adjacency)
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise ValueError("edge arrays must have identical shapes")
+        if u.size:
+            lo = min(int(u.min()), int(v.min()))
+            hi = max(int(u.max()), int(v.max()))
+            if lo < 0 or hi >= n:
+                bad = (u < 0) | (u >= n) | (v < 0) | (v >= n)
+                first = int(np.flatnonzero(bad)[0])
+                raise ValueError(
+                    f"edge ({int(u[first])}, {int(v[first])}) references a node outside 0..{n - 1}"
+                )
+            loops = u == v
+            if loops.any():
+                node = int(u[np.flatnonzero(loops)[0]])
+                raise ValueError(f"self-loop on node {node} is not allowed")
+            # canonicalise, dedupe, then mirror into both directions
+            a = np.minimum(u, v)
+            b = np.maximum(u, v)
+            keys = np.unique(a * np.int64(n) + b)
+            a, b = keys // n, keys % n
+            src = np.concatenate([a, b])
+            dst = np.concatenate([b, a])
+            order = np.lexsort((dst, src))
+            src, dst = src[order], dst[order]
+        else:
+            src = dst = np.zeros(0, dtype=np.int64)
+        indptr = np.concatenate([[0], np.cumsum(np.bincount(src, minlength=n))])
+        return cls(name, indptr=indptr, indices=dst)
+
+    @classmethod
+    def from_edges(cls, name: str, n: int, edges: Iterable[tuple[int, int]]) -> "Topology":
+        """Build a topology from an undirected edge list."""
+        pairs = np.fromiter(
+            (int(x) for edge in edges for x in edge), dtype=np.int64
+        ).reshape(-1, 2)
+        return cls.from_edge_arrays(name, n, pairs[:, 0], pairs[:, 1])
 
     @classmethod
     def from_networkx(cls, name: str, graph) -> "Topology":
@@ -65,26 +116,56 @@ class Topology:
     # ------------------------------------------------------------------ #
     @property
     def n(self) -> int:
-        return len(self.adjacency)
+        return len(self._indptr) - 1
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer (length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices: concatenated sorted neighbour lists."""
+        return self._indices
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All *directed* edges as ``(senders, receivers)`` arrays.
+
+        Every undirected edge appears in both directions; rows are grouped
+        by sender (ascending) with receivers ascending within a sender —
+        exactly the order in which engine nodes enumerate their neighbours.
+        """
+        return np.repeat(np.arange(self.n, dtype=np.int64), self.degrees()), self._indices
+
+    @property
+    def adjacency(self) -> tuple[tuple[int, ...], ...]:
+        """Tuple-of-tuples view of the adjacency (materialised on demand)."""
+        if self._adjacency is None:
+            self._adjacency = tuple(
+                tuple(int(x) for x in self._indices[self._indptr[i]:self._indptr[i + 1]])
+                for i in range(self.n)
+            )
+        return self._adjacency
 
     def neighbors(self, node_id: int) -> Sequence[int]:
-        return self.adjacency[node_id]
+        return tuple(
+            int(x) for x in self._indices[self._indptr[node_id]:self._indptr[node_id + 1]]
+        )
 
     def degree(self, node_id: int) -> int:
-        return len(self.adjacency[node_id])
+        return int(self._indptr[node_id + 1] - self._indptr[node_id])
 
     def degrees(self) -> np.ndarray:
-        return np.array([len(neigh) for neigh in self.adjacency], dtype=np.int64)
+        return np.diff(self._indptr)
 
     @property
     def edge_count(self) -> int:
-        return int(self.degrees().sum() // 2)
+        return int(self._indices.size // 2)
 
     def edges(self) -> Iterable[tuple[int, int]]:
-        for u, neigh in enumerate(self.adjacency):
-            for v in neigh:
-                if u < v:
-                    yield (u, v)
+        src, dst = self.edge_arrays()
+        forward = src < dst
+        return zip(src[forward].tolist(), dst[forward].tolist())
 
     def is_regular(self) -> bool:
         degs = self.degrees()
@@ -95,18 +176,25 @@ class Topology:
         return float(np.sum(1.0 / (self.degrees() + 1.0)))
 
     def is_connected(self) -> bool:
-        """Breadth-first connectivity check (iterative; no recursion limit)."""
+        """Frontier BFS over the CSR arrays (vectorised; handles n = 10^6)."""
         if self.n == 0:
             return True
         seen = np.zeros(self.n, dtype=bool)
-        stack = [0]
         seen[0] = True
-        while stack:
-            u = stack.pop()
-            for v in self.adjacency[u]:
-                if not seen[v]:
-                    seen[v] = True
-                    stack.append(v)
+        frontier = np.array([0], dtype=np.int64)
+        degrees = self.degrees()
+        while frontier.size:
+            counts = degrees[frontier]
+            nxt = self._indices[
+                np.repeat(self._indptr[frontier], counts)
+                + (np.arange(int(counts.sum())) - np.repeat(np.cumsum(counts) - counts, counts))
+            ]
+            nxt = nxt[~seen[nxt]]
+            if nxt.size == 0:
+                break
+            nxt = np.unique(nxt)
+            seen[nxt] = True
+            frontier = nxt
         return bool(seen.all())
 
     def to_networkx(self):

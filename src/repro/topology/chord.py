@@ -89,12 +89,12 @@ class ChordNetwork:
         return pos % self.n
 
     def _build_fingers(self) -> None:
-        # finger[i][k] = index of successor(identifier_i + 2^k)
+        # finger[i][k] = index of successor(identifier_i + 2^k); one
+        # searchsorted per finger column keeps construction columnar.
         fingers = np.empty((self.n, self.m), dtype=np.int64)
-        for i in range(self.n):
-            base = int(self.identifiers[i])
-            for k in range(self.m):
-                fingers[i, k] = self._successor_index_of_identifier(base + (1 << k))
+        for k in range(self.m):
+            targets = (self.identifiers + (np.int64(1) << np.int64(k))) % self.ring_size
+            fingers[:, k] = np.searchsorted(self.identifiers, targets, side="left") % self.n
         self.fingers = fingers
         self.successors = fingers[:, 0].copy()
         self.predecessors = np.empty(self.n, dtype=np.int64)
@@ -115,12 +115,10 @@ class ChordNetwork:
 
     def to_topology(self) -> Topology:
         """Undirected overlay graph (used for Local-DRR on Chord)."""
-        edges = []
-        for u in range(self.n):
-            for v in self.neighbors(u):
-                if u < v:
-                    edges.append((u, v))
-        return Topology.from_edges("chord", self.n, edges)
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.m + 1)
+        dst = np.concatenate([self.fingers, self.predecessors[:, None]], axis=1).ravel()
+        keep = src != dst  # a node's finger may be itself on tiny rings
+        return Topology.from_edge_arrays("chord", self.n, src[keep], dst[keep])
 
     def average_degree(self) -> float:
         return float(np.mean([len(self.neighbors(u)) for u in range(self.n)]))

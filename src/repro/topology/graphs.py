@@ -41,16 +41,16 @@ def complete_graph(n: int) -> Topology:
     """Complete graph K_n: the model of Sections 2-3."""
     if n <= 0:
         raise ValueError("n must be positive")
-    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    return Topology.from_edges("complete", n, edges)
+    u, v = np.triu_indices(n, k=1)
+    return Topology.from_edge_arrays("complete", n, u, v)
 
 
 def ring_graph(n: int) -> Topology:
     """Cycle C_n; every node has degree 2 (n >= 3)."""
     if n < 3:
         raise ValueError("a ring needs at least 3 nodes")
-    edges = [(i, (i + 1) % n) for i in range(n)]
-    return Topology.from_edges("ring", n, edges)
+    ids = np.arange(n, dtype=np.int64)
+    return Topology.from_edge_arrays("ring", n, ids, (ids + 1) % n)
 
 
 def grid_graph(n: int) -> Topology:
@@ -69,15 +69,13 @@ def grid_graph(n: int) -> Topology:
         raise ValueError(
             f"cannot factor n={n} as r*c with r, c >= 3; pick a composite n (e.g. a square)"
         )
-    def node(r: int, c: int) -> int:
-        return r * cols + c
-
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            edges.append((node(r, c), node(r, (c + 1) % cols)))
-            edges.append((node(r, c), node((r + 1) % rows, c)))
-    return Topology.from_edges("grid", n, edges)
+    r, c = np.divmod(np.arange(n, dtype=np.int64), cols)
+    east = r * cols + (c + 1) % cols
+    south = ((r + 1) % rows) * cols + c
+    ids = np.arange(n, dtype=np.int64)
+    return Topology.from_edge_arrays(
+        "grid", n, np.concatenate([ids, ids]), np.concatenate([east, south])
+    )
 
 
 def hypercube_graph(n: int) -> Topology:
@@ -85,23 +83,24 @@ def hypercube_graph(n: int) -> Topology:
     if n < 2 or (n & (n - 1)) != 0:
         raise ValueError(f"hypercube needs n to be a power of two, got {n}")
     dims = n.bit_length() - 1
-    edges = []
-    for u in range(n):
-        for bit in range(dims):
-            v = u ^ (1 << bit)
-            if u < v:
-                edges.append((u, v))
-    return Topology.from_edges("hypercube", n, edges)
+    ids = np.arange(n, dtype=np.int64)
+    u = np.repeat(ids, dims)
+    v = u ^ (np.int64(1) << np.tile(np.arange(dims, dtype=np.int64), n))
+    keep = u < v
+    return Topology.from_edge_arrays("hypercube", n, u[keep], v[keep])
 
 
 def random_regular_graph(n: int, d: int, rng: np.random.Generator) -> Topology:
-    """Random d-regular simple graph via the configuration model with retries.
+    """Random d-regular simple graph via the configuration model with repair.
 
-    The pairing model occasionally produces self-loops or duplicate edges; we
-    simply resample (the success probability is bounded away from zero for
-    the small fixed degrees used in the experiments).  Falls back to
-    ``networkx.random_regular_graph`` after repeated failures so that large
-    degrees remain usable.
+    The pairing model produces an (in expectation) constant number of
+    self-loops and duplicate edges; instead of resampling the whole pairing
+    — whose acceptance probability ``~exp(-(d^2-1)/4)`` makes full rejection
+    hopeless at ``n = 10^6`` — the offending pairs are repaired by
+    degree-preserving stub swaps with uniformly chosen partner pairs (the
+    standard switching construction).  A handful of iterations suffices;
+    ``networkx.random_regular_graph`` remains the fallback for degenerate
+    parameter corners where switching stalls.
     """
     if d < 0 or d >= n:
         raise ValueError(f"degree d={d} must satisfy 0 <= d < n={n}")
@@ -109,17 +108,24 @@ def random_regular_graph(n: int, d: int, rng: np.random.Generator) -> Topology:
         raise ValueError("n*d must be even for a d-regular graph to exist")
     if d == 0:
         return Topology.from_edges("regular-0", n, [])
-    for _ in range(200):
-        stubs = np.repeat(np.arange(n), d)
-        rng.shuffle(stubs)
-        pairs = stubs.reshape(-1, 2)
-        if (pairs[:, 0] == pairs[:, 1]).any():
-            continue
+    stubs = np.repeat(np.arange(n), d)
+    rng.shuffle(stubs)
+    pairs = stubs.reshape(-1, 2)
+    for _ in range(500):
         canon = np.sort(pairs, axis=1)
         keys = canon[:, 0].astype(np.int64) * n + canon[:, 1]
-        if len(np.unique(keys)) != len(keys):
-            continue
-        return Topology.from_edges(f"regular-{d}", n, [tuple(map(int, p)) for p in pairs])
+        order = np.argsort(keys, kind="stable")
+        dup = np.zeros(len(keys), dtype=bool)
+        dup[order[1:]] = keys[order[1:]] == keys[order[:-1]]
+        bad = np.flatnonzero(dup | (pairs[:, 0] == pairs[:, 1]))
+        if bad.size == 0:
+            return Topology.from_edge_arrays(f"regular-{d}", n, pairs[:, 0], pairs[:, 1])
+        partners = rng.integers(0, len(pairs), size=bad.size)
+        # Swap second endpoints with distinct, themselves-good partner pairs;
+        # anything still bad is retried next iteration.
+        ok = ~np.isin(partners, bad) & (np.bincount(partners, minlength=len(pairs))[partners] == 1)
+        swap_a, swap_b = bad[ok], partners[ok]
+        pairs[swap_a, 1], pairs[swap_b, 1] = pairs[swap_b, 1].copy(), pairs[swap_a, 1].copy()
     import networkx as nx
 
     seed = int(rng.integers(0, 2**31 - 1))
@@ -134,8 +140,7 @@ def erdos_renyi_graph(n: int, p: float, rng: np.random.Generator) -> Topology:
         raise ValueError(f"p must be in [0, 1], got {p}")
     upper = np.triu_indices(n, k=1)
     mask = rng.random(len(upper[0])) < p
-    edges = list(zip(upper[0][mask].tolist(), upper[1][mask].tolist()))
-    return Topology.from_edges("erdos-renyi", n, edges)
+    return Topology.from_edge_arrays("erdos-renyi", n, upper[0][mask], upper[1][mask])
 
 
 #: Registry used by the CLI and the sweep drivers.  Values are callables

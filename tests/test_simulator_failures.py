@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.simulator.errors import ConfigurationError
-from repro.simulator.failures import FailureModel, paper_delta_range
+from repro.simulator.failures import FailureModel, LossOracle, kind_salt, paper_delta_range
 
 
 class TestValidation:
@@ -29,7 +29,6 @@ class TestValidation:
 class TestSampling:
     def test_no_loss_when_delta_zero(self, rng):
         fm = FailureModel()
-        assert not fm.message_lost(rng)
         assert not fm.sample_losses(1000, rng).any()
 
     def test_loss_rate_close_to_delta(self, rng):
@@ -51,9 +50,72 @@ class TestSampling:
         with pytest.raises(ConfigurationError):
             FailureModel().sample_losses(-1, rng)
 
+    @pytest.mark.parametrize("delta", [0.0, 0.5])
+    def test_sample_losses_zero_count_consumes_no_draws(self, delta):
+        """The empty-frontier edge case: both backends must consume exactly
+        zero RNG draws when a round has nothing to transmit."""
+        fm = FailureModel(loss_probability=delta)
+        rng = np.random.default_rng(42)
+        state = rng.bit_generator.state
+        losses = fm.sample_losses(0, rng)
+        assert losses.shape == (0,)
+        assert losses.dtype == bool
+        assert rng.bit_generator.state == state
+
     def test_sample_crashes_requires_positive_n(self, rng):
         with pytest.raises(ConfigurationError):
             FailureModel().sample_crashes(0, rng)
+
+
+class TestLossOracle:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossOracle(1.0)
+
+    def test_scalar_and_batch_paths_agree(self):
+        oracle = LossOracle(0.35, key=777)
+        senders = np.arange(50)
+        recipients = (senders * 7 + 3) % 50
+        batch = oracle.sample(4, "gossip", senders, recipients)
+        scalar = np.array(
+            [oracle.lost(4, "gossip", int(s), int(r)) for s, r in zip(senders, recipients)]
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_loss_rate_close_to_delta(self):
+        oracle = LossOracle(0.25, key=31337)
+        senders = np.repeat(np.arange(200), 100)
+        recipients = np.tile(np.arange(100), 200)
+        lost = oracle.sample(0, "data", senders, recipients)
+        assert abs(float(lost.mean()) - 0.25) < 0.02
+
+    def test_round_array_broadcasting(self):
+        oracle = LossOracle(0.5, key=5)
+        rounds = np.array([0, 1, 2, 3])
+        recipients = np.array([9, 9, 9, 9])
+        per_round = oracle.sample(rounds, "data", 1, recipients)
+        scalar = np.array([oracle.lost(int(r), "data", 1, 9) for r in rounds])
+        assert np.array_equal(per_round, scalar)
+
+    def test_keys_decorrelate_runs(self):
+        recipients = np.arange(64)
+        a = LossOracle(0.5, key=1).sample(0, "data", 0, recipients)
+        b = LossOracle(0.5, key=2).sample(0, "data", 0, recipients)
+        assert not np.array_equal(a, b)
+
+    def test_for_run_key_depends_on_generator_state(self):
+        fm = FailureModel(loss_probability=0.1)
+        rng = np.random.default_rng(3)
+        first = LossOracle.for_run(fm, rng)
+        rng.random()  # advance the stream -> different preamble state
+        second = LossOracle.for_run(fm, rng)
+        assert first.key != second.key
+
+    def test_kind_salt_stable_for_enum_and_string(self):
+        from repro.simulator.message import MessageKind
+
+        assert kind_salt(MessageKind.GOSSIP) == kind_salt("gossip")
+        assert kind_salt("gossip") != kind_salt("push")
 
 
 class TestDerivedQuantities:
