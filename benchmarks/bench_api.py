@@ -1,0 +1,107 @@
+"""Benchmarks and CI smoke checks of the declarative run API.
+
+Two uses:
+
+* Under pytest-benchmark (``pytest benchmarks/bench_api.py``) it tracks the
+  cost of spec validation, canonical hashing, and dispatch so regressions
+  in the API layer show up in the benchmark history.
+* As a script (``python benchmarks/bench_api.py``) it runs the CI smoke
+  check: dispatching DRR through ``repro.run(RunSpec(...))`` at ``--n``
+  (default 10^5) nodes must add less than ``--max-overhead`` percent
+  (default 5) over calling ``run_drr`` directly, and a serialise →
+  deserialise → re-run cycle must reproduce the direct dispatch exactly.
+  Exit status is non-zero when either bar is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import repro
+from repro import RunSpec
+from repro.core import run_drr
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark micro-benchmarks
+# --------------------------------------------------------------------------- #
+def test_bench_spec_construction_and_hash(benchmark):
+    def build():
+        spec = RunSpec(protocol="drr-gossip", params={"n": 4096, "aggregate": "average"}, seed=3)
+        return spec.param_hash()
+
+    benchmark(build)
+
+
+def test_bench_spec_dispatch(benchmark):
+    spec = RunSpec(protocol="drr", params={"n": 4096}, seed=1)
+    benchmark(repro.run, spec)
+
+
+def test_bench_spec_json_round_trip(benchmark):
+    spec = RunSpec(
+        protocol="drr-gossip",
+        params={"n": 4096, "aggregate": "average", "workload": "uniform"},
+        seed=3,
+    )
+    benchmark(lambda: RunSpec.from_json(spec.to_json()))
+
+
+# --------------------------------------------------------------------------- #
+# CI smoke mode
+# --------------------------------------------------------------------------- #
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000, help="DRR network size")
+    parser.add_argument("--repeats", type=int, default=5, help="timing repetitions (best-of)")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=5.0,
+        help="maximum allowed spec-dispatch overhead over direct run_drr, in percent",
+    )
+    args = parser.parse_args(argv)
+
+    seed = 1
+    spec = RunSpec(protocol="drr", params={"n": args.n}, seed=seed)
+
+    # warm-up (imports, allocator, registries) outside the timed region
+    run_drr(args.n, rng=seed)
+    repro.run(spec)
+
+    direct_s = _best_of(lambda: run_drr(args.n, rng=seed), args.repeats)
+    spec_s = _best_of(lambda: repro.run(spec), args.repeats)
+    overhead_pct = 100.0 * (spec_s - direct_s) / direct_s
+    print(f"direct run_drr(n={args.n}):   best {direct_s * 1e3:8.2f} ms")
+    print(f"repro.run(RunSpec(drr)):      best {spec_s * 1e3:8.2f} ms")
+    print(f"spec-dispatch overhead:       {overhead_pct:+.2f}% (bar: < {args.max_overhead:.1f}%)")
+
+    ok = overhead_pct < args.max_overhead
+
+    # correctness smoke: serialise -> deserialise -> re-run must be exact
+    result = repro.run(spec)
+    replay = repro.run(RunSpec.from_json(spec.to_json()))
+    exact = replay.same_outcome(result)
+    print(f"json round-trip reproduces:   {'yes' if exact else 'NO'}")
+    ok = ok and exact
+
+    if not ok:
+        print("bench_api: FAILED", file=sys.stderr)
+        return 1
+    print("bench_api: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

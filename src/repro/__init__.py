@@ -16,6 +16,14 @@ Quickstart
 >>> result = drr_gossip_average(values, rng=0)
 >>> result.max_relative_error <= 0.05
 True
+
+Or, through the declarative run API (serializable specs, one entry point
+for every protocol — see :mod:`repro.api`):
+
+>>> import repro
+>>> spec = repro.RunSpec(protocol="drr-gossip", params={"n": 1024}, seed=0)
+>>> repro.run(spec).summary["max_rel_error"] <= 0.05
+True
 """
 
 from .core import (
@@ -37,8 +45,19 @@ from .core import (
 )
 from .simulator import FailureModel, MetricsCollector, make_rng
 from .substrate import available_backends, get_kernel
+from .api import (
+    RunResult,
+    RunSpec,
+    SpecValidationError,
+    TopologySpec,
+    load_spec,
+    load_specs,
+    protocol_names,
+    run,
+    run_many,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Aggregate",
@@ -61,5 +80,14 @@ __all__ = [
     "make_rng",
     "available_backends",
     "get_kernel",
+    "RunResult",
+    "RunSpec",
+    "SpecValidationError",
+    "TopologySpec",
+    "load_spec",
+    "load_specs",
+    "protocol_names",
+    "run",
+    "run_many",
     "__version__",
 ]

@@ -1,0 +1,16 @@
+"""Errors raised by the declarative run API."""
+
+from __future__ import annotations
+
+__all__ = ["SpecValidationError"]
+
+
+class SpecValidationError(ValueError):
+    """A :class:`~repro.api.RunSpec` (or a fragment of one) is invalid.
+
+    Raised for unknown protocols, unknown or extra protocol parameters,
+    missing/forbidden topology sections, and malformed spec documents.
+    The message always names the offending field and, where applicable,
+    the set of valid alternatives — specs are written by hand in TOML/JSON
+    files, so the error text is part of the user interface.
+    """

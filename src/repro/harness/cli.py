@@ -13,6 +13,12 @@ Run a quick average computation over synthetic values::
 
     drr-gossip run --n 4096 --aggregate average
 
+Run any protocol from a declarative spec file, and inspect/validate specs::
+
+    drr-gossip run --spec examples/specs/average.toml
+    drr-gossip spec show examples/specs/average.toml
+    drr-gossip spec validate examples/specs/*.toml examples/sweeps/*.toml
+
 Regenerate the Table 1 measurement at small scale::
 
     drr-gossip table1 --ns 256 512 1024 --reps 2
@@ -46,12 +52,15 @@ from pathlib import Path
 
 import numpy as np
 
+from ..api import SpecValidationError, load_specs, parse_spec_document, read_spec_document
+from ..api import run as run_spec_fn
 from ..core import Aggregate, DRRGossipConfig, drr_gossip
 from ..substrate import available_backends
 from ..orchestration import (
     ResultStore,
     SweepDefinition,
     SweepRunner,
+    cells_from_run_specs,
     expand_cells,
     load_builtin_experiments,
     load_sweep,
@@ -81,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one DRR-gossip aggregate computation on synthetic values")
+    run.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="run from a declarative RunSpec file (.toml/.json); overrides every other run flag",
+    )
     run.add_argument("--n", type=int, default=1024, help="number of nodes")
     run.add_argument("--aggregate", choices=[a.value for a in Aggregate], default="average")
     run.add_argument("--workload", choices=workload_names(), default="uniform")
@@ -120,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--config", type=str, default=None, help="TOML/JSON sweep definition file")
     sweep.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="TOML/JSON file of protocol RunSpecs; every run becomes one sweep cell "
+        "(workers receive the serialised spec, results land in the store under run:<protocol>)",
+    )
+    sweep.add_argument(
         "--experiments",
         nargs="+",
         default=None,
@@ -153,6 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
     plot.add_argument("--output", type=str, default="results/figures", help="output directory")
     plot.add_argument("--format", dest="fmt", choices=["png", "svg", "pdf"], default="png")
 
+    spec = sub.add_parser("spec", help="inspect and validate declarative spec/sweep files")
+    spec_sub = spec.add_subparsers(dest="spec_command", required=True)
+    spec_show = spec_sub.add_parser("show", help="print a spec file's canonical JSON and hashes")
+    spec_show.add_argument("files", nargs="+", metavar="FILE", help="RunSpec .toml/.json files")
+    spec_validate = spec_sub.add_parser(
+        "validate",
+        help="validate RunSpec files and sweep definition files against their schemas",
+    )
+    spec_validate.add_argument("files", nargs="+", metavar="FILE", help="spec or sweep files")
+
     results = sub.add_parser("results", help="summarise/export the sweep result store")
     results.add_argument("--store", type=str, default=DEFAULT_STORE, help="SQLite result store path")
     results.add_argument("--experiment", type=str, default=None, help="restrict to one experiment")
@@ -163,6 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_single(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        try:
+            specs = load_specs(args.spec)
+        except (SpecValidationError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for index, spec in enumerate(specs):
+            if index:
+                print()
+            print(f"spec             : {spec.describe()}")
+            print(run_spec_fn(spec).describe())
+        return 0
     rng = np.random.default_rng(args.seed)
     values = make_values(args.workload, args.n, rng)
     config = DRRGossipConfig(
@@ -251,6 +297,27 @@ def _run_sweep(args: argparse.Namespace) -> int:
     try:
         if args.jobs < 1:
             raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
+        if args.spec:
+            if args.config or args.experiments or args.ns or args.seed is not None:
+                raise ValueError(
+                    "--spec cannot be combined with --config/--experiments/--ns/--seed; "
+                    "each run spec carries its own seed (--reps derives extra seeds from it)"
+                )
+            specs = load_specs(args.spec)
+            if args.backend is not None:
+                specs = [spec.with_backend(args.backend) for spec in specs]
+            cells = cells_from_run_specs(specs, repetitions=args.reps if args.reps is not None else 1)
+            with ResultStore(args.store) as store:
+                runner = SweepRunner(
+                    store,
+                    jobs=args.jobs,
+                    skip_completed=not args.no_skip,
+                    progress=print_progress,
+                )
+                report = runner.run_cells(cells, name=Path(args.spec).stem)
+            print(report.summary())
+            print(f"store: {args.store}")
+            return 0 if report.failed == 0 else 1
         if args.config:
             if args.experiments or args.ns:
                 raise ValueError(
@@ -297,6 +364,46 @@ def _run_sweep(args: argparse.Namespace) -> int:
     print(report.summary())
     print(f"store: {args.store}")
     return 0 if report.failed == 0 else 1
+
+
+def _validate_one_spec_file(path: Path) -> str:
+    """Validate one file (parsed once); returns a human summary line or raises.
+
+    A document with sweep-shaped top-level keys validates as a sweep
+    definition (grids expanded against the experiment registry); anything
+    else must be a RunSpec document.
+    """
+    data = read_spec_document(path)
+    if isinstance(data, dict) and ({"sweep", "experiment", "experiments"} & set(data)):
+        definition = SweepDefinition.from_dict(data, name=path.stem)
+        cells = expand_cells(definition)
+        return f"{path}: ok (sweep {definition.name!r}, {len(cells)} cells)"
+    specs = parse_spec_document(data, str(path))
+    protocols = ", ".join(sorted({spec.protocol for spec in specs}))
+    return f"{path}: ok ({len(specs)} run spec(s): {protocols})"
+
+
+def _run_spec_tools(args: argparse.Namespace) -> int:
+    failures = 0
+    for name in args.files:
+        path = Path(name)
+        try:
+            if args.spec_command == "validate":
+                print(_validate_one_spec_file(path))
+                continue
+            # show: print each spec's canonical JSON + identity hashes
+            for spec in load_specs(path):
+                print(f"# {path} — {spec.describe()}")
+                print(f"# spec_hash={spec.spec_hash()} param_hash={spec.param_hash()}")
+                print(spec.to_json(indent=2))
+        except (SpecValidationError, KeyError, ValueError, TypeError, OSError) as exc:
+            message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else str(exc)
+            prefix = "" if message.startswith(str(path)) else f"{path}: "
+            print(f"error: {prefix}{message}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} of {len(args.files)} file(s) failed validation", file=sys.stderr)
+    return 0 if failures == 0 else 1
 
 
 def _run_plot(args: argparse.Namespace) -> int:
@@ -356,6 +463,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_report(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "spec":
+        return _run_spec_tools(args)
     if args.command == "plot":
         return _run_plot(args)
     if args.command == "results":

@@ -5,6 +5,15 @@ list of plain dicts so they serialise to JSON/CSV without ceremony), the
 table headers, and enough metadata (seed, parameters) to replay the run.
 The benchmark harness under ``benchmarks/`` and the CLI both call these
 functions; the heavy lifting stays importable and unit-testable.
+
+Protocol executions go through the declarative run API: a driver builds a
+:class:`~repro.api.RunSpec` per (configuration, repetition) — with a seed
+derived exactly the way the old direct calls derived their generators, so
+results are preserved bit-for-bit — and reads the uniform
+:class:`~repro.api.RunResult` envelope back.  Only the phase-composition
+studies (E5/E6 convergence, E9's gossip-over-Chord accounting) still call
+phase functions directly: they measure *parts* of a protocol, which is
+below the granularity a RunSpec describes.
 """
 
 from __future__ import annotations
@@ -17,13 +26,12 @@ import numpy as np
 
 from ..analysis import best_shape, power_law_exponent, theory
 from ..analysis.lower_bound import adversarial_push_max_messages
-from ..baselines import efficient_gossip, push_max, push_pull_rumor, push_sum
+from ..api import RunSpec, TopologySpec
+from ..api import run as dispatch_run
 from ..core import (
     Aggregate,
     DRRGossipConfig,
     default_probe_budget,
-    drr_gossip_average,
-    drr_gossip_max,
     run_convergecast,
     run_drr,
     run_gossip_ave,
@@ -33,9 +41,9 @@ from ..core import (
 from ..core.drr_gossip import broadcast_root_addresses  # reused forwarding-table builder
 from ..orchestration import registry
 from ..simulator import FailureModel, MetricsCollector
-from ..simulator.rng import RngStream
+from ..simulator.rng import RngStream, derive_seed
 from ..substrate import run_chord_lookups
-from ..topology import ChordNetwork, make_graph
+from ..topology import ChordNetwork
 from .tables import format_markdown_table, format_table
 from .workloads import make_values
 
@@ -113,28 +121,52 @@ def run_table1(
     """
     stream = RngStream(seed)
     failure_model = FailureModel(loss_probability=delta)
-    config = DRRGossipConfig(failure_model=failure_model, backend=backend)
+    aggregate = Aggregate(aggregate)
     rows: list[dict] = []
     per_algo_msgs: dict[str, list[float]] = {"drr-gossip": [], "uniform-gossip": [], "efficient-gossip": []}
     per_algo_rounds: dict[str, list[float]] = {k: [] for k in per_algo_msgs}
 
     for n in ns:
         for rep in range(repetitions):
-            rng = stream.get("table1", n, rep)
-            values = make_values(workload, n, rng)
-
-            if aggregate == Aggregate.AVERAGE:
-                drr_run = drr_gossip_average(values, rng=stream.get("table1-drr", n, rep), config=config)
-                uni = push_sum(values, rng=stream.get("table1-uni", n, rep), failure_model=failure_model, backend=backend)
-            else:
-                drr_run = drr_gossip_max(values, rng=stream.get("table1-drr", n, rep), config=config)
-                uni = push_max(values, rng=stream.get("table1-uni", n, rep), failure_model=failure_model, backend=backend)
-            eff = efficient_gossip(values, aggregate, rng=stream.get("table1-eff", n, rep), failure_model=failure_model, backend=backend)
+            # One explicit value vector per repetition, shared by all three
+            # algorithms (the comparison is on identical inputs); each
+            # algorithm runs from its own spec with its own derived seed.
+            values = make_values(workload, n, stream.get("table1", n, rep)).tolist()
+            drr_agg, uni_protocol = (
+                ("average", "push-sum") if aggregate == Aggregate.AVERAGE else ("max", "push-max")
+            )
+            drr_run = dispatch_run(
+                RunSpec(
+                    protocol="drr-gossip",
+                    params={"values": values, "aggregate": drr_agg},
+                    failures=failure_model,
+                    backend=backend,
+                    seed=derive_seed(seed, "table1-drr", n, rep),
+                )
+            )
+            uni = dispatch_run(
+                RunSpec(
+                    protocol=uni_protocol,
+                    params={"values": values},
+                    failures=failure_model,
+                    backend=backend,
+                    seed=derive_seed(seed, "table1-uni", n, rep),
+                )
+            )
+            eff = dispatch_run(
+                RunSpec(
+                    protocol="efficient-gossip",
+                    params={"values": values, "aggregate": aggregate.value},
+                    failures=failure_model,
+                    backend=backend,
+                    seed=derive_seed(seed, "table1-eff", n, rep),
+                )
+            )
 
             for name, rounds, messages, error in (
-                ("drr-gossip", drr_run.rounds, drr_run.messages, drr_run.max_relative_error),
-                ("uniform-gossip", uni.rounds, uni.messages, uni.max_relative_error),
-                ("efficient-gossip", eff.rounds, eff.messages, eff.max_relative_error),
+                ("drr-gossip", drr_run.rounds, drr_run.messages, drr_run.summary["max_rel_error"]),
+                ("uniform-gossip", uni.rounds, uni.messages, uni.summary["max_rel_error"]),
+                ("efficient-gossip", eff.rounds, eff.messages, eff.summary["max_rel_error"]),
             ):
                 rows.append(
                     {
@@ -202,16 +234,23 @@ def run_forest_statistics(
     backend: str = "vectorized",
 ) -> ExperimentResult:
     """Measure #trees, max tree size, DRR messages and rounds across n."""
-    stream = RngStream(seed)
     failure_model = FailureModel(loss_probability=delta)
     rows: list[dict] = []
     for n in ns:
         tree_counts, max_sizes, messages, rounds = [], [], [], []
         for rep in range(repetitions):
-            result = run_drr(n, rng=stream.get("forest", n, rep), failure_model=failure_model, backend=backend)
-            tree_counts.append(result.forest.root_count)
-            max_sizes.append(result.forest.max_tree_size)
-            messages.append(result.metrics.total_messages)
+            result = dispatch_run(
+                RunSpec(
+                    protocol="drr",
+                    params={"n": n},
+                    failures=failure_model,
+                    backend=backend,
+                    seed=derive_seed(seed, "forest", n, rep),
+                )
+            )
+            tree_counts.append(result.summary["trees"])
+            max_sizes.append(result.summary["max_tree_size"])
+            messages.append(result.messages)
             rounds.append(result.rounds)
         rows.append(
             {
@@ -387,20 +426,23 @@ def run_end_to_end_accuracy(
     backend: str = "vectorized",
 ) -> ExperimentResult:
     """Correctness/accuracy and cost of every DRR-gossip aggregate pipeline."""
-    from ..core import drr_gossip  # local import to avoid cycle at module load
-
-    stream = RngStream(seed)
-    config = DRRGossipConfig(failure_model=FailureModel(loss_probability=delta), backend=backend)
+    failure_model = FailureModel(loss_probability=delta)
     rows: list[dict] = []
     for n in ns:
         for aggregate in (Aggregate.MAX, Aggregate.MIN, Aggregate.AVERAGE, Aggregate.SUM, Aggregate.COUNT, Aggregate.RANK):
             errors, coverages, rounds, messages = [], [], [], []
             for rep in range(repetitions):
-                rng = stream.get("e2e", n, str(aggregate), rep)
-                values = make_values("normal", n, rng)
-                result = drr_gossip(values, aggregate, rng=rng, config=config, query=float(np.median(values)))
-                errors.append(result.max_relative_error)
-                coverages.append(result.coverage)
+                result = dispatch_run(
+                    RunSpec(
+                        protocol="drr-gossip",
+                        params={"n": n, "aggregate": aggregate.value, "workload": "normal"},
+                        failures=failure_model,
+                        backend=backend,
+                        seed=derive_seed(seed, "e2e", n, str(aggregate), rep),
+                    )
+                )
+                errors.append(result.summary["max_rel_error"])
+                coverages.append(result.summary["coverage"])
                 rounds.append(result.rounds)
                 messages.append(result.messages)
             rows.append(
@@ -435,18 +477,22 @@ def run_local_drr_statistics(
     backend: str = "vectorized",
 ) -> ExperimentResult:
     """Tree height and tree count of Local-DRR across graph families."""
-    stream = RngStream(seed)
     rows: list[dict] = []
     for family in families:
         for n in ns:
             heights, counts, predicted = [], [], []
             for rep in range(repetitions):
-                rng = stream.get("localdrr", family, n, rep)
-                topo = make_graph(family, n, rng)
-                result = run_local_drr(topo, rng=rng, backend=backend)
-                heights.append(result.forest.max_tree_height)
-                counts.append(result.forest.root_count)
-                predicted.append(topo.expected_local_drr_trees())
+                result = dispatch_run(
+                    RunSpec(
+                        protocol="local-drr",
+                        topology=TopologySpec(family=family, n=n),
+                        backend=backend,
+                        seed=derive_seed(seed, "localdrr", family, n, rep),
+                    )
+                )
+                heights.append(result.summary["max_tree_height"])
+                counts.append(result.summary["trees"])
+                predicted.append(result.summary["expected_trees"])
             rows.append(
                 {
                     "family": family,
@@ -582,10 +628,24 @@ def run_lower_bound_experiment(
             rng = stream.get("lb", n, rep)
             adv = adversarial_push_max_messages(n, rng=rng, target_fraction=target_fraction)
             oblivious_msgs.append(adv.messages_to_target)
-            rumor = push_pull_rumor(n, rng=stream.get("lb-rumor", n, rep), backend=backend)
+            rumor = dispatch_run(
+                RunSpec(
+                    protocol="push-pull-rumor",
+                    params={"n": n},
+                    backend=backend,
+                    seed=derive_seed(seed, "lb-rumor", n, rep),
+                )
+            )
             rumor_msgs.append(rumor.messages)
             values = make_values("single-spike", n, stream.get("lb-vals", n, rep))
-            drr = drr_gossip_max(values, rng=stream.get("lb-drr", n, rep), config=DRRGossipConfig(backend=backend))
+            drr = dispatch_run(
+                RunSpec(
+                    protocol="drr-gossip",
+                    params={"values": values.tolist(), "aggregate": "max"},
+                    backend=backend,
+                    seed=derive_seed(seed, "lb-drr", n, rep),
+                )
+            )
             drr_msgs.append(drr.messages)
         rows.append(
             {
@@ -627,15 +687,19 @@ def run_phase_breakdown(
     backend: str = "vectorized",
 ) -> ExperimentResult:
     """Which phase dominates the message budget of DRR-gossip-ave."""
-    stream = RngStream(seed)
     rows: list[dict] = []
     for n in ns:
         totals: dict[str, list[float]] = {}
         for rep in range(repetitions):
-            rng = stream.get("breakdown", n, rep)
-            values = make_values("uniform", n, rng)
-            result = drr_gossip_average(values, rng=rng, config=DRRGossipConfig(backend=backend))
-            for phase, count in result.messages_by_phase().items():
+            result = dispatch_run(
+                RunSpec(
+                    protocol="drr-gossip",
+                    params={"n": n, "aggregate": "average", "workload": "uniform"},
+                    backend=backend,
+                    seed=derive_seed(seed, "breakdown", n, rep),
+                )
+            )
+            for phase, count in result.messages_by_phase.items():
                 totals.setdefault(phase, []).append(count)
         total_messages = sum(float(np.mean(v)) for v in totals.values())
         row = {"n": n, "total_messages_per_node": total_messages / n}
@@ -677,10 +741,17 @@ def run_ablation(
     ):
         counts, sizes, msgs = [], [], []
         for rep in range(repetitions):
-            result = run_drr(n, rng=stream.get("ablate-budget", label, rep), probe_budget=budget, backend=backend)
-            counts.append(result.forest.root_count)
-            sizes.append(result.forest.max_tree_size)
-            msgs.append(result.metrics.total_messages)
+            result = dispatch_run(
+                RunSpec(
+                    protocol="drr",
+                    params={"n": n, "probe_budget": budget},
+                    backend=backend,
+                    seed=derive_seed(seed, "ablate-budget", label, rep),
+                )
+            )
+            counts.append(result.summary["trees"])
+            sizes.append(result.summary["max_tree_size"])
+            msgs.append(result.messages)
         rows.append(
             {
                 "variant": f"probe budget ({label})",

@@ -34,8 +34,16 @@ from .registry import (
     load_builtin_experiments,
     register_experiment,
 )
-from .runner import CellOutcome, SweepCell, SweepReport, SweepRunner, expand_cells, print_progress
-from .store import ResultStore, StoredRun, canonical_params, param_hash
+from .runner import (
+    CellOutcome,
+    SweepCell,
+    SweepReport,
+    SweepRunner,
+    cells_from_run_specs,
+    expand_cells,
+    print_progress,
+)
+from .store import ResultStore, StoredRun, canonical_params, cell_spec_json, param_hash
 
 __all__ = [
     "ExperimentPlan",
@@ -53,10 +61,12 @@ __all__ = [
     "SweepCell",
     "SweepReport",
     "SweepRunner",
+    "cells_from_run_specs",
     "expand_cells",
     "print_progress",
     "ResultStore",
     "StoredRun",
     "canonical_params",
+    "cell_spec_json",
     "param_hash",
 ]

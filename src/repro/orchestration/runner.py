@@ -18,25 +18,37 @@ point and repetition — and fans them out over
   already has a successful row in the store are skipped without executing,
   so re-running a finished sweep executes zero cells.
 
-Workers resolve drivers by *name* through the default registry (re-importing
-:mod:`repro.harness.experiments` on first use), so no callables cross the
-process boundary.
+Workers receive every cell as one *serialised spec string* — either an
+experiment cell (``{"experiment", "params", "seed"}``) resolved by name
+through the default registry, or a protocol :class:`~repro.api.RunSpec`
+document executed through :func:`repro.run`.  Nothing but that string
+crosses the process boundary, so pointing the fan-out at another transport
+(an SSH dispatcher, a job queue over the store) is a transport change
+only.
 """
 
 from __future__ import annotations
 
+import json
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
-from ..simulator.rng import RngStream
+from ..simulator.rng import RngStream, derive_seed
 from .config import SweepDefinition
 from .registry import ExperimentRegistry, load_builtin_experiments
-from .store import ResultStore, param_hash
+from .store import ResultStore, cell_spec_json, param_hash
 
-__all__ = ["SweepCell", "CellOutcome", "SweepReport", "SweepRunner", "expand_cells"]
+__all__ = [
+    "SweepCell",
+    "CellOutcome",
+    "SweepReport",
+    "SweepRunner",
+    "expand_cells",
+    "cells_from_run_specs",
+]
 
 
 @dataclass(frozen=True)
@@ -48,10 +60,19 @@ class SweepCell:
     param_hash: str
     seed: int
     rep: int
+    #: canonical serialised RunSpec when this cell is a protocol-spec cell
+    #: (``drr-gossip sweep --spec``); None for registered-experiment cells.
+    run_spec: str | None = None
 
     @property
     def key(self) -> tuple[str, str, int]:
         return (self.experiment, self.param_hash, self.seed)
+
+    def spec_json(self) -> str:
+        """The cell's transport form: one self-contained serialised spec."""
+        if self.run_spec is not None:
+            return self.run_spec
+        return cell_spec_json(self.experiment, self.params, self.seed)
 
     def describe(self) -> str:
         binding = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
@@ -144,16 +165,56 @@ def expand_cells(
     return cells
 
 
-def _execute_cell(experiment: str, params: Mapping[str, Any], seed: int) -> dict[str, Any]:
-    """Run one cell; never raises (crashes become a failure payload).
+def cells_from_run_specs(specs: Sequence, repetitions: int = 1) -> list[SweepCell]:
+    """Expand protocol :class:`~repro.api.RunSpec` values into sweep cells.
 
-    Module-level so the process pool can pickle it; drivers are resolved by
-    name inside the worker.
+    Each spec is one cell under the experiment name ``run:<protocol>``; with
+    ``repetitions > 1`` the extra cells get deterministic seeds derived from
+    the spec's own seed, so a spec file plus a repetition count expands the
+    same way on every host.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    cells: list[SweepCell] = []
+    for spec in specs:
+        for rep in range(repetitions):
+            cell_spec = spec if rep == 0 else spec.with_seed(derive_seed(spec.seed, "spec-rep", rep))
+            params = {k: v for k, v in cell_spec.to_dict().items() if k != "seed"}
+            cells.append(
+                SweepCell(
+                    experiment=f"run:{spec.protocol}",
+                    params=params,
+                    param_hash=cell_spec.param_hash(),
+                    seed=cell_spec.seed,
+                    rep=rep,
+                    run_spec=cell_spec.canonical_json(),
+                )
+            )
+    return cells
+
+
+def _execute_cell(spec_json: str) -> dict[str, Any]:
+    """Run one serialised cell; never raises (crashes become a failure payload).
+
+    Module-level so the process pool can pickle it.  The single string
+    argument is the whole contract between the fan-out and a worker: a
+    ``{"protocol": ...}`` document dispatches through :func:`repro.run`,
+    a ``{"experiment": ...}`` document resolves the registered driver by
+    name (parameters re-validated through the registry schema, which
+    restores tuples/enums the JSON transport flattened).
     """
     start = time.perf_counter()
     try:
-        spec = load_builtin_experiments().get(experiment)
-        result = spec.driver(seed=seed, **dict(params))
+        payload = json.loads(spec_json)
+        if "protocol" in payload:
+            from ..api import RunSpec
+            from ..api import run as run_spec_fn
+
+            result = run_spec_fn(RunSpec.from_dict(payload)).to_experiment_result()
+        else:
+            spec = load_builtin_experiments().get(payload["experiment"])
+            params = spec.validate_params(payload.get("params", {}))
+            result = spec.driver(seed=int(payload["seed"]), **params)
         return {"ok": True, "result": result, "duration_s": time.perf_counter() - start}
     except Exception:  # KeyboardInterrupt/SystemExit propagate: a sweep must stay interruptible
         return {
@@ -171,7 +232,7 @@ def _execute_cell_isolated(cell: "SweepCell") -> dict[str, Any]:
     names the true culprit instead of an innocent batchmate.
     """
     with ProcessPoolExecutor(max_workers=1) as pool:
-        future = pool.submit(_execute_cell, cell.experiment, dict(cell.params), cell.seed)
+        future = pool.submit(_execute_cell, cell.spec_json())
         try:
             return future.result()
         except BrokenExecutor:
@@ -205,8 +266,11 @@ class SweepRunner:
         self.progress = progress
 
     def run(self, definition: SweepDefinition) -> SweepReport:
-        cells = expand_cells(definition, self.registry)
-        report = SweepReport(sweep=definition.name)
+        return self.run_cells(expand_cells(definition, self.registry), name=definition.name)
+
+    def run_cells(self, cells: Sequence[SweepCell], name: str = "cells") -> SweepReport:
+        """Execute an explicit cell list (sweep definitions and spec files both land here)."""
+        report = SweepReport(sweep=name)
         done_keys = self.store.completed_cells() if self.skip_completed else set()
         todo: list[SweepCell] = []
         for cell in cells:
@@ -222,7 +286,7 @@ class SweepRunner:
         if todo:
             if self.jobs == 1:
                 for cell in todo:
-                    payload = _execute_cell(cell.experiment, cell.params, cell.seed)
+                    payload = _execute_cell(cell.spec_json())
                     emitted += 1
                     self._record(report, cell, payload, emitted, len(cells))
             else:
@@ -243,8 +307,7 @@ class SweepRunner:
             broken: list[SweepCell] = []
             with ProcessPoolExecutor(max_workers=min(self.jobs, len(queue))) as pool:
                 pending = {
-                    pool.submit(_execute_cell, cell.experiment, dict(cell.params), cell.seed): cell
-                    for cell in queue
+                    pool.submit(_execute_cell, cell.spec_json()): cell for cell in queue
                 }
                 queue = []
                 while pending:
@@ -277,10 +340,16 @@ class SweepRunner:
     def _record(self, report: SweepReport, cell: SweepCell, payload: Mapping[str, Any], index: int, total: int) -> None:
         duration = float(payload.get("duration_s", 0.0))
         if payload["ok"]:
-            self.store.record_result(cell.experiment, cell.params, cell.seed, payload["result"], duration)
+            self.store.record_result(
+                cell.experiment, cell.params, cell.seed, payload["result"], duration,
+                spec_json=cell.spec_json(),
+            )
             outcome = CellOutcome(cell=cell, status="ok", duration_s=duration)
         else:
-            self.store.record_failure(cell.experiment, cell.params, cell.seed, payload["error"], duration)
+            self.store.record_failure(
+                cell.experiment, cell.params, cell.seed, payload["error"], duration,
+                spec_json=cell.spec_json(),
+            )
             outcome = CellOutcome(cell=cell, status="failed", duration_s=duration, error=payload["error"])
         report.outcomes.append(outcome)
         self._emit(outcome, index, total)

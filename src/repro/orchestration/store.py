@@ -15,16 +15,19 @@ results`` against a live sweep) from blocking.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import sqlite3
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["ResultStore", "StoredRun", "canonical_params", "param_hash"]
+from ..serialization import canonical_json, canonical_value, stable_digest
+from ..substrate import DEFAULT_BACKEND
+
+__all__ = ["ResultStore", "StoredRun", "canonical_params", "param_hash", "cell_spec_json"]
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -35,6 +38,7 @@ CREATE TABLE IF NOT EXISTS runs (
     status      TEXT NOT NULL CHECK (status IN ('ok', 'failed')),
     params      TEXT NOT NULL,
     backend     TEXT,
+    spec_json   TEXT,
     description TEXT NOT NULL DEFAULT '',
     headers     TEXT NOT NULL DEFAULT '[]',
     rows        TEXT NOT NULL DEFAULT '[]',
@@ -62,25 +66,15 @@ def _json_default(value: Any) -> Any:
 def canonical_params(params: Mapping[str, Any]) -> dict[str, Any]:
     """Normalise a parameter dict so equal bindings canonicalise identically.
 
-    Tuples become lists (JSON has no tuple), NumPy scalars become native
-    numbers, and nested mappings are normalised recursively.  Key order is
-    irrelevant because the serialisation below sorts keys.
+    Delegates to the shared canonicaliser (:mod:`repro.serialization`) that
+    the run API's :class:`~repro.api.RunSpec` hashes through as well, so a
+    parameter binding has exactly one identity no matter which layer
+    computes it: tuples and lists are interchangeable, NumPy scalars become
+    native numbers, enums serialise as their values, and nested mappings
+    are normalised recursively (key order never matters — serialisation
+    sorts keys at every depth).
     """
-
-    def norm(value: Any) -> Any:
-        if isinstance(value, Mapping):
-            return {str(k): norm(v) for k, v in value.items()}
-        if isinstance(value, (list, tuple)):
-            return [norm(v) for v in value]
-        if isinstance(value, np.integer):
-            return int(value)
-        if isinstance(value, np.floating):
-            return float(value)
-        if isinstance(value, (str, int, float, bool)) or value is None:
-            return value
-        return str(value)
-
-    return {str(k): norm(v) for k, v in params.items()}
+    return {str(k): canonical_value(v) for k, v in params.items()}
 
 
 def _backend_of(canon: Mapping[str, Any]) -> str | None:
@@ -91,8 +85,20 @@ def _backend_of(canon: Mapping[str, Any]) -> str | None:
 
 def param_hash(params: Mapping[str, Any]) -> str:
     """Stable hex digest of a parameter binding, independent of dict order."""
-    canon = json.dumps(canonical_params(params), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+    return stable_digest(canonical_params(params))
+
+
+def cell_spec_json(experiment: str, params: Mapping[str, Any], seed: int) -> str:
+    """Canonical serialised form of one sweep cell.
+
+    This string is the *transport* format of a cell: the sweep runner ships
+    it to workers (local today, remote hosts tomorrow) and the store
+    persists it alongside the row, so a stored run can be replayed from
+    its row alone.
+    """
+    return canonical_json(
+        {"experiment": str(experiment), "params": canonical_params(params), "seed": int(seed)}
+    )
 
 
 @dataclass(frozen=True)
@@ -106,8 +112,12 @@ class StoredRun:
     status: str
     params: dict[str, Any]
     #: substrate backend that produced the row (from the cell's params);
-    #: None for experiments that predate / do not take a backend.
+    #: None for experiments that do not take a backend (historic NULLs are
+    #: backfilled to the default backend on store open).
     backend: str | None
+    #: canonical serialised cell spec (replayable transport form); None for
+    #: rows written before the unified run API.
+    spec_json: str | None
     description: str
     headers: list[str]
     rows: list[dict[str, Any]]
@@ -128,6 +138,7 @@ class StoredRun:
             "status": self.status,
             "params": self.params,
             "backend": self.backend,
+            "spec_json": self.spec_json,
             "description": self.description,
             "headers": self.headers,
             "rows": self.rows,
@@ -163,27 +174,62 @@ class ResultStore:
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.executescript(_SCHEMA)
-        # Stores created before the substrate refactor lack the backend
-        # column; add it in place (NULL for historic rows).
+        # Stores created before the substrate / run-API refactors lack the
+        # backend and spec_json columns; add them in place.
         columns = {row["name"] for row in self._conn.execute("PRAGMA table_info(runs)")}
         if "backend" not in columns:
             self._conn.execute("ALTER TABLE runs ADD COLUMN backend TEXT")
+        legacy_store = "spec_json" not in columns
+        if legacy_store:
+            self._conn.execute("ALTER TABLE runs ADD COLUMN spec_json TEXT")
+        # Rows written before the substrate refactor carry no backend; they
+        # were produced by the then-only (default) kernel, so pin them to it
+        # rather than letting summaries/plots silently mis-group them.  The
+        # rewrite runs only on the one open that migrates a legacy store
+        # (pre-spec_json schema): NULL backends written afterwards belong to
+        # experiments that genuinely take no backend and must stay NULL.
+        if legacy_store:
+            backfilled = self._conn.execute(
+                "UPDATE runs SET backend = ? WHERE backend IS NULL", (DEFAULT_BACKEND,)
+            ).rowcount
+            if backfilled:
+                warnings.warn(
+                    f"result store {path}: backfilled {backfilled} pre-substrate row(s) "
+                    f"with backend={DEFAULT_BACKEND!r}",
+                    stacklevel=2,
+                )
         self._conn.commit()
 
     # ------------------------------------------------------------------ #
     # writing
     # ------------------------------------------------------------------ #
-    def record_result(self, experiment: str, params: Mapping[str, Any], seed: int, result, duration_s: float | None = None) -> str:
-        """Upsert a successful cell; returns the canonical parameter hash."""
+    def record_result(
+        self,
+        experiment: str,
+        params: Mapping[str, Any],
+        seed: int,
+        result,
+        duration_s: float | None = None,
+        spec_json: str | None = None,
+    ) -> str:
+        """Upsert a successful cell; returns the canonical parameter hash.
+
+        ``spec_json`` is the cell's serialised replay form; when the caller
+        does not provide one (direct store writes), the canonical cell spec
+        is derived from the arguments.
+        """
         canon = canonical_params(params)
         digest = param_hash(canon)
+        if spec_json is None:
+            spec_json = cell_spec_json(experiment, canon, seed)
         self._conn.execute(
             """
-            INSERT INTO runs (experiment, param_hash, seed, status, params, backend, description,
-                              headers, rows, notes, error, duration_s)
-            VALUES (?, ?, ?, 'ok', ?, ?, ?, ?, ?, ?, NULL, ?)
+            INSERT INTO runs (experiment, param_hash, seed, status, params, backend, spec_json,
+                              description, headers, rows, notes, error, duration_s)
+            VALUES (?, ?, ?, 'ok', ?, ?, ?, ?, ?, ?, ?, NULL, ?)
             ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
                 status = 'ok', params = excluded.params, backend = excluded.backend,
+                spec_json = excluded.spec_json,
                 description = excluded.description,
                 headers = excluded.headers, rows = excluded.rows, notes = excluded.notes,
                 error = NULL, duration_s = excluded.duration_s,
@@ -195,6 +241,7 @@ class ResultStore:
                 int(seed),
                 json.dumps(canon, sort_keys=True, default=_json_default),
                 _backend_of(canon),
+                spec_json,
                 result.description,
                 json.dumps(list(result.headers), default=_json_default),
                 json.dumps(list(result.rows), default=_json_default),
@@ -205,17 +252,27 @@ class ResultStore:
         self._conn.commit()
         return digest
 
-    def record_failure(self, experiment: str, params: Mapping[str, Any], seed: int, error: str, duration_s: float | None = None) -> str:
+    def record_failure(
+        self,
+        experiment: str,
+        params: Mapping[str, Any],
+        seed: int,
+        error: str,
+        duration_s: float | None = None,
+        spec_json: str | None = None,
+    ) -> str:
         """Upsert a failed cell (crash traceback in ``error``)."""
         canon = canonical_params(params)
         digest = param_hash(canon)
+        if spec_json is None:
+            spec_json = cell_spec_json(experiment, canon, seed)
         self._conn.execute(
             """
-            INSERT INTO runs (experiment, param_hash, seed, status, params, backend, error, duration_s)
-            VALUES (?, ?, ?, 'failed', ?, ?, ?, ?)
+            INSERT INTO runs (experiment, param_hash, seed, status, params, backend, spec_json, error, duration_s)
+            VALUES (?, ?, ?, 'failed', ?, ?, ?, ?, ?)
             ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
                 status = 'failed', params = excluded.params, backend = excluded.backend,
-                error = excluded.error,
+                spec_json = excluded.spec_json, error = excluded.error,
                 headers = '[]', rows = '[]', notes = '[]',
                 duration_s = excluded.duration_s, created_at = datetime('now')
             """,
@@ -225,6 +282,7 @@ class ResultStore:
                 int(seed),
                 json.dumps(canon, sort_keys=True, default=_json_default),
                 _backend_of(canon),
+                spec_json,
                 error,
                 duration_s,
             ),
@@ -313,6 +371,7 @@ class ResultStore:
             status=row["status"],
             params=json.loads(row["params"]),
             backend=row["backend"],
+            spec_json=row["spec_json"],
             description=row["description"],
             headers=json.loads(row["headers"]),
             rows=json.loads(row["rows"]),

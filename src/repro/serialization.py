@@ -1,0 +1,78 @@
+"""Canonical JSON serialisation shared by the run API and the result store.
+
+Two subsystems need a *stable* textual form of "the same parameters":
+
+* :mod:`repro.api` hashes a :class:`~repro.api.RunSpec` to derive its
+  identity (and, in sweeps, per-repetition seeds), and
+* :mod:`repro.orchestration.store` keys its SQLite rows on a parameter
+  hash so skip-completed resume works across processes and hosts.
+
+Both used to roll their own normalisation, which is exactly how two
+descriptions of the same run can drift apart: a nested dict built in a
+different insertion order, a NumPy scalar instead of a Python int, or a
+tuple instead of a list must not change the hash — while any *value*
+change must.  This module is the single place where that equivalence is
+defined:
+
+* mappings are serialised with sorted keys (recursively — ``json.dumps``
+  with ``sort_keys=True`` sorts nested objects too),
+* tuples and lists are interchangeable (both become JSON arrays),
+* NumPy integers/floats/bools/arrays become native Python values,
+* enums serialise as their ``.value``, and
+* anything else falls back to ``str()``.
+
+Keep this module dependency-free (NumPy aside): it sits below every other
+layer of the package.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["canonical_value", "canonical_json", "stable_digest"]
+
+
+def canonical_value(value: Any) -> Any:
+    """Normalise ``value`` into plain JSON-representable Python objects.
+
+    The result is insensitive to dict insertion order (ordering is applied
+    at serialisation time), tuple-vs-list spelling, and NumPy scalar types.
+    """
+    if isinstance(value, Mapping):
+        return {str(k): canonical_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    if isinstance(value, enum.Enum):
+        return canonical_value(value.value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [canonical_value(v) for v in value.tolist()]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise ``value`` to its canonical compact JSON form.
+
+    Equal values (up to the equivalences of :func:`canonical_value`)
+    produce byte-identical strings, which is what makes the derived
+    hashes — and therefore seeds and store keys — collision-safe against
+    nested-dict ordering.
+    """
+    return json.dumps(canonical_value(value), sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(value: Any, length: int = 16) -> str:
+    """Hex digest of the canonical JSON form (``length`` hex chars)."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()[:length]

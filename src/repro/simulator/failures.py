@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -128,6 +129,34 @@ class FailureModel:
         return (
             f"lossy (delta={self.loss_probability:g}, "
             f"crash_fraction={self.crash_fraction:g})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # spec serialisation (the run API's FailureSpec form)
+    # ------------------------------------------------------------------ #
+    def to_spec(self) -> dict:
+        """JSON-representable form used inside :class:`repro.api.RunSpec`."""
+        return {
+            "loss_probability": float(self.loss_probability),
+            "crash_fraction": float(self.crash_fraction),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: "Mapping | FailureModel") -> "FailureModel":
+        """Rebuild a failure model from its spec dict (identity on instances)."""
+        if isinstance(spec, cls):
+            return spec
+        if not isinstance(spec, Mapping):
+            raise ConfigurationError(f"failure spec must be a mapping, got {spec!r}")
+        unknown = set(spec) - {"loss_probability", "crash_fraction"}
+        if unknown:
+            raise ConfigurationError(
+                f"failure spec has unknown keys {sorted(unknown)} "
+                "(valid: loss_probability, crash_fraction)"
+            )
+        return cls(
+            loss_probability=float(spec.get("loss_probability", 0.0)),
+            crash_fraction=float(spec.get("crash_fraction", 0.0)),
         )
 
 

@@ -197,6 +197,40 @@ class Topology:
             frontier = nxt
         return bool(seen.all())
 
+    # ------------------------------------------------------------------ #
+    # spec serialisation (the run API's explicit-topology form)
+    # ------------------------------------------------------------------ #
+    def to_spec(self) -> dict:
+        """Serialise this concrete graph as an explicit-edge topology spec.
+
+        The returned dict is the ``family = "explicit"`` form accepted by
+        :class:`repro.api.TopologySpec` (and :meth:`from_spec`), so any
+        topology — generated or hand-built — can be pinned inside a
+        :class:`repro.api.RunSpec` and replayed on another host without
+        re-running its generator.
+        """
+        return {
+            "family": "explicit",
+            "name": self.name,
+            "n": self.n,
+            "edges": [[int(u), int(v)] for u, v in self.edges()],
+        }
+
+    @classmethod
+    def from_spec(cls, spec) -> "Topology":
+        """Rebuild a topology from its explicit spec dict (identity on instances)."""
+        if isinstance(spec, cls):
+            return spec
+        if not isinstance(spec, dict) or spec.get("family", "explicit") != "explicit":
+            raise ValueError(
+                "Topology.from_spec expects an explicit-edge spec dict "
+                "(generated families are built by repro.api.TopologySpec)"
+            )
+        edges = spec.get("edges")
+        if edges is None or "n" not in spec:
+            raise ValueError("explicit topology spec needs 'n' and 'edges'")
+        return cls.from_edges(str(spec.get("name", "explicit")), int(spec["n"]), [tuple(e) for e in edges])
+
     def to_networkx(self):
         """Export to a ``networkx.Graph`` (lazy import keeps startup light)."""
         import networkx as nx
