@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 from conftest import emit
 
 from repro.harness import run_chord_comparison
+from repro.substrate import run_chord_lookups
+from repro.topology import ChordNetwork
 
 
 def test_chord_drr_vs_uniform_gossip(benchmark, full_sweep):
@@ -26,3 +29,19 @@ def test_chord_drr_vs_uniform_gossip(benchmark, full_sweep):
         # both normalised ratios stay bounded across the sweep
         assert row["drr_msgs_over_nlogn"] < 8.0
         assert row["uniform_msgs_over_nlog2n"] < 4.0
+
+
+def test_chord_reply_batching_no_regression(benchmark):
+    """count_reply rides the batched cursor arrays: one extra round, one
+    message per delivered route, and NO per-route Python work — benchmarked
+    so a regression back to scalar replies shows up in the history."""
+    rng = np.random.default_rng(0)
+    chord = ChordNetwork(2048, rng)
+    sources = rng.integers(0, 2048, size=2048)
+    targets = rng.integers(0, chord.ring_size, size=2048)
+    plain = run_chord_lookups(chord, sources, targets, rng=1)
+    result = benchmark(run_chord_lookups, chord, sources, targets, rng=1, count_reply=True)
+    assert np.array_equal(result.owners, plain.owners)
+    assert result.replied.all()
+    assert result.messages == plain.messages + int(result.delivered.sum())
+    assert result.rounds == plain.rounds + 1

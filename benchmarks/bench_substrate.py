@@ -10,15 +10,31 @@ Two uses:
   engine by at least ``--min-speedup`` (default 5x) on uniform gossip *and*
   on Local-DRR over a random regular graph at ``--n`` (default 10^5)
   nodes; a batch of Chord lookups must complete on both backends with
-  identical owners; and with ``--scale`` a full ``drr_gossip_average``
-  run at 10^6 nodes plus a vectorized Local-DRR over a 10^6-node sparse
-  random graph must finish (the Local-DRR run in single-digit seconds).
-  Exit status is non-zero when any bar is missed.
+  identical owners; the ``sharded`` backend must reproduce the vectorized
+  run *exactly* (rounds, messages incl. per-phase, estimates) at
+  ``--sharded-n`` with ``--shards`` workers and finish inside
+  ``--sharded-budget`` seconds; with ``--scale`` a full
+  ``drr_gossip_average`` run at 10^6 nodes plus a vectorized Local-DRR
+  over a 10^6-node sparse random graph must finish; and with
+  ``--scale-large`` the 10^7-node ``drr_gossip_average`` tier runs:
+  ``vectorized`` must complete within ``--large-budget`` seconds and
+  ``sharded`` (P = ``--large-shards``, default 4) must be >= 3x faster —
+  the ratio is *enforced* when the host has at least ``--large-shards``
+  CPU cores and reported otherwise (a single-core runner cannot exhibit a
+  multiprocessing speedup, and pretending it failed would only teach
+  people to delete the check).
+
+  Every measured run appends a machine-readable row (protocol, n,
+  backend, shards, wall time, git SHA) to ``BENCH_substrate.json`` — the
+  persisted perf trajectory that ``drr-gossip results --bench`` prints —
+  unless ``--no-json`` is given.  Exit status is non-zero when any
+  enforced bar is missed.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -27,8 +43,30 @@ import numpy as np
 from repro.baselines import push_sum
 from repro.core import DRRGossipConfig, drr_gossip_average, run_drr, run_local_drr
 from repro.harness import make_values
-from repro.substrate import run_chord_lookups
+from repro.harness.benchlog import DEFAULT_BENCH_FILE, append_bench_rows
+from repro.substrate import run_chord_lookups, shutdown_pools
+from repro.substrate import sharded as sharded_backend
 from repro.topology import ChordNetwork, random_regular_graph
+
+#: rows accumulated by the smoke checks, flushed to BENCH_substrate.json
+BENCH_ROWS: list[dict] = []
+
+
+def record(bench: str, *, protocol: str, n: int, backend: str, wall_s: float,
+           shards: int | None = None, messages: int | None = None,
+           rounds: int | None = None) -> None:
+    BENCH_ROWS.append(
+        {
+            "bench": bench,
+            "protocol": protocol,
+            "n": int(n),
+            "backend": backend,
+            "shards": shards,
+            "wall_s": float(wall_s),
+            "messages": messages,
+            "rounds": rounds,
+        }
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -85,6 +123,8 @@ def smoke_speedup(n: int, rounds: int, min_speedup: float) -> bool:
     values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
     vectorized_s = _time(lambda: push_sum(values, rng=1, rounds=rounds))
     engine_s = _time(lambda: push_sum(values, rng=1, rounds=rounds, backend="engine"))
+    record("uniform-gossip-speedup", protocol="push-sum", n=n, backend="vectorized", wall_s=vectorized_s)
+    record("uniform-gossip-speedup", protocol="push-sum", n=n, backend="engine", wall_s=engine_s)
     speedup = engine_s / max(vectorized_s, 1e-9)
     print(
         f"uniform gossip, n={n}, rounds={rounds}: "
@@ -102,6 +142,8 @@ def smoke_local_drr_speedup(n: int, min_speedup: float) -> bool:
     topo = random_regular_graph(n, 4, np.random.default_rng(0))
     vectorized_s = _time(lambda: run_local_drr(topo, rng=1))
     engine_s = _time(lambda: run_local_drr(topo, rng=1, backend="engine"))
+    record("local-drr-speedup", protocol="local-drr", n=n, backend="vectorized", wall_s=vectorized_s)
+    record("local-drr-speedup", protocol="local-drr", n=n, backend="engine", wall_s=engine_s)
     speedup = engine_s / max(vectorized_s, 1e-9)
     print(
         f"local-drr, n={n} (random 4-regular): "
@@ -132,7 +174,72 @@ def smoke_chord_batch(n: int) -> bool:
     if not (np.array_equal(fast.owners, engine.owners) and fast.rounds == engine.rounds):
         print("FAIL: chord lookup backends disagree")
         return False
-    print("OK: chord lookup batch completes identically on both backends")
+    # Reply batching (count_reply) must ride the same cursor arrays: one
+    # extra message per delivered route, one extra round, no per-route loop.
+    plain_s = _time(lambda: run_chord_lookups(chord, sources, targets, rng=1))
+    reply_start = time.perf_counter()
+    replied = run_chord_lookups(chord, sources, targets, rng=1, count_reply=True)
+    reply_s = time.perf_counter() - reply_start
+    if replied.messages != fast.messages + int(replied.delivered.sum()):
+        print("FAIL: count_reply accounting diverged from the hops+1 cost model")
+        return False
+    if replied.rounds != fast.rounds + 1:
+        print("FAIL: reply batching should add exactly one trailing round")
+        return False
+    if reply_s > 2.0 * plain_s + 0.5:
+        print(
+            f"FAIL: count_reply batch took {reply_s:.3f}s vs {plain_s:.3f}s plain "
+            "(reply batching regressed into per-route work)"
+        )
+        return False
+    print(
+        f"OK: chord lookup batch completes identically on both backends "
+        f"(replies: +{int(replied.delivered.sum())} msgs, {reply_s:.3f}s vs {plain_s:.3f}s plain)"
+    )
+    return True
+
+
+def smoke_sharded(n: int, shards: int, budget_s: float = 60.0) -> bool:
+    """The sharded backend reproduces the vectorized run exactly, at speed.
+
+    Runs ``drr_gossip_average`` at ``n`` on both backends (the sharded one
+    on a real worker pool: ``min_batch=0`` forces every batch through the
+    shards) and asserts identical rounds, total/per-phase message counts,
+    and estimates to 1e-12 — plus completion within ``budget_s``.
+    """
+    values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
+    start = time.perf_counter()
+    reference = drr_gossip_average(values, rng=1, config=DRRGossipConfig(backend="vectorized"))
+    vectorized_s = time.perf_counter() - start
+    sharded_backend.configure(shards=shards, min_batch=0)
+    try:
+        start = time.perf_counter()
+        result = drr_gossip_average(values, rng=1, config=DRRGossipConfig(backend="sharded"))
+        sharded_s = time.perf_counter() - start
+    finally:
+        sharded_backend.configure(min_batch=sharded_backend.DEFAULT_MIN_BATCH)
+        shutdown_pools()
+    record("sharded-smoke", protocol="drr-gossip-average", n=n, backend="vectorized",
+           wall_s=vectorized_s, messages=reference.messages, rounds=reference.rounds)
+    record("sharded-smoke", protocol="drr-gossip-average", n=n, backend="sharded",
+           shards=shards, wall_s=sharded_s, messages=result.messages, rounds=result.rounds)
+    print(
+        f"sharded smoke, n={n}, P={shards}: vectorized {vectorized_s:.2f}s, "
+        f"sharded {sharded_s:.2f}s"
+    )
+    if result.rounds != reference.rounds or result.messages != reference.messages:
+        print("FAIL: sharded backend diverged from vectorized (rounds/messages)")
+        return False
+    if result.metrics.messages_by_phase() != reference.metrics.messages_by_phase():
+        print("FAIL: sharded backend diverged from vectorized (per-phase messages)")
+        return False
+    if not np.allclose(result.estimates, reference.estimates, rtol=1e-12, equal_nan=True):
+        print("FAIL: sharded backend estimates diverged beyond 1e-12")
+        return False
+    if sharded_s > budget_s:
+        print(f"FAIL: sharded run took {sharded_s:.1f}s (> {budget_s:g}s budget)")
+        return False
+    print(f"OK: sharded backend is equivalent and completed in {sharded_s:.1f}s (< {budget_s:g}s)")
     return True
 
 
@@ -142,6 +249,8 @@ def smoke_local_drr_scale(n: int, budget_s: float = 9.0) -> bool:
     start = time.perf_counter()
     result = run_local_drr(topo, rng=1)
     elapsed = time.perf_counter() - start
+    record("local-drr-scale", protocol="local-drr", n=n, backend="vectorized",
+           wall_s=elapsed, messages=result.metrics.total_messages)
     trees = result.forest.root_count
     expected = topo.expected_local_drr_trees()
     print(
@@ -164,6 +273,8 @@ def smoke_scale(n: int) -> bool:
     start = time.perf_counter()
     result = drr_gossip_average(values, rng=1, config=DRRGossipConfig(backend="vectorized"))
     elapsed = time.perf_counter() - start
+    record("pipeline-scale", protocol="drr-gossip-average", n=n, backend="vectorized",
+           wall_s=elapsed, messages=result.messages, rounds=result.rounds)
     print(
         f"drr_gossip_average, n={n}: {elapsed:.1f}s, rounds={result.rounds}, "
         f"messages={result.messages}, max_rel_error={result.max_relative_error:.2e}, "
@@ -176,6 +287,65 @@ def smoke_scale(n: int) -> bool:
     return True
 
 
+def smoke_scale_large(n: int, shards: int, vectorized_budget_s: float, min_ratio: float) -> bool:
+    """The n=10^7 tier: vectorized completes; sharded (P shards) is >= 3x.
+
+    The speedup ratio is enforced only when the host has at least
+    ``shards`` CPU cores — a single-core runner cannot exhibit a
+    multiprocessing speedup, so there the ratio is measured and reported
+    but does not fail the run (equivalence is still asserted).
+    """
+    values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
+    start = time.perf_counter()
+    reference = drr_gossip_average(values, rng=1, config=DRRGossipConfig(backend="vectorized"))
+    vectorized_s = time.perf_counter() - start
+    record("pipeline-scale-large", protocol="drr-gossip-average", n=n, backend="vectorized",
+           wall_s=vectorized_s, messages=reference.messages, rounds=reference.rounds)
+    print(
+        f"drr_gossip_average, n={n}: vectorized {vectorized_s:.1f}s, "
+        f"rounds={reference.rounds}, messages={reference.messages}, "
+        f"max_rel_error={reference.max_relative_error:.2e}"
+    )
+    ok = True
+    if vectorized_s > vectorized_budget_s:
+        print(f"FAIL: vectorized n={n} took {vectorized_s:.1f}s (> {vectorized_budget_s:g}s)")
+        ok = False
+    if not (reference.coverage == 1.0 and reference.max_relative_error < 1e-3):
+        print("FAIL: large-scale vectorized run did not converge")
+        ok = False
+
+    sharded_backend.configure(shards=shards)
+    try:
+        start = time.perf_counter()
+        result = drr_gossip_average(values, rng=1, config=DRRGossipConfig(backend="sharded"))
+        sharded_s = time.perf_counter() - start
+    finally:
+        shutdown_pools()
+    record("pipeline-scale-large", protocol="drr-gossip-average", n=n, backend="sharded",
+           shards=shards, wall_s=sharded_s, messages=result.messages, rounds=result.rounds)
+    ratio = vectorized_s / max(sharded_s, 1e-9)
+    print(f"drr_gossip_average, n={n}: sharded(P={shards}) {sharded_s:.1f}s -> {ratio:.2f}x vectorized")
+    if result.messages != reference.messages or result.rounds != reference.rounds:
+        print("FAIL: sharded large-scale run diverged from vectorized (rounds/messages)")
+        ok = False
+    if not np.allclose(result.estimates, reference.estimates, rtol=1e-12, equal_nan=True):
+        print("FAIL: sharded large-scale estimates diverged beyond 1e-12")
+        ok = False
+    cores = os.cpu_count() or 1
+    if cores >= shards:
+        if ratio < min_ratio:
+            print(f"FAIL: sharded speedup {ratio:.2f}x below the required {min_ratio:g}x")
+            ok = False
+        else:
+            print(f"OK: sharded backend wins by >= {min_ratio:g}x at n={n}")
+    else:
+        print(
+            f"NOTE: host has {cores} CPU core(s) < P={shards}; the {min_ratio:g}x "
+            "ratio is reported, not enforced (no parallel hardware to win on)"
+        )
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n", type=int, default=100_000, help="nodes for the speedup comparison")
@@ -186,15 +356,57 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the 10^6-node drr_gossip_average completion check",
     )
     parser.add_argument("--scale-n", type=int, default=1_000_000)
+    parser.add_argument(
+        "--scale-large", action="store_true",
+        help="also run the 10^7-node tier: vectorized completion + sharded >= 3x "
+        "(ratio enforced only on hosts with enough cores)",
+    )
+    parser.add_argument("--scale-large-n", type=int, default=10_000_000)
+    parser.add_argument("--large-shards", type=int, default=4, help="P for the 10^7 sharded tier")
+    parser.add_argument(
+        "--large-budget", type=float, default=540.0,
+        help="vectorized wall-clock budget (s) for the 10^7 run (single-digit minutes)",
+    )
+    parser.add_argument("--large-min-ratio", type=float, default=3.0)
     parser.add_argument("--chord-n", type=int, default=4096, help="nodes/lookups for the Chord batch check")
+    parser.add_argument("--sharded-n", type=int, default=100_000, help="nodes for the sharded equivalence smoke")
+    parser.add_argument("--shards", type=int, default=2, help="worker processes for the sharded smoke")
+    parser.add_argument("--sharded-budget", type=float, default=60.0)
+    parser.add_argument("--skip-sharded", action="store_true", help="skip the sharded smoke")
+    parser.add_argument(
+        "--sharded-only", action="store_true",
+        help="run only the sharded equivalence smoke (the dedicated CI job)",
+    )
+    parser.add_argument(
+        "--json", type=str, default=DEFAULT_BENCH_FILE, metavar="PATH",
+        help="append measured rows to this trajectory file",
+    )
+    parser.add_argument("--no-json", action="store_true", help="do not write the trajectory file")
     args = parser.parse_args(argv)
 
+    if args.sharded_only and args.skip_sharded:
+        parser.error("--sharded-only and --skip-sharded contradict each other")
+    if args.sharded_only:
+        ok = smoke_sharded(args.sharded_n, args.shards, args.sharded_budget)
+        if not args.no_json and BENCH_ROWS:
+            path = append_bench_rows(BENCH_ROWS, args.json)
+            print(f"recorded {len(BENCH_ROWS)} benchmark row(s) in {path}")
+        return 0 if ok else 1
     ok = smoke_speedup(args.n, args.rounds, args.min_speedup)
     ok = smoke_local_drr_speedup(args.n, args.min_speedup) and ok
     ok = smoke_chord_batch(args.chord_n) and ok
+    if not args.skip_sharded:
+        ok = smoke_sharded(args.sharded_n, args.shards, args.sharded_budget) and ok
     if args.scale:
         ok = smoke_scale(args.scale_n) and ok
         ok = smoke_local_drr_scale(args.scale_n) and ok
+    if args.scale_large:
+        ok = smoke_scale_large(
+            args.scale_large_n, args.large_shards, args.large_budget, args.large_min_ratio
+        ) and ok
+    if not args.no_json and BENCH_ROWS:
+        path = append_bench_rows(BENCH_ROWS, args.json)
+        print(f"recorded {len(BENCH_ROWS)} benchmark row(s) in {path}")
     return 0 if ok else 1
 
 

@@ -19,15 +19,25 @@ when they are expressed as specs.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Iterable, Mapping
 
 from ..simulator.rng import make_rng
+from ..substrate import get_kernel
 from .protocols import RunContext, get_protocol
 from .result import RunResult
 from .spec import RunSpec
 
 __all__ = ["run", "run_many"]
+
+
+def _backend_context(spec: RunSpec):
+    """Apply the spec's backend options (e.g. sharded shard count) for the run."""
+    if not spec.backend_options:
+        return contextlib.nullcontext()
+    kernel = get_kernel(spec.backend)
+    return kernel.options(**spec.backend_options)
 
 
 def run(spec: RunSpec | Mapping) -> RunResult:
@@ -48,7 +58,8 @@ def run(spec: RunSpec | Mapping) -> RunResult:
         backend=spec.backend,
         topology=topology,
     )
-    output = protocol.run(ctx, spec.params)
+    with _backend_context(spec):
+        output = protocol.run(ctx, spec.params)
     wall_time = time.perf_counter() - start
     metrics = output.metrics
     return RunResult(

@@ -174,9 +174,59 @@ class TopologySpec:
         return make_graph(self.family, self.n, rng)
 
 
+#: Options each backend accepts in ``RunSpec.backend_options`` (everything
+#: is coerced to int; unknown keys and options for backends that take none
+#: are rejected at spec-construction time).
+BACKEND_OPTION_KEYS: dict[str, frozenset[str]] = {
+    "sharded": frozenset({"shards", "min_batch"}),
+}
+
+
+def _validate_backend_options(backend: str, options: Any) -> dict[str, int]:
+    if options is None:
+        return {}
+    if not isinstance(options, Mapping):
+        raise SpecValidationError(
+            f"'backend_options' must be a table/object, got {options!r}"
+        )
+    options = dict(options)
+    if not options:
+        return {}
+    allowed = BACKEND_OPTION_KEYS.get(backend, frozenset())
+    unknown = set(options) - allowed
+    if unknown:
+        if not allowed:
+            raise SpecValidationError(
+                f"backend {backend!r} takes no backend_options, got {sorted(options)}"
+            )
+        raise SpecValidationError(
+            f"backend {backend!r} does not accept backend_options "
+            f"{sorted(unknown)} (valid: {sorted(allowed)})"
+        )
+    normalised = {
+        key: _coerce_int(value, f"backend option {key!r}") for key, value in options.items()
+    }
+    if normalised.get("shards", 1) < 1:
+        raise SpecValidationError(
+            f"backend option 'shards' must be >= 1, got {normalised['shards']}"
+        )
+    if normalised.get("min_batch", 0) < 0:
+        raise SpecValidationError(
+            f"backend option 'min_batch' must be >= 0, got {normalised['min_batch']}"
+        )
+    return normalised
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One protocol run, fully described by serialisable values.
+
+    ``backend_options`` carries backend-specific execution knobs (today:
+    ``{"shards": P, "min_batch": B}`` for the ``sharded`` backend).  They
+    are part of the spec — a sweep cell pins them, a remote worker applies
+    them — but an *empty* options table serialises to nothing, so specs
+    written before the field existed keep their hashes (store resume is
+    unaffected).
 
     Examples
     --------
@@ -193,6 +243,7 @@ class RunSpec:
     failures: FailureModel = field(default_factory=FailureModel)
     backend: str = DEFAULT_BACKEND
     seed: int = DEFAULT_SPEC_SEED
+    backend_options: Mapping[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         from .protocols import get_protocol  # late: protocols import core/baselines
@@ -202,6 +253,9 @@ class RunSpec:
         except Exception as exc:
             raise SpecValidationError(str(exc)) from exc
         object.__setattr__(self, "seed", _coerce_int(self.seed, "'seed'"))
+        object.__setattr__(
+            self, "backend_options", _validate_backend_options(self.backend, self.backend_options)
+        )
         if isinstance(self.topology, Mapping):
             object.__setattr__(self, "topology", TopologySpec.from_dict(self.topology))
         if isinstance(self.failures, Mapping):
@@ -217,7 +271,17 @@ class RunSpec:
         # The generated frozen-dataclass hash would choke on the params dict;
         # hash the frozen view instead so specs work as set/dict keys (equal
         # specs hash equal because validate_params normalises the values).
-        return hash((self.protocol, _freeze(self.params), self.topology, self.failures, self.backend, self.seed))
+        return hash(
+            (
+                self.protocol,
+                _freeze(self.params),
+                self.topology,
+                self.failures,
+                self.backend,
+                self.seed,
+                _freeze(dict(self.backend_options)),
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # convenience
@@ -230,7 +294,17 @@ class RunSpec:
         return self.replace(seed=seed)
 
     def with_backend(self, backend: str) -> "RunSpec":
-        return self.replace(backend=backend)
+        """A copy on ``backend``, keeping only the options that backend takes.
+
+        (Silently dropping now-inapplicable options is what a sweep-wide
+        ``--backend`` override wants: a spec file pinned to
+        ``sharded[shards=4]`` re-targeted at ``engine`` should run, not
+        fail validation.)
+        """
+        name = normalize_backend(backend)
+        allowed = BACKEND_OPTION_KEYS.get(name, frozenset())
+        options = {k: v for k, v in dict(self.backend_options).items() if k in allowed}
+        return self.replace(backend=name, backend_options=options)
 
     # ------------------------------------------------------------------ #
     # serialisation
@@ -243,6 +317,10 @@ class RunSpec:
             "backend": self.backend,
             "seed": self.seed,
         }
+        if self.backend_options:
+            # Only serialised when non-empty so pre-existing specs (and the
+            # store rows hashed from them) keep their identities.
+            doc["backend_options"] = dict(self.backend_options)
         if self.topology is not None:
             doc["topology"] = self.topology.to_dict()
         return doc
@@ -253,7 +331,7 @@ class RunSpec:
             raise SpecValidationError(f"a run spec must be a table/object, got {doc!r}")
         if "protocol" not in doc:
             raise SpecValidationError("a run spec needs a 'protocol' name")
-        known = {"protocol", "params", "topology", "failures", "backend", "seed"}
+        known = {"protocol", "params", "topology", "failures", "backend", "seed", "backend_options"}
         unknown = set(doc) - known
         if unknown:
             raise SpecValidationError(
@@ -269,6 +347,7 @@ class RunSpec:
             failures=doc.get("failures", FailureModel()),
             backend=str(doc.get("backend", DEFAULT_BACKEND)),
             seed=doc.get("seed", DEFAULT_SPEC_SEED),
+            backend_options=doc.get("backend_options", {}),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -303,7 +382,10 @@ class RunSpec:
     def describe(self) -> str:
         binding = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
         topo = f" on {self.topology.family}(n={self.topology.n})" if self.topology else ""
-        return f"{self.protocol}({binding}){topo} backend={self.backend} seed={self.seed}"
+        options = ""
+        if self.backend_options:
+            options = "[" + ",".join(f"{k}={v}" for k, v in sorted(self.backend_options.items())) + "]"
+        return f"{self.protocol}({binding}){topo} backend={self.backend}{options} seed={self.seed}"
 
 
 # --------------------------------------------------------------------------- #

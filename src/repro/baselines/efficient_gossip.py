@@ -315,6 +315,10 @@ def efficient_gossip(
 
     alive = ~failure_model.sample_crashes(n, rng)
     alive_idx = np.flatnonzero(alive)
+    # None tells the columnar delivery primitives "nobody crashed" so they
+    # skip per-message liveness gathers (the engine's Network still needs
+    # the real mask).
+    alive_arg = None if alive.all() else alive
     oracle = LossOracle.for_run(failure_model, rng)
     # Stages run under one oracle; `loss_round` offsets each stage's round
     # counter so round identities stay unique across the whole protocol
@@ -371,7 +375,7 @@ def efficient_gossip(
             probes = kernel.sample_uniform(rng, n, pending.size)
             probe_ok = kernel.deliver(
                 metrics, oracle, MessageKind.PROBE, probes,
-                senders=pending, round_index=loss_round, alive=alive,
+                senders=pending, round_index=loss_round, alive=alive_arg,
             )
             # A probe succeeds when it lands on a node that already belongs to
             # a group (leader or member) and the reply survives; the prober
@@ -380,7 +384,7 @@ def efficient_gossip(
             joins = probe_ok & (target_group >= 0)
             reply_ok = kernel.deliver(
                 metrics, oracle, MessageKind.DATA, pending[joins],
-                senders=probes[joins], round_index=loss_round, alive=alive,
+                senders=probes[joins], round_index=loss_round, alive=alive_arg,
             )
             joined = pending[joins][reply_ok]
             group_of[joined] = target_group[joins][reply_ok]
@@ -437,7 +441,7 @@ def efficient_gossip(
         member_ok = kernel.deliver(
             metrics, oracle, MessageKind.CONVERGECAST, group_of[member_ids],
             senders=member_ids, round_index=loss_round,
-            alive=alive, payload_words=2,
+            alive=alive_arg, payload_words=2,
         )
         metrics.record_round(pad)
         for i in leader_idx:
@@ -505,7 +509,7 @@ def efficient_gossip(
             targets = rng.integers(0, m, size=m)
             delivered = kernel.deliver(
                 metrics, oracle, MessageKind.PUSH, leader_idx[targets],
-                senders=leader_idx, round_index=loss_round + r, alive=alive,
+                senders=leader_idx, round_index=loss_round + r, alive=alive_arg,
             )
             np.maximum.at(current, targets[delivered], current[delivered])
         leader_estimate = current if aggregate == Aggregate.MAX else -current
@@ -522,7 +526,7 @@ def efficient_gossip(
             delivered = kernel.deliver(
                 metrics, oracle, MessageKind.PUSH, leader_idx[targets],
                 senders=leader_idx, round_index=loss_round + r,
-                alive=alive, payload_words=2,
+                alive=alive_arg, payload_words=2,
             )
             np.add.at(s, targets[delivered], send_s[delivered])
             np.add.at(w, targets[delivered], send_w[delivered])
@@ -566,7 +570,7 @@ def efficient_gossip(
     else:
         broadcast_ok = kernel.deliver(
             metrics, oracle, MessageKind.BROADCAST, member_ids,
-            senders=group_of[member_ids], round_index=loss_round, alive=alive,
+            senders=group_of[member_ids], round_index=loss_round, alive=alive_arg,
         )
         reached = member_ids[broadcast_ok]
         leader_pos = {int(leader): i for i, leader in enumerate(leader_idx)}

@@ -132,6 +132,7 @@ def _push_sum_vectorized(
     exact = float(values[alive].mean())
     convergence: list[float] = []
     alive_idx = np.flatnonzero(alive)
+    alive_arg = None if alive.all() else alive
 
     for r in range(total_rounds):
         metrics.record_round()
@@ -143,7 +144,7 @@ def _push_sum_vectorized(
         w[senders] -= send_w
         delivered = kernel.deliver(
             metrics, oracle, MessageKind.PUSH, targets,
-            senders=senders, round_index=r, alive=alive, payload_words=2,
+            senders=senders, round_index=r, alive=alive_arg, payload_words=2,
         )
         np.add.at(s, targets[delivered], send_s[delivered])
         np.add.at(w, targets[delivered], send_w[delivered])
@@ -297,6 +298,7 @@ def _push_max_vectorized(
     current = np.where(alive, values, -np.inf).astype(float)
     exact = float(values[alive].max())
     alive_idx = np.flatnonzero(alive)
+    alive_arg = None if alive.all() else alive
     convergence: list[float] = []
 
     executed = 0
@@ -306,7 +308,7 @@ def _push_max_vectorized(
         targets = kernel.sample_uniform(rng, n, alive_idx.size)
         delivered = kernel.deliver(
             metrics, oracle, MessageKind.PUSH, targets,
-            senders=alive_idx, round_index=r, alive=alive,
+            senders=alive_idx, round_index=r, alive=alive_arg,
         )
         np.maximum.at(current, targets[delivered], current[alive_idx][delivered])
         informed = float(np.mean(current[alive] >= exact))

@@ -210,6 +210,7 @@ def _convergecast_vectorized(
     depth = forest.depth
     send_round, _ = schedule
     payload_words = 1 if op in ("max", "min") else 2
+    alive_arg = None if alive.all() else alive
 
     # Accumulators: every alive node starts with its own value and weight 1.
     acc_value = values.astype(float).copy()
@@ -217,13 +218,21 @@ def _convergecast_vectorized(
     acc_weight[~alive] = 0
 
     has_parent = forest.parent >= 0
-    max_depth = int(depth[alive].max()) if alive.any() else 0
+    # Partition the senders into depth layers with ONE radix sort instead
+    # of one full-array scan per depth (stable sort keeps each layer in
+    # ascending id order, exactly the order `flatnonzero` produced).
+    members = np.flatnonzero(alive & has_parent)
+    # int32 keys halve the radix passes of the stable sort (depths are tiny)
+    order = members[np.argsort(depth[members].astype(np.int32), kind="stable")]
+    layer_depths = depth[order]
+    max_depth = int(layer_depths[-1]) if order.size else 0
+    bounds = np.searchsorted(layer_depths, np.arange(max_depth + 2))
     # Sweep the forest bottom-up, one depth layer per batch: a layer's
     # upward transmissions are charged, lossed, and folded as arrays.  The
     # loss oracle keys each transmission by its scheduled send round, so
     # batching by depth instead of by round changes nothing.
     for d in range(max_depth, 0, -1):
-        layer = np.flatnonzero(alive & has_parent & (depth == d))
+        layer = order[bounds[d]:bounds[d + 1]]
         if layer.size == 0:
             continue
         parents = forest.parent[layer]
@@ -234,7 +243,7 @@ def _convergecast_vectorized(
             parents,
             senders=layer,
             round_index=send_round[layer] - 1,
-            alive=alive,
+            alive=alive_arg,
             payload_words=payload_words,
         )
         fold = delivered & known[layer]
@@ -428,6 +437,7 @@ def _broadcast_vectorized(
     n = forest.n
     alive = _alive_of(drr)
     depth = forest.depth
+    alive_arg = None if alive.all() else alive
 
     received = np.zeros(n, dtype=bool)
     payload = np.full(n, np.nan, dtype=float)
@@ -445,7 +455,10 @@ def _broadcast_vectorized(
     # order; precompute each child's 1-based position in that service order.
     serveable = drr.known_child_mask & alive
     kids = np.flatnonzero(serveable)
-    order = kids[np.argsort(forest.parent[kids], kind="stable")]
+    parent_keys = forest.parent[kids]
+    if n <= 2**31 - 1:
+        parent_keys = parent_keys.astype(np.int32)  # halves the radix passes
+    order = kids[np.argsort(parent_keys, kind="stable")]
     sibling_rank = np.zeros(n, dtype=np.int64)
     if order.size:
         parents_sorted = forest.parent[order]
@@ -453,13 +466,20 @@ def _broadcast_vectorized(
         group_start = np.maximum.accumulate(np.where(new_group, np.arange(order.size), 0))
         sibling_rank[order] = np.arange(order.size) - group_start + 1
 
+    # Partition the serveable children into depth layers with one radix
+    # sort (stable: ascending id within a layer) instead of a full-array
+    # scan per depth.
+    by_depth = kids[np.argsort(depth[kids].astype(np.int32), kind="stable")]
+    layer_depths = depth[by_depth]
+    max_depth = int(layer_depths[-1]) if by_depth.size else 0
+    bounds = np.searchsorted(layer_depths, np.arange(max_depth + 2))
+
     # Sweep the trees top-down one depth layer per batch; a child's arrival
     # round is its parent's receive round plus its service position, and the
     # transmission is charged whether or not it survives.
     max_round = 0
-    max_depth = int(depth[alive].max()) if alive.any() else 0
     for d in range(1, max_depth + 1):
-        layer = np.flatnonzero(serveable & (depth == d))
+        layer = by_depth[bounds[d]:bounds[d + 1]]
         if layer.size == 0:
             continue
         layer = layer[received[forest.parent[layer]]]
@@ -472,7 +492,7 @@ def _broadcast_vectorized(
         # engine stamps on the same message.
         delivered = kernel.deliver(
             metrics, oracle, MessageKind.BROADCAST, layer,
-            senders=forest.parent[layer], round_index=arrival - 1, alive=alive,
+            senders=forest.parent[layer], round_index=arrival - 1, alive=alive_arg,
         )
         got = layer[delivered]
         received[got] = True

@@ -126,7 +126,7 @@ def run_drr(
         Optional externally drawn ranks (used by ablation experiments that
         compare the [0,1] rank domain against the [1, n^3] integer domain).
     backend:
-        Substrate backend: ``"vectorized"`` (default) or ``"engine"``.
+        Substrate backend: ``"vectorized"`` (default), ``"sharded"``, or ``"engine"``.
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
@@ -180,37 +180,37 @@ def _run_drr_vectorized(
     parent = np.full(n, -1, dtype=np.int64)
     connect_delivered = np.zeros(n, dtype=bool)
     probes_used = np.zeros(n, dtype=np.int64)
-    searching = alive.copy()
+    # ``None`` tells the delivery primitives "nobody crashed" so they skip
+    # the per-message liveness gathers entirely (accounting is unchanged).
+    alive_arg = None if alive.all() else alive
+
+    # The searching frontier is carried as a compacted, ascending id array
+    # (rather than re-scanning an n-sized mask every round): filtering it
+    # preserves the order `flatnonzero` would produce, so the shared RNG
+    # stream is consumed exactly as before.
+    active = np.flatnonzero(alive)
 
     rounds = 0
-    while searching.any() and rounds < budget:
+    while active.size and rounds < budget:
         rounds += 1
         metrics.record_round()
-        senders = np.flatnonzero(searching)
-        probes_used[senders] += 1
-        targets = kernel.sample_uniform(rng, n, senders.size, exclude=senders)
-        probe_ok = kernel.deliver(
-            metrics, oracle, MessageKind.PROBE, targets,
-            senders=senders, round_index=rounds - 1, alive=alive,
+        probes_used[active] += 1
+        targets = kernel.sample_uniform(rng, n, active.size, exclude=active)
+        # One fused pass: PROBE fates, RANK reply fates, rank comparison.
+        found = kernel.probe_exchange(
+            metrics, oracle, targets,
+            senders=active, ranks=ranks, round_index=rounds - 1, alive=alive_arg,
         )
-        # Every delivered probe provokes a rank reply back to the prober.
-        probers = senders[probe_ok]
-        responders = targets[probe_ok]
-        reply_ok = kernel.deliver(
-            metrics, oracle, MessageKind.RANK, probers,
-            senders=responders, round_index=rounds - 1, alive=alive,
-        )
-        found = reply_ok & (ranks[responders] > ranks[probers])
-        finders = probers[found]
+        finders = active[found]
         if finders.size:
-            chosen = responders[found]
+            chosen = np.asarray(targets[found], dtype=np.int64)
             parent[finders] = chosen
             connect_ok = kernel.deliver(
                 metrics, oracle, MessageKind.CONNECT, chosen,
-                senders=finders, round_index=rounds - 1, alive=alive,
+                senders=finders, round_index=rounds - 1, alive=alive_arg,
             )
             connect_delivered[finders] = connect_ok
-            searching[finders] = False
+            active = active[~found]
 
     forest = Forest(parent=parent, rank=ranks, alive=alive)
     forest.validate()

@@ -148,17 +148,22 @@ class Forest:
         """
         # Pointer doubling: after k iterations every pointer has jumped
         # 2^k levels and `depth` holds the number of levels jumped, so
-        # ceil(log2(max depth)) + 1 iterations of O(n) work suffice -- even a
+        # ceil(log2(max depth)) + 1 iterations suffice -- even a
         # chain-shaped forest (max depth n) costs only O(n log n) total.
+        # The walk runs over the compacted index set of still-walking nodes
+        # (typical DRR forests are shallow, so the set collapses after a
+        # few iterations instead of scanning n-sized masks every time).
         depth = (self.parent != NO_PARENT).astype(np.int64)
         ptr = self.parent.copy()
+        idx = np.flatnonzero(ptr != NO_PARENT)
         for _ in range(max(1, int(np.ceil(np.log2(max(2, self.n)))) + 1)):
-            valid = ptr != NO_PARENT
-            if not valid.any():
+            if idx.size == 0:
                 return depth
-            depth[valid] += depth[ptr[valid]]
-            ptr[valid] = ptr[ptr[valid]]
-        if (ptr != NO_PARENT).any():
+            hop = ptr[idx]
+            depth[idx] += depth[hop]
+            ptr[idx] = ptr[hop]
+            idx = idx[ptr[idx] != NO_PARENT]
+        if idx.size:
             raise ForestInvariantError("parent pointers contain a cycle")
         return depth
 

@@ -40,7 +40,7 @@ from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
 from ..simulator.rng import make_rng
-from ..substrate import EngineKernel, VectorizedKernel, run_on
+from ..substrate import EngineKernel, VectorizedKernel, run_on, tuning
 from .gossip_max import RootForwarderNode
 
 __all__ = ["GossipAveResult", "GossipAveRootNode", "default_ave_rounds", "run_gossip_ave"]
@@ -120,7 +120,7 @@ def run_gossip_ave(
     trace_root:
         If given, the estimate of this root is recorded after every round.
     backend:
-        Substrate backend: ``"vectorized"`` (default) or ``"engine"``.
+        Substrate backend: ``"vectorized"`` (default), ``"sharded"``, or ``"engine"``.
     """
     roots = np.asarray(roots, dtype=np.int64)
     local_sums = np.asarray(local_sums, dtype=float)
@@ -185,9 +185,11 @@ def _gossip_ave_vectorized(
     m = roots.size
     position = np.full(n, -1, dtype=np.int64)
     position[roots] = np.arange(m)
+    alive_arg = None if alive.all() else alive
+    estimate_dtype = tuning.get_tuning().estimate_dtype()
 
-    s = local_sums.copy()
-    g = local_weights.copy()
+    s = local_sums.astype(estimate_dtype)
+    g = local_weights.astype(estimate_dtype)
     history: list[float] = []
     trace_pos = int(position[trace_root]) if trace_root is not None else None
 
@@ -205,22 +207,32 @@ def _gossip_ave_vectorized(
         receiver = kernel.relay_to_roots(
             metrics, oracle, targets, senders=roots, round_index=r,
             kind=MessageKind.GOSSIP, position=position, root_of=root_of,
-            alive=alive, payload_words=2,
+            alive=alive_arg, payload_words=2,
         )
         delivered = receiver >= 0
         if delivered.any():
-            np.add.at(s, receiver[delivered], send_s[delivered])
-            np.add.at(g, receiver[delivered], send_g[delivered])
+            landed = receiver[delivered]
+            # bincount is the fused scatter-add (one C pass per round).  It
+            # pre-sums the round's contributions before folding into s/g,
+            # so results differ from per-message folding at the last ulp —
+            # inside the documented 1e-12 fold-order tolerance, like every
+            # other sum-type reordering between the backends.
+            s += np.bincount(landed, weights=send_s[delivered], minlength=m).astype(
+                estimate_dtype, copy=False
+            )
+            g += np.bincount(landed, weights=send_g[delivered], minlength=m).astype(
+                estimate_dtype, copy=False
+            )
 
         if trace_pos is not None:
             history.append(float(s[trace_pos] / g[trace_pos]) if g[trace_pos] > 0 else float("nan"))
 
-    estimates = {
-        int(root): (float(s[i] / g[i]) if g[i] > 0 else float("nan"))
-        for i, root in enumerate(roots)
-    }
-    sums = {int(root): float(s[i]) for i, root in enumerate(roots)}
-    weights = {int(root): float(g[i]) for i, root in enumerate(roots)}
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(g > 0, s / g, np.float64(np.nan))
+    root_ids = roots.tolist()
+    estimates = dict(zip(root_ids, ratio.tolist()))
+    sums = dict(zip(root_ids, np.asarray(s, dtype=np.float64).tolist()))
+    weights = dict(zip(root_ids, np.asarray(g, dtype=np.float64).tolist()))
     return GossipAveResult(
         estimates=estimates,
         sums=sums,

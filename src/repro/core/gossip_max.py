@@ -143,7 +143,7 @@ def run_gossip_max(
     alive:
         Liveness mask over all n nodes; dead targets swallow messages.
     backend:
-        Substrate backend: ``"vectorized"`` (default) or ``"engine"``.
+        Substrate backend: ``"vectorized"`` (default), ``"sharded"``, or ``"engine"``.
     """
     roots = np.asarray(roots, dtype=np.int64)
     root_values = np.asarray(root_values, dtype=float)
@@ -200,6 +200,7 @@ def _gossip_max_vectorized(
     # position of each root id in the `roots` array; -1 for non-roots
     position = np.full(n, -1, dtype=np.int64)
     position[roots] = np.arange(m)
+    alive_arg = None if alive.all() else alive
 
     values = root_values.copy()
     true_max = float(values.max())
@@ -212,7 +213,7 @@ def _gossip_max_vectorized(
         targets = kernel.sample_uniform(rng, n, m)
         receivers = kernel.relay_to_roots(
             metrics, oracle, targets, senders=roots, round_index=r,
-            kind=MessageKind.GOSSIP, position=position, root_of=root_of, alive=alive,
+            kind=MessageKind.GOSSIP, position=position, root_of=root_of, alive=alive_arg,
         )
         valid = receivers >= 0
         if valid.any():
@@ -228,7 +229,7 @@ def _gossip_max_vectorized(
         targets = kernel.sample_uniform(rng, n, m)
         sampled_roots = kernel.relay_to_roots(
             metrics, oracle, targets, senders=roots, round_index=g_rounds + t,
-            kind=MessageKind.INQUIRY, position=position, root_of=root_of, alive=alive,
+            kind=MessageKind.INQUIRY, position=position, root_of=root_of, alive=alive_arg,
         )
         valid = sampled_roots >= 0
         # The sampled root answers the inquiring root directly (one hop).
@@ -236,14 +237,17 @@ def _gossip_max_vectorized(
             metrics, oracle, MessageKind.INQUIRY_REPLY,
             roots[np.flatnonzero(valid)],
             senders=roots[sampled_roots[valid]], round_index=g_rounds + t,
-            alive=alive,
+            alive=alive_arg,
         )
         inquirers = np.flatnonzero(valid)[reply_ok]
         answered_by = sampled_roots[valid][reply_ok]
         if inquirers.size:
             values[inquirers] = np.maximum(values[inquirers], values[answered_by])
 
-    estimates = {int(root): float(values[pos]) for pos, root in enumerate(roots)}
+    # tolist() materialises Python scalars in one C pass (the per-element
+    # int()/float() dictcomp was a visible cost at hundreds of thousands
+    # of roots)
+    estimates = dict(zip(roots.tolist(), values.tolist()))
     return GossipMaxResult(
         estimates=estimates,
         after_gossip_fraction=after_gossip_fraction,

@@ -108,7 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=list(available_backends()),
         default="vectorized",
-        help="execution substrate: columnar batches (vectorized) or message-level simulation (engine)",
+        help="execution substrate: columnar batches (vectorized), multiprocessing "
+        "shards over shared memory (sharded), or message-level simulation (engine)",
+    )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="P",
+        help="worker processes for the sharded backend (default: REPRO_SHARDS or "
+        "min(4, cpu count); ignored by the other backends)",
     )
 
     for spec in load_builtin_experiments():
@@ -193,10 +202,30 @@ def build_parser() -> argparse.ArgumentParser:
     results.add_argument("--failed", action="store_true", help="show failed cells with their tracebacks")
     results.add_argument("--json", type=str, default=None, help="export stored runs to this JSON path")
     results.add_argument("--markdown", type=str, default=None, help="write a markdown report from the store")
+    results.add_argument(
+        "--bench",
+        action="store_true",
+        help="print the persisted benchmark trajectory (BENCH_substrate.json) instead of the store summary",
+    )
+    results.add_argument(
+        "--bench-file",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="trajectory file for --bench (default: BENCH_substrate.json in the current directory)",
+    )
     return parser
 
 
 def _run_single(args: argparse.Namespace) -> int:
+    if args.shards is not None:
+        from ..substrate import sharded
+
+        try:
+            sharded.configure(shards=args.shards)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.spec is not None:
         try:
             specs = load_specs(args.spec)
@@ -427,6 +456,23 @@ def _run_plot(args: argparse.Namespace) -> int:
 
 
 def _run_results(args: argparse.Namespace) -> int:
+    if args.bench:
+        from .benchlog import DEFAULT_BENCH_FILE, format_bench_table, load_bench_rows
+
+        bench_path = Path(args.bench_file) if args.bench_file else Path(DEFAULT_BENCH_FILE)
+        try:
+            rows = load_bench_rows(bench_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not rows:
+            print(
+                f"no benchmark rows at {bench_path} "
+                "(run `python benchmarks/bench_substrate.py` to record some)",
+            )
+            return 0
+        print(format_bench_table(rows))
+        return 0
     if not Path(args.store).exists():
         print(f"no result store at {args.store} (run `drr-gossip sweep` first)", file=sys.stderr)
         return 1

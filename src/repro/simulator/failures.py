@@ -246,8 +246,12 @@ class LossOracle:
         return self.loss_probability == 0.0
 
     def _mix(self, round_index, kind_value, senders, recipients, nonces):
+        if isinstance(kind_value, np.ndarray):
+            kind_value = kind_value.astype(np.uint64, copy=False)
+        else:
+            kind_value = np.uint64(kind_value)
         with np.errstate(over="ignore"):
-            x = _splitmix64(np.uint64(self.key) ^ np.uint64(kind_value))
+            x = _splitmix64(np.uint64(self.key) ^ kind_value)
             x = _splitmix64(x ^ _as_u64(round_index))
             x = _splitmix64(x ^ _as_u64(senders))
             x = _splitmix64(x ^ _as_u64(recipients))
@@ -288,4 +292,26 @@ class LossOracle:
         if count == 0 or self.loss_probability == 0.0:
             return np.zeros(count, dtype=bool)
         x = self._mix(round_index, kind_salt(kind), senders, recipients, nonces)
+        return np.broadcast_to((x >> np.uint64(11)) < self._threshold, recipients.shape)
+
+    def sample_salted(
+        self,
+        round_index: np.ndarray,
+        kind_salts: np.ndarray,
+        senders: np.ndarray,
+        recipients: np.ndarray,
+        nonces: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Like :meth:`sample`, but for a batch of *mixed* message kinds.
+
+        ``kind_salts`` is a uint64 array of per-message :func:`kind_salt`
+        values; everything else is as in :meth:`sample`.  This is the
+        engine's chunked path: one vectorised hash per delivery batch
+        instead of one Python-level :meth:`lost` call per message.
+        """
+        recipients = np.asarray(recipients)
+        count = int(recipients.size)
+        if count == 0 or self.loss_probability == 0.0:
+            return np.zeros(count, dtype=bool)
+        x = self._mix(round_index, np.asarray(kind_salts, dtype=np.uint64), senders, recipients, nonces)
         return np.broadcast_to((x >> np.uint64(11)) < self._threshold, recipients.shape)

@@ -51,6 +51,8 @@ class MessageKind(str, enum.Enum):
     PULL = "pull"
     #: Overlay routing: one hop of a Chord identifier lookup.
     LOOKUP = "lookup"
+    #: Overlay routing: the owner's reply to a completed Chord lookup.
+    LOOKUP_REPLY = "lookup-reply"
     #: Baselines / misc: generic application payload.
     DATA = "data"
 

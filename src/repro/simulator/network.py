@@ -161,29 +161,53 @@ class Network:
         that keeps the engine exactly equivalent to the columnar backend on
         lossy networks.  ``rng`` is accepted for signature compatibility but
         no longer consumed here.
+
+        Fates for the whole batch are hashed in one vectorised
+        :meth:`LossOracle.sample_salted` call (one chunk per delivery batch
+        rather than one Python-level hash per message); accounting is
+        charged per ``(kind, payload_words)`` group with identical totals.
         """
         del rng  # loss fates are identity-keyed, not stream-drawn
+        count = len(messages)
+        if count == 0:
+            return []
         oracle = self.loss_oracle
-        delivered: list[Message] = []
-        for message in messages:
-            self._check_id(message.recipient)
-            self._check_id(message.sender)
-            lost = oracle.lost(
-                self.loss_base_round + message.round_sent,
-                message.kind,
-                message.sender,
-                message.recipient,
-                message.nonce,
+        senders = np.fromiter((m.sender for m in messages), dtype=np.int64, count=count)
+        recipients = np.fromiter((m.recipient for m in messages), dtype=np.int64, count=count)
+        for ids in (senders, recipients):
+            if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= self.n):
+                bad = ids[(ids < 0) | (ids >= self.n)][0]
+                raise UnknownNodeError(int(bad))
+        if oracle.reliable:
+            lost = np.zeros(count, dtype=bool)
+        else:
+            from .failures import kind_salt
+
+            rounds = np.fromiter(
+                (self.loss_base_round + m.round_sent for m in messages),
+                dtype=np.int64,
+                count=count,
             )
-            dead_recipient = not self.alive[message.recipient]
-            metrics.record_message(
-                message.kind,
-                payload_words=message.payload_words,
-                lost=lost or dead_recipient,
+            salts = np.fromiter(
+                (kind_salt(m.kind) for m in messages), dtype=np.uint64, count=count
             )
-            if not lost and not dead_recipient:
-                delivered.append(message)
-        return delivered
+            nonces = np.fromiter((m.nonce for m in messages), dtype=np.int64, count=count)
+            lost = oracle.sample_salted(rounds, salts, senders, recipients, nonces)
+        undeliverable = lost | ~self.alive[recipients]
+        # Charge per (kind, payload_words) group -- same totals, same
+        # per-kind counters as the old per-message loop.
+        groups: dict[tuple[str, int], list[int]] = {}
+        for index, message in enumerate(messages):
+            key = (message.kind, message.payload_words)
+            counters = groups.get(key)
+            if counters is None:
+                counters = groups[key] = [0, 0]
+            counters[0] += 1
+            if undeliverable[index]:
+                counters[1] += 1
+        for (kind, payload_words), (attempts, dropped) in groups.items():
+            metrics.record_messages(kind, attempts, payload_words=payload_words, lost=dropped)
+        return [m for m, dead in zip(messages, undeliverable) if not dead]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         topo = "complete" if self.is_complete_graph else "sparse"

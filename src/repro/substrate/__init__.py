@@ -1,9 +1,14 @@
 """Backend-selectable execution substrate.
 
-One simulation kernel, two interchangeable backends:
+One simulation kernel, three interchangeable backends:
 
 * ``vectorized`` — columnar NumPy execution; an entire round's calls and
   replies are batched as arrays.  Scales to millions of nodes.
+* ``sharded`` — the columnar kernel fanned out over a pool of worker
+  processes on ``multiprocessing.shared_memory`` arrays (one barrier per
+  round).  Targets ``n >= 10^7``; configure the shard count via
+  :func:`repro.substrate.sharded.configure`, ``REPRO_SHARDS``, or
+  ``RunSpec.backend_options``.
 * ``engine`` — per-node message-level execution on the
   :class:`~repro.simulator.engine.SynchronousEngine`.  The fidelity
   reference.
@@ -17,10 +22,17 @@ and batched Chord lookups — go through the topology kernel
 :mod:`repro.substrate.kernel` for the contract between the backends and
 ``tests/test_substrate.py`` for the equivalence guarantees, which hold on
 reliable *and* lossy networks (loss fates are identity-keyed through
-:class:`~repro.simulator.failures.LossOracle`, never draw-order-dependent).
+:class:`~repro.simulator.failures.LossOracle`, never draw-order-dependent,
+and never shard-boundary-dependent).
 """
 
-from .delivery import deliver_batch, occurrence_index, relay_to_roots, sample_uniform
+from .delivery import (
+    deliver_batch,
+    occurrence_index,
+    probe_exchange,
+    relay_to_roots,
+    sample_uniform,
+)
 from .topology_kernel import (
     ChordLookupBatch,
     ChordLookupNode,
@@ -38,6 +50,8 @@ from .kernel import (
     normalize_backend,
     run_on,
 )
+from .sharded import ShardedKernel, shutdown_pools
+from . import tuning
 
 __all__ = [
     "BACKENDS",
@@ -46,15 +60,19 @@ __all__ = [
     "DEFAULT_BACKEND",
     "EngineKernel",
     "Kernel",
+    "ShardedKernel",
     "VectorizedKernel",
     "available_backends",
     "deliver_batch",
     "get_kernel",
     "neighbor_broadcast",
     "occurrence_index",
+    "probe_exchange",
     "normalize_backend",
     "relay_to_roots",
     "run_chord_lookups",
     "run_on",
     "sample_uniform",
+    "shutdown_pools",
+    "tuning",
 ]

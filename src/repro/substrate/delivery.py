@@ -1,6 +1,6 @@
 """Columnar delivery primitives shared by every vectorized protocol.
 
-These three functions are the vectorized counterpart of
+These functions are the vectorized counterpart of
 :meth:`repro.simulator.network.Network.deliver` and
 :meth:`repro.simulator.node.RoundContext.random_node`:
 
@@ -9,6 +9,10 @@ These three functions are the vectorized counterpart of
   lost-message accounting that the message-level engine applies, so both
   backends report identical ``messages`` *and* ``messages_lost`` on the
   same seeds.
+* :func:`probe_exchange` is the fused PROBE -> RANK exchange of one DRR
+  probing round (two deliveries plus the rank comparison in one pass, so
+  a backend can execute the whole round without materialising the
+  intermediate compactions — the "mask then scatter" fusion).
 * :func:`relay_to_roots` is the two-hop "push to a uniform node, the node
   forwards to its root" relay that Gossip-max, Gossip-ave, and Data-spread
   all use (it used to be hand-rolled separately in each of them).
@@ -29,6 +33,15 @@ Target sampling still comes from the shared RNG stream: one
 ``rng.integers(..., size=k)`` batch produces the same variates as ``k``
 sequential scalar draws, so a columnar round consumes the stream exactly like
 ``k`` engine nodes acting in id order.
+
+Fast paths
+----------
+``alive=None`` declares "nobody crashed" (protocols pass it instead of an
+all-True mask so the per-message liveness gather disappears), and a
+reliable oracle short-circuits every hashing and masking step: on a
+reliable, crash-free network a delivery charges its counters and returns
+without touching per-message memory at all.  The fast paths change *no*
+accounting and consume *no* RNG — they skip work whose outcome is known.
 """
 
 from __future__ import annotations
@@ -38,8 +51,15 @@ import numpy as np
 from ..simulator.failures import LossOracle
 from ..simulator.message import MessageKind
 from ..simulator.metrics import MetricsCollector
+from .tuning import get_tuning
 
-__all__ = ["deliver_batch", "occurrence_index", "relay_to_roots", "sample_uniform"]
+__all__ = [
+    "deliver_batch",
+    "occurrence_index",
+    "probe_exchange",
+    "relay_to_roots",
+    "sample_uniform",
+]
 
 
 def sample_uniform(
@@ -54,18 +74,25 @@ def sample_uniform(
     the same rejection-free shift as
     :meth:`~repro.simulator.node.RoundContext.random_node`: draw from
     ``[0, n-1)`` and shift values at or above the excluded id up by one.
+
+    Ids are always *drawn* at full width (so the shared RNG stream is
+    identical whatever the storage dtype) and only stored narrow when
+    :mod:`repro.substrate.tuning` narrowing is enabled.
     """
+    dtype = get_tuning().id_dtype(n)
     if size == 0:
-        return np.zeros(0, dtype=np.int64)
+        return np.zeros(0, dtype=dtype)
     if exclude is None:
-        return rng.integers(0, n, size=size)
+        targets = rng.integers(0, n, size=size)
+        return targets.astype(dtype, copy=False)
     if n <= 1:
         # A single node has nobody else to call; mirror the legacy behaviour
         # of targeting node 0 (the call finds no higher rank and fizzles).
-        return np.zeros(size, dtype=np.int64)
+        return np.zeros(size, dtype=dtype)
     targets = rng.integers(0, n - 1, size=size)
-    exclude = np.asarray(exclude, dtype=np.int64)
-    return np.where(targets >= exclude, targets + 1, targets)
+    exclude = np.asarray(exclude)
+    np.add(targets, 1, out=targets, where=targets >= exclude)
+    return targets.astype(dtype, copy=False)
 
 
 def occurrence_index(keys: np.ndarray) -> np.ndarray:
@@ -109,19 +136,76 @@ def deliver_batch(
 
     ``senders`` and ``round_index`` identify the transmissions for the loss
     oracle; either may be a scalar shared by the whole batch or an array
-    aligned with ``targets``.
+    aligned with ``targets``.  ``alive=None`` means every node is alive.
     """
-    targets = np.asarray(targets, dtype=np.int64)
+    targets = np.asarray(targets)
     count = int(targets.size)
     if count == 0:
         return np.zeros(0, dtype=bool)
-    delivered = ~oracle.sample(round_index, kind, senders, targets, nonces)
-    if alive is not None:
-        delivered &= alive[targets]
+    if oracle.reliable:
+        # Reliable link: fate is decided by recipient liveness alone.
+        if alive is None:
+            metrics.record_messages(kind, count, payload_words=payload_words, lost=0)
+            return np.ones(count, dtype=bool)
+        delivered = alive[targets]
+    else:
+        delivered = ~oracle.sample(round_index, kind, senders, targets, nonces)
+        if alive is not None:
+            delivered &= alive[targets]
     metrics.record_messages(
         kind, count, payload_words=payload_words, lost=count - int(delivered.sum())
     )
     return delivered
+
+
+def probe_exchange(
+    metrics: MetricsCollector,
+    oracle: LossOracle,
+    targets: np.ndarray,
+    *,
+    senders: np.ndarray,
+    ranks: np.ndarray,
+    round_index: int,
+    alive: np.ndarray | None = None,
+) -> np.ndarray:
+    """One fused DRR probing exchange; returns the *found* mask over senders.
+
+    Semantics are exactly the unfused sequence the vectorized DRR loop used
+    to spell out: every sender probes its target (PROBE), every delivered
+    probe provokes a rank reply (RANK), and a sender *finds* its parent when
+    the reply arrives and carries a strictly higher rank.  Charging order —
+    the full PROBE batch, then the RANK batch of the arrived probes — is
+    preserved, so message accounting is identical to the engine's.
+
+    The fusion exists for the backends' benefit: the whole round is one
+    mask-then-compare pass over the batch (no ``senders[mask]``
+    compactions between the two deliveries), and a sharded kernel can run
+    it slice-local because every per-message fate and the rank comparison
+    depend only on that message's own identity.
+    """
+    targets = np.asarray(targets)
+    count = int(targets.size)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    if oracle.reliable and alive is None:
+        # Everything arrives: k probes, k replies, zero losses.
+        metrics.record_messages(MessageKind.PROBE, count, payload_words=1, lost=0)
+        metrics.record_messages(MessageKind.RANK, count, payload_words=1, lost=0)
+        return ranks[targets] > ranks[senders]
+    probe_ok = deliver_batch(
+        metrics, oracle, MessageKind.PROBE, targets,
+        senders=senders, round_index=round_index, alive=alive,
+    )
+    probers = senders[probe_ok]
+    responders = targets[probe_ok]
+    reply_ok = deliver_batch(
+        metrics, oracle, MessageKind.RANK, probers,
+        senders=responders, round_index=round_index, alive=alive,
+    )
+    found_sub = reply_ok & (ranks[responders] > ranks[probers])
+    found = np.zeros(count, dtype=bool)
+    found[np.flatnonzero(probe_ok)[found_sub]] = True
+    return found
 
 
 def relay_to_roots(
@@ -134,7 +218,7 @@ def relay_to_roots(
     kind: str | MessageKind,
     position: np.ndarray,
     root_of: np.ndarray,
-    alive: np.ndarray,
+    alive: np.ndarray | None = None,
     payload_words: int = 1,
 ) -> np.ndarray:
     """Resolve uniform push targets to receiving root positions (-1 = dropped).
@@ -151,7 +235,9 @@ def relay_to_roots(
     A forwarder relaying several same-round pushes sends several FORWARD
     messages to the same root; their oracle nonces are the forwarder's send
     ranks in push order, exactly how the engine's forwarder node numbers
-    its sends in arrival order.
+    its sends in arrival order.  (On a reliable network the nonce ranks are
+    never computed — fates are known — which removes the sort that used to
+    dominate the reliable gossip rounds.)
 
     Parameters
     ----------
@@ -164,11 +250,17 @@ def relay_to_roots(
         array, or ``-1`` for non-roots.
     root_of:
         Phase II forwarding table (-1 when the node never learned its root).
+    alive:
+        Liveness mask, or ``None`` when nobody crashed.
     """
-    targets = np.asarray(targets, dtype=np.int64)
+    targets = np.asarray(targets)
+    if oracle.reliable and alive is None:
+        return _relay_reliable(
+            metrics, kind, targets, position, root_of, payload_words
+        )
     receiver = np.full(targets.shape, -1, dtype=np.int64)
     first_lost = oracle.sample(round_index, kind, senders, targets)
-    first_hop_ok = ~first_lost & alive[targets]
+    first_hop_ok = ~first_lost if alive is None else ~first_lost & alive[targets]
     metrics.record_messages(
         kind,
         int(targets.size),
@@ -188,14 +280,17 @@ def relay_to_roots(
     if send_idx.size:
         hop_from = targets[send_idx]
         hop_to = root_of[hop_from]
-        second_lost = oracle.sample(
-            round_index,
-            MessageKind.FORWARD,
-            hop_from,
-            hop_to,
-            nonces=occurrence_index(hop_from),
-        )
-        arrived = ~second_lost & alive[hop_to]
+        if oracle.reliable:
+            arrived = alive[hop_to] if alive is not None else np.ones(send_idx.size, dtype=bool)
+        else:
+            second_lost = oracle.sample(
+                round_index,
+                MessageKind.FORWARD,
+                hop_from,
+                hop_to,
+                nonces=occurrence_index(hop_from),
+            )
+            arrived = ~second_lost if alive is None else ~second_lost & alive[hop_to]
         metrics.record_messages(
             MessageKind.FORWARD,
             int(send_idx.size),
@@ -203,4 +298,36 @@ def relay_to_roots(
             lost=int(send_idx.size) - int(arrived.sum()),
         )
         receiver[send_idx[arrived]] = position[hop_to[arrived]]
+    return receiver
+
+
+def _relay_reliable(
+    metrics: MetricsCollector,
+    kind: str | MessageKind,
+    targets: np.ndarray,
+    position: np.ndarray,
+    root_of: np.ndarray,
+    payload_words: int,
+) -> np.ndarray:
+    """The reliable, crash-free relay: pure table lookups, zero hashing.
+
+    Every first hop arrives; a push landing on a non-root is forwarded iff
+    the node knows its root, and every forward arrives.  Message accounting
+    is exactly the general path's with all fates "delivered".
+    """
+    receiver = position[targets].astype(np.int64, copy=False)
+    metrics.record_messages(kind, int(targets.size), payload_words=payload_words, lost=0)
+    nonroot = np.flatnonzero(receiver < 0)
+    if nonroot.size:
+        hop_root = root_of[targets[nonroot]]
+        knows = hop_root >= 0
+        send_idx = nonroot[knows]
+        if send_idx.size:
+            metrics.record_messages(
+                MessageKind.FORWARD,
+                int(send_idx.size),
+                payload_words=payload_words,
+                lost=0,
+            )
+            receiver[send_idx] = position[hop_root[knows]]
     return receiver

@@ -1,16 +1,23 @@
-"""The two execution kernels behind every protocol in the repository.
+"""The execution kernels behind every protocol in the repository.
 
 A *kernel* is an execution strategy for the random phone-call model.  Every
 protocol (the DRR-gossip phases under :mod:`repro.core` and the baselines
 under :mod:`repro.baselines`) is exposed through a single public function
 with a ``backend`` parameter; the function body dispatches through
-:func:`run_on` to one of two kernels:
+:func:`run_on` to one of the registered kernels:
 
 ``vectorized`` (:class:`VectorizedKernel`)
     The columnar kernel.  An entire round's calls and replies are NumPy
     arrays: one batch of targets, one batch of loss samples, one batched
-    metrics charge.  This is the production hot path and scales to ``n``
-    in the millions.
+    metrics charge.  This is the single-process hot path and scales to
+    ``n`` in the millions.
+
+``sharded`` (:class:`~repro.substrate.sharded.ShardedKernel`)
+    The columnar kernel fanned out over a pool of worker processes on
+    ``multiprocessing.shared_memory`` arrays (one barrier per round, only
+    message index arrays move between processes).  Targets ``n >= 10^7``;
+    a subclass of the vectorized kernel, so protocols pick it up through
+    the same dispatch with zero call-site changes.
 
 ``engine`` (:class:`EngineKernel`)
     The message-level kernel.  Protocols run as per-node
@@ -19,16 +26,16 @@ with a ``backend`` parameter; the function body dispatches through
     is an individual :class:`~repro.simulator.message.Message`.  This is
     the fidelity reference the paper semantics are validated against.
 
-The two kernels are engineered to be *equivalent*, not merely similar: they
+The kernels are engineered to be *equivalent*, not merely similar: they
 consume the shared RNG stream in the same order (a NumPy generator produces
 identical variates for one ``size=k`` batch draw and ``k`` sequential scalar
-draws), decide per-message loss through the identity-keyed
-:class:`~repro.simulator.failures.LossOracle` (so fates are independent of
-batching order), and charge messages through the same accounting
-conventions.  They therefore produce identical round counts, message counts
-(total, per kind, per phase, lost), and estimates for the same seed — on
-reliable *and* lossy networks.  ``tests/test_substrate.py`` asserts this for
-every protocol.
+draws, and the sharded kernel draws in the parent), decide per-message loss
+through the identity-keyed :class:`~repro.simulator.failures.LossOracle`
+(so fates are independent of batching order *and* of shard boundaries), and
+charge messages through the same accounting conventions.  They therefore
+produce identical round counts, message counts (total, per kind, per phase,
+lost), and estimates for the same seed — on reliable *and* lossy networks.
+``tests/test_substrate.py`` asserts this for every protocol.
 """
 
 from __future__ import annotations
@@ -43,7 +50,13 @@ from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.metrics import MetricsCollector
 from ..simulator.network import Network
 from ..simulator.node import ProtocolNode
-from .delivery import deliver_batch, occurrence_index, relay_to_roots, sample_uniform
+from .delivery import (
+    deliver_batch,
+    occurrence_index,
+    probe_exchange,
+    relay_to_roots,
+    sample_uniform,
+)
 
 __all__ = [
     "Kernel",
@@ -83,6 +96,8 @@ class VectorizedKernel(Kernel):
 
     #: one shared code path for loss sampling + message charging
     deliver = staticmethod(deliver_batch)
+    #: the fused PROBE -> RANK exchange of one DRR probing round
+    probe_exchange = staticmethod(probe_exchange)
     #: the two-hop push-to-root relay of the Phase III procedures
     relay_to_roots = staticmethod(relay_to_roots)
     #: uniform target sampling, draw-order compatible with RoundContext.random_node

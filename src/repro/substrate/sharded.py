@@ -1,0 +1,742 @@
+"""The ``sharded`` kernel: columnar rounds fanned out over worker processes.
+
+This is the third execution substrate (ROADMAP: "a multiprocessing-sharded
+columnar kernel for n >= 10^7").  It subclasses :class:`VectorizedKernel`,
+so every protocol reaches it through the existing ``backend=`` seam with
+zero call-site changes, and it inherits the columnar implementations as a
+correct fallback for everything it does not accelerate.
+
+Architecture
+------------
+* A :class:`ShardPool` owns ``P`` worker processes and a set of
+  ``multiprocessing.shared_memory`` segments.  Per-node *state* arrays that
+  a round reads (liveness, ranks, the Phase II forwarding tables) are
+  **mirrored** into shared memory once per run and partitioned into ``P``
+  contiguous shards; per-round *message* arrays (targets, senders, nonces)
+  are staged into a reusable scratch arena.  Only those index/payload
+  arrays ever move — node state is never pickled.
+* Each round's batch is split into ``P`` contiguous slices; every worker
+  runs its local slice columnar-style (the same NumPy passes the
+  vectorized kernel runs) and the parent joins them with **one barrier per
+  round** before charging metrics.
+* Work below ``min_batch`` (and every step whose cross-slice ordering the
+  identity-keyed oracle does not erase, e.g. the forwarding nonces of a
+  *lossy* Phase III relay) runs inline on the inherited vectorized path.
+
+Equivalence
+-----------
+The sharded kernel computes the *same pure functions* over the same
+arrays: target sampling stays on the shared RNG stream in the parent (so
+the stream is consumed identically), per-message fates come from the
+identity-keyed :class:`~repro.simulator.failures.LossOracle` (slice-local
+by construction), and metrics are charged once, in the parent, from the
+summed slice counts.  ``tests/test_substrate.py`` asserts three-way
+equivalence (engine / vectorized / sharded) for every protocol under
+reliable, lossy, and lossy+crash failure models.
+
+Configuration
+-------------
+Shard count resolves, in order: an explicit :meth:`ShardedKernel.options`
+context (what ``RunSpec.backend_options = {"shards": 4}`` applies),
+:func:`configure`, the ``REPRO_SHARDS`` environment variable, then
+``min(4, cpu_count)``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import os
+import traceback
+import weakref
+from multiprocessing import get_context
+from multiprocessing import shared_memory as _shm
+from multiprocessing import util as _mp_util
+
+import numpy as np
+
+from ..simulator.failures import LossOracle
+from ..simulator.message import MessageKind
+from ..simulator.metrics import MetricsCollector
+from .kernel import BACKENDS, VectorizedKernel
+
+__all__ = ["ShardedKernel", "ShardPool", "configure", "default_shards", "shutdown_pools"]
+
+_SEGMENT_PREFIX = "reprosub"
+
+#: default minimum batch size routed to the pool (smaller batches run
+#: inline: the dispatch barrier costs more than the work below this).
+DEFAULT_MIN_BATCH = 65_536
+
+
+def default_shards() -> int:
+    """Shard count used when neither the spec nor :func:`configure` names one."""
+    env = os.environ.get("REPRO_SHARDS", "").strip()
+    if env:
+        count = int(env)
+        if count < 1:
+            raise ValueError(f"REPRO_SHARDS must be >= 1, got {count}")
+        return count
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _attach(name: str) -> _shm.SharedMemory:
+    """Attach an existing segment in a worker.
+
+    Workers are spawned children, so they share the parent's resource
+    tracker process: the attach-time ``register`` Python <= 3.12 performs
+    is a set no-op there, and the parent's ``unlink`` performs the single
+    matching ``unregister``.  Workers therefore must *not* unregister —
+    doing so would strip the parent's registration and turn the parent's
+    unlink into a tracker error.  Net effect: a clean run leaves zero
+    tracker entries (no "leaked shared_memory" warnings), and if the
+    parent dies without cleanup the tracker still reclaims the segments.
+    """
+    return _shm.SharedMemory(name=name)
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+class _WorkerState:
+    """Per-worker cache of attached segments (arena + mirrors)."""
+
+    def __init__(self) -> None:
+        self.arena: _shm.SharedMemory | None = None
+        self.arena_name: str | None = None
+        self.mirrors: dict[str, _shm.SharedMemory] = {}
+
+    def get_arena(self, name: str) -> _shm.SharedMemory:
+        if self.arena_name != name:
+            if self.arena is not None:
+                self.arena.close()
+            self.arena = _attach(name)
+            self.arena_name = name
+        return self.arena
+
+    def column(self, name: str, spec: tuple[int, str, int]) -> np.ndarray:
+        offset, dtype, count = spec
+        arena = self.get_arena(name)
+        return np.frombuffer(arena.buf, dtype=np.dtype(dtype), count=count, offset=offset)
+
+    def mirror(self, spec: tuple[str, str, int]) -> np.ndarray:
+        name, dtype, count = spec
+        segment = self.mirrors.get(name)
+        if segment is None:
+            segment = _attach(name)
+            self.mirrors[name] = segment
+        return np.frombuffer(segment.buf, dtype=np.dtype(dtype), count=count)
+
+    def drop_mirrors(self, names: list[str]) -> None:
+        for name in names:
+            segment = self.mirrors.pop(name, None)
+            if segment is not None:
+                segment.close()
+
+    def close(self) -> None:
+        if self.arena is not None:
+            self.arena.close()
+            self.arena = None
+        for segment in self.mirrors.values():
+            segment.close()
+        self.mirrors.clear()
+
+
+def _op_fates(task, state: _WorkerState, lo: int, hi: int):
+    """Generic delivery fates for one slice: oracle hash + liveness gather."""
+    targets = state.column(task["arena"], task["targets"])[lo:hi]
+    oracle = LossOracle(task["loss_probability"], task["key"])
+    senders = task["senders"]
+    if not np.isscalar(senders):
+        senders = state.column(task["arena"], senders)[lo:hi]
+    rounds = task["round_index"]
+    if not np.isscalar(rounds):
+        rounds = state.column(task["arena"], rounds)[lo:hi]
+    nonces = task.get("nonces")
+    if nonces is not None:
+        nonces = state.column(task["arena"], nonces)[lo:hi]
+    if oracle.reliable:
+        delivered = np.ones(hi - lo, dtype=bool)
+    else:
+        delivered = ~oracle.sample(rounds, task["kind"], senders, targets, nonces)
+    if task.get("alive") is not None:
+        delivered &= state.mirror(task["alive"])[targets]
+    state.column(task["arena"], task["out"])[lo:hi] = delivered
+    return int(delivered.sum())
+
+
+def _op_probe(task, state: _WorkerState, lo: int, hi: int):
+    """One fused DRR probe round for a slice (PROBE fate, RANK fate, compare)."""
+    targets = state.column(task["arena"], task["targets"])[lo:hi]
+    senders = state.column(task["arena"], task["senders"])[lo:hi]
+    ranks = state.mirror(task["ranks"])
+    oracle = LossOracle(task["loss_probability"], task["key"])
+    alive = state.mirror(task["alive"]) if task.get("alive") is not None else None
+    r = task["round_index"]
+    if oracle.reliable:
+        probe_ok = np.ones(hi - lo, dtype=bool) if alive is None else alive[targets]
+    else:
+        probe_ok = ~oracle.sample(r, MessageKind.PROBE, senders, targets)
+        if alive is not None:
+            probe_ok &= alive[targets]
+    probers = senders[probe_ok]
+    responders = targets[probe_ok]
+    if oracle.reliable:
+        reply_ok = (
+            np.ones(probers.size, dtype=bool) if alive is None else alive[probers]
+        )
+    else:
+        reply_ok = ~oracle.sample(r, MessageKind.RANK, responders, probers)
+        if alive is not None:
+            reply_ok &= alive[probers]
+    found_sub = reply_ok & (ranks[responders] > ranks[probers])
+    found = np.zeros(hi - lo, dtype=bool)
+    found[np.flatnonzero(probe_ok)[found_sub]] = True
+    state.column(task["arena"], task["out"])[lo:hi] = found
+    return int(probe_ok.sum()), int(reply_ok.sum())
+
+
+def _op_relay_reliable(task, state: _WorkerState, lo: int, hi: int):
+    """The reliable two-hop relay for a slice (crash-aware, hash-free)."""
+    targets = state.column(task["arena"], task["targets"])[lo:hi]
+    position = state.mirror(task["position"])
+    root_of = state.mirror(task["root_of"])
+    alive = state.mirror(task["alive"]) if task.get("alive") is not None else None
+    receiver = position[targets].astype(np.int64, copy=False)
+    if alive is not None:
+        first_ok = alive[targets]
+        receiver = np.where(first_ok, receiver, np.int64(-2))  # -2: hop died
+    else:
+        first_ok = None
+    nonroot = np.flatnonzero(receiver == -1)
+    forwards = 0
+    forward_arrived = 0
+    if nonroot.size:
+        hop_root = root_of[targets[nonroot]]
+        knows = hop_root >= 0
+        send_idx = nonroot[knows]
+        forwards = int(send_idx.size)
+        if forwards:
+            hop_to = hop_root[knows]
+            if alive is not None:
+                ok = alive[hop_to]
+                receiver[send_idx[ok]] = position[hop_to[ok]]
+                forward_arrived = int(ok.sum())
+            else:
+                receiver[send_idx] = position[hop_to]
+                forward_arrived = forwards
+    receiver[receiver == -2] = -1
+    out = state.column(task["arena"], task["out"])[lo:hi]
+    out[:] = receiver
+    first_count = int(first_ok.sum()) if first_ok is not None else hi - lo
+    return first_count, forwards, forward_arrived
+
+
+_OPS = {
+    "fates": _op_fates,
+    "probe": _op_probe,
+    "relay_reliable": _op_relay_reliable,
+    "ping": lambda task, state, lo, hi: None,
+}
+
+
+def _worker_main(conn, worker_index: int, shards: int) -> None:
+    """Worker loop: receive a task, run its slice, barrier via the reply."""
+    state = _WorkerState()
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            try:
+                state.drop_mirrors(task.get("drop_mirrors", ()))
+                count = task.get("count", 0)
+                lo = count * worker_index // shards
+                hi = count * (worker_index + 1) // shards
+                result = _OPS[task["op"]](task, state, lo, hi)
+                conn.send(("ok", result))
+            except Exception:  # pragma: no cover - surfaced in the parent
+                conn.send(("err", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        pass
+    finally:
+        state.close()
+        conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------------- #
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed (crashed or raised); the pool has been torn down."""
+
+
+class ShardPool:
+    """``P`` worker processes plus the shared-memory segments they compute on."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = int(shards)
+        #: pid that owns the workers and segments; a forked child inherits
+        #: this object but must never drive or tear down the parent's pool
+        self._owner_pid = os.getpid()
+        _ensure_cleanup_hooks()
+        self._ctx = get_context("spawn")
+        self._serial = 0
+        self._arena: _shm.SharedMemory | None = None
+        self._retired: list[_shm.SharedMemory] = []
+        #: id(array) -> (weakref, segment, dtype str, count); guarded by the
+        #: weakref: an id can only be reused after the old array died, and
+        #: its death removes the stale entry first.
+        self._mirrors: dict[int, tuple] = {}
+        self._dead_mirror_names: list[str] = []
+        self._closed = False
+        self._workers = []
+        self._conns = []
+        for index in range(self.shards):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, index, self.shards),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append(proc)
+            self._conns.append(parent_conn)
+
+    # ------------------------------------------------------------------ #
+    # shared-memory management
+    # ------------------------------------------------------------------ #
+    def _new_segment(self, nbytes: int) -> _shm.SharedMemory:
+        self._serial += 1
+        name = f"{_SEGMENT_PREFIX}_{os.getpid()}_{id(self):x}_{self._serial}"
+        return _shm.SharedMemory(create=True, name=name, size=max(16, nbytes))
+
+    def _ensure_arena(self, nbytes: int) -> _shm.SharedMemory:
+        if self._arena is None or self._arena.size < nbytes:
+            if self._arena is not None:
+                self._retired.append(self._arena)
+            size = 1 << max(16, int(nbytes - 1).bit_length())
+            self._arena = self._new_segment(size)
+        return self._arena
+
+    def _release_retired(self) -> None:
+        # Safe after a barrier: every worker has re-attached the new arena.
+        for segment in self._retired:
+            segment.close()
+            segment.unlink()
+        self._retired.clear()
+
+    def mirror(self, array: np.ndarray) -> tuple[str, str, int]:
+        """Mirror a read-only per-node state array into shared memory.
+
+        The copy happens once per array object; rounds reuse the mirror.
+        Arrays passed here must not be mutated for the duration of the run
+        (true of every liveness mask / rank vector / forwarding table the
+        protocols build — they are fixed in the shared preamble).
+
+        The cache key and lifetime guard are the *caller's* array object —
+        never the contiguous staging copy, whose only reference would die
+        on return and unlink the segment before the workers attach.
+        """
+        key = id(array)
+        cached = self._mirrors.get(key)
+        if cached is not None and cached[0]() is not None:
+            _, segment, dtype, count = cached
+            return segment.name, dtype, count
+        contiguous = np.ascontiguousarray(array)
+        segment = self._new_segment(contiguous.nbytes)
+        view = np.frombuffer(segment.buf, dtype=contiguous.dtype, count=contiguous.size)
+        view[:] = contiguous.ravel()
+        del view
+
+        def _on_death(_ref, pool=weakref.ref(self), name=segment.name, k=key):
+            live = pool()
+            if live is not None:
+                live._forget_mirror(k, name)
+
+        ref = weakref.ref(array, _on_death)
+        self._mirrors[key] = (ref, segment, contiguous.dtype.str, int(contiguous.size))
+        return segment.name, contiguous.dtype.str, int(contiguous.size)
+
+    def _forget_mirror(self, key: int, name: str) -> None:
+        if os.getpid() != self._owner_pid:
+            # A forked child GC'ing its copy of a mirrored array must not
+            # unlink the parent's live segment.
+            return
+        entry = self._mirrors.pop(key, None)
+        if entry is not None and not self._closed:
+            entry[1].close()
+            entry[1].unlink()
+            self._dead_mirror_names.append(name)
+
+    # ------------------------------------------------------------------ #
+    # task execution
+    # ------------------------------------------------------------------ #
+    def stage(self, layout: dict[str, np.ndarray]) -> tuple[str, dict[str, tuple]]:
+        """Copy per-round columns into the arena; returns (name, col specs)."""
+        offset = 0
+        offsets: dict[str, int] = {}
+        for name, array in layout.items():
+            offset = (offset + 63) & ~63
+            offsets[name] = offset
+            offset += int(array.nbytes)
+        arena = self._ensure_arena(offset)
+        specs: dict[str, tuple[int, str, int]] = {}
+        for name, array in layout.items():
+            off = offsets[name]
+            specs[name] = (off, array.dtype.str, int(array.size))
+            view = np.frombuffer(arena.buf, dtype=array.dtype, count=array.size, offset=off)
+            view[:] = array
+            del view
+        return arena.name, specs
+
+    def out_column(self, arena_name: str, spec: tuple[int, str, int]) -> np.ndarray:
+        offset, dtype, count = spec
+        assert self._arena is not None and self._arena.name == arena_name
+        return np.frombuffer(self._arena.buf, dtype=np.dtype(dtype), count=count, offset=offset)
+
+    def run(self, task: dict) -> list:
+        """Broadcast one task, wait for the per-round barrier, join results."""
+        if self._closed:
+            raise ShardWorkerError("shard pool is closed")
+        if self._dead_mirror_names:
+            task = {**task, "drop_mirrors": tuple(self._dead_mirror_names)}
+            self._dead_mirror_names.clear()
+        try:
+            for conn in self._conns:
+                conn.send(task)
+            replies = [conn.recv() for conn in self._conns]
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            self.close()
+            raise ShardWorkerError(
+                "a shard worker died mid-round; the pool was torn down "
+                "(its shared-memory segments have been released)"
+            ) from exc
+        self._release_retired()
+        failures = [detail for status, detail in replies if status != "ok"]
+        if failures:
+            self.close()
+            raise ShardWorkerError(f"shard worker failed:\n{failures[0]}")
+        return [detail for _, detail in replies]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Terminate workers and release every shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if os.getpid() != self._owner_pid:
+            # Inherited across a fork: the parent still owns the workers,
+            # pipes, and segments.  Drop our references without touching
+            # the shared file descriptors or unlinking anything.
+            self._mirrors.clear()
+            self._retired.clear()
+            self._arena = None
+            self._conns = []
+            self._workers = []
+            return
+        for conn in self._conns:
+            with contextlib.suppress(Exception):
+                conn.send(None)
+        for proc in self._workers:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            with contextlib.suppress(Exception):
+                conn.close()
+        segments = list(self._retired)
+        if self._arena is not None:
+            segments.append(self._arena)
+        segments.extend(entry[1] for entry in self._mirrors.values())
+        self._mirrors.clear()
+        self._retired.clear()
+        self._arena = None
+        for segment in segments:
+            with contextlib.suppress(Exception):
+                segment.close()
+            with contextlib.suppress(Exception):
+                segment.unlink()
+
+    def alive(self) -> bool:
+        if self._closed or os.getpid() != self._owner_pid:
+            return False
+        return all(proc.is_alive() for proc in self._workers)
+
+    def __del__(self):  # pragma: no cover - interpreter teardown ordering
+        with contextlib.suppress(Exception):
+            self.close()
+
+
+# --------------------------------------------------------------------------- #
+# the kernel
+# --------------------------------------------------------------------------- #
+_pools: dict[int, ShardPool] = {}
+
+
+def _get_pool(shards: int) -> ShardPool:
+    pool = _pools.get(shards)
+    if pool is None or not pool.alive():
+        # alive() is False for pools inherited across a fork, so a forked
+        # sweep worker transparently builds its own pool instead of writing
+        # into its parent's pipes.
+        pool = ShardPool(shards)
+        _pools[shards] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every worker pool and release all shared memory (idempotent).
+
+    Pools inherited across a fork are dropped without touching the
+    parent's resources (see :meth:`ShardPool.close`).
+    """
+    for pool in list(_pools.values()):
+        pool.close()
+    _pools.clear()
+
+
+_cleanup_hooks_pid: int | None = None
+
+
+def _ensure_cleanup_hooks() -> None:
+    """Register exit-time cleanup in *this* process (once per pid).
+
+    Plain interpreters run ``atexit`` hooks, but multiprocessing children
+    (e.g. a forked SweepRunner worker) leave via ``util._exit_function`` +
+    ``os._exit`` and only run multiprocessing Finalizers — and a forked
+    child's ``Process._bootstrap`` clears the finalizer registry it
+    inherited, so registration must happen lazily in the process that
+    actually creates a pool, not at import time.  With both hooks in
+    place, any process that ran sharded work unlinks its segments on a
+    clean exit (zero resource_tracker "leaked shared_memory" noise).
+    """
+    global _cleanup_hooks_pid
+    if _cleanup_hooks_pid == os.getpid():
+        return
+    _cleanup_hooks_pid = os.getpid()
+    atexit.register(shutdown_pools)
+    _mp_util.Finalize(None, shutdown_pools, exitpriority=100)
+
+
+class ShardedKernel(VectorizedKernel):
+    """Columnar execution sharded over a persistent worker-process pool.
+
+    Inherits every :class:`VectorizedKernel` primitive as the inline
+    fallback; large batches of the delivery / probe / reliable-relay
+    primitives run on the pool instead.  Stateless per run — the only
+    state is the process-wide pool cache and the resolved configuration.
+    """
+
+    name = "sharded"
+
+    def __init__(self) -> None:
+        self._shards: int | None = None
+        self._min_batch: int = DEFAULT_MIN_BATCH
+
+    # -- configuration ------------------------------------------------- #
+    @property
+    def shards(self) -> int:
+        return self._shards if self._shards is not None else default_shards()
+
+    @property
+    def min_batch(self) -> int:
+        return self._min_batch
+
+    def configure(self, shards: int | None = None, min_batch: int | None = None) -> None:
+        """Set process-wide defaults (see also :meth:`options`)."""
+        if shards is not None:
+            if int(shards) < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            self._shards = int(shards)
+        if min_batch is not None:
+            if int(min_batch) < 0:
+                raise ValueError(f"min_batch must be >= 0, got {min_batch}")
+            self._min_batch = int(min_batch)
+
+    @contextlib.contextmanager
+    def options(self, shards: int | None = None, min_batch: int | None = None):
+        """Temporarily override the configuration (used by ``RunSpec`` dispatch)."""
+        previous = (self._shards, self._min_batch)
+        try:
+            self.configure(shards=shards, min_batch=min_batch)
+            yield self
+        finally:
+            self._shards, self._min_batch = previous
+
+    def _pool_for(self, count: int) -> ShardPool | None:
+        if count < self._min_batch:
+            return None
+        shards = self.shards
+        if shards <= 1 and self._min_batch > 0:
+            # A single shard on a plain run adds IPC for no parallelism;
+            # min_batch == 0 forces the pool anyway (tests exercise it so).
+            return None
+        return _get_pool(shards)
+
+    # -- primitives ---------------------------------------------------- #
+    def deliver(
+        self,
+        metrics: MetricsCollector,
+        oracle: LossOracle,
+        kind,
+        targets: np.ndarray,
+        *,
+        senders,
+        round_index,
+        alive: np.ndarray | None = None,
+        payload_words: int = 1,
+        nonces: np.ndarray | None = None,
+    ) -> np.ndarray:
+        targets = np.asarray(targets)
+        count = int(targets.size)
+        pool = None if (oracle.reliable and alive is None) else self._pool_for(count)
+        if pool is None:
+            return VectorizedKernel.deliver(
+                metrics, oracle, kind, targets,
+                senders=senders, round_index=round_index, alive=alive,
+                payload_words=payload_words, nonces=nonces,
+            )
+        layout: dict[str, np.ndarray] = {"targets": targets}
+        if isinstance(senders, np.ndarray):
+            layout["senders"] = senders
+        if isinstance(round_index, np.ndarray):
+            layout["rounds"] = round_index
+        if nonces is not None:
+            layout["nonces"] = np.asarray(nonces)
+        layout["__out__"] = np.zeros(count, dtype=bool)
+        arena, specs = pool.stage(layout)
+        task = {
+            "op": "fates",
+            "count": count,
+            "arena": arena,
+            "targets": specs["targets"],
+            "senders": specs["senders"] if "senders" in specs else int(senders),
+            "round_index": specs["rounds"] if "rounds" in specs else int(round_index),
+            "nonces": specs.get("nonces"),
+            "kind": str(getattr(kind, "value", kind)),
+            "loss_probability": oracle.loss_probability,
+            "key": oracle.key,
+            "alive": pool.mirror(alive) if alive is not None else None,
+            "out": specs["__out__"],
+        }
+        delivered_counts = pool.run(task)
+        delivered = np.array(pool.out_column(arena, specs["__out__"]), dtype=bool)
+        metrics.record_messages(
+            kind, count, payload_words=payload_words, lost=count - sum(delivered_counts)
+        )
+        return delivered
+
+    def probe_exchange(
+        self,
+        metrics: MetricsCollector,
+        oracle: LossOracle,
+        targets: np.ndarray,
+        *,
+        senders: np.ndarray,
+        ranks: np.ndarray,
+        round_index: int,
+        alive: np.ndarray | None = None,
+    ) -> np.ndarray:
+        targets = np.asarray(targets)
+        count = int(targets.size)
+        pool = self._pool_for(count)
+        if pool is None:
+            return VectorizedKernel.probe_exchange(
+                metrics, oracle, targets,
+                senders=senders, ranks=ranks, round_index=round_index, alive=alive,
+            )
+        arena, specs = pool.stage(
+            {"targets": targets, "senders": senders, "__out__": np.zeros(count, dtype=bool)}
+        )
+        task = {
+            "op": "probe",
+            "count": count,
+            "arena": arena,
+            "targets": specs["targets"],
+            "senders": specs["senders"],
+            "round_index": int(round_index),
+            "loss_probability": oracle.loss_probability,
+            "key": oracle.key,
+            "ranks": pool.mirror(ranks),
+            "alive": pool.mirror(alive) if alive is not None else None,
+            "out": specs["__out__"],
+        }
+        counts = pool.run(task)
+        probe_ok = sum(c[0] for c in counts)
+        reply_ok = sum(c[1] for c in counts)
+        metrics.record_messages(MessageKind.PROBE, count, payload_words=1, lost=count - probe_ok)
+        metrics.record_messages(MessageKind.RANK, probe_ok, payload_words=1, lost=probe_ok - reply_ok)
+        return np.array(pool.out_column(arena, specs["__out__"]), dtype=bool)
+
+    def relay_to_roots(
+        self,
+        metrics: MetricsCollector,
+        oracle: LossOracle,
+        targets: np.ndarray,
+        *,
+        senders: np.ndarray,
+        round_index: int,
+        kind,
+        position: np.ndarray,
+        root_of: np.ndarray,
+        alive: np.ndarray | None = None,
+        payload_words: int = 1,
+    ) -> np.ndarray:
+        targets = np.asarray(targets)
+        count = int(targets.size)
+        pool = self._pool_for(count) if oracle.reliable else None
+        if pool is None:
+            # Lossy relays need batch-global forwarding nonces
+            # (occurrence ranks), so they run inline — same results, the
+            # oracle keys fates by identity either way.
+            return VectorizedKernel.relay_to_roots(
+                metrics, oracle, targets,
+                senders=senders, round_index=round_index, kind=kind,
+                position=position, root_of=root_of, alive=alive,
+                payload_words=payload_words,
+            )
+        arena, specs = pool.stage(
+            {"targets": targets, "__out__": np.zeros(count, dtype=np.int64)}
+        )
+        task = {
+            "op": "relay_reliable",
+            "count": count,
+            "arena": arena,
+            "targets": specs["targets"],
+            "position": pool.mirror(position),
+            "root_of": pool.mirror(root_of),
+            "alive": pool.mirror(alive) if alive is not None else None,
+            "out": specs["__out__"],
+        }
+        counts = pool.run(task)
+        first_ok = sum(c[0] for c in counts)
+        forwards = sum(c[1] for c in counts)
+        forward_arrived = sum(c[2] for c in counts)
+        metrics.record_messages(kind, count, payload_words=payload_words, lost=count - first_ok)
+        if forwards:
+            metrics.record_messages(
+                MessageKind.FORWARD,
+                forwards,
+                payload_words=payload_words,
+                lost=forwards - forward_arrived,
+            )
+        return np.array(pool.out_column(arena, specs["__out__"]))
+
+
+def configure(shards: int | None = None, min_batch: int | None = None) -> ShardedKernel:
+    """Configure the registered ``sharded`` kernel process-wide."""
+    kernel = BACKENDS[ShardedKernel.name]
+    kernel.configure(shards=shards, min_batch=min_batch)
+    return kernel
+
+
+# Register on import (repro.substrate imports this module).
+BACKENDS.setdefault(ShardedKernel.name, ShardedKernel())

@@ -104,22 +104,34 @@ class ChordLookupBatch:
         Overlay hops attempted per route, including a final lost hop.
     delivered:
         Whether the route reached its owner.
+    replied:
+        Whether the owner's reply reached the source (always False when the
+        batch ran without ``count_reply``; a reply can be lost even when
+        the forward route delivered).
     rounds:
         Rounds the batch took (all in-flight routes advance one hop per
-        round, so this is the max hop count).
+        round, so this is the max hop count, plus the trailing reply round
+        under ``count_reply``).
     metrics:
-        Message accounting (every hop is one LOOKUP message).
+        Message accounting (every hop is one LOOKUP message; every reply
+        one LOOKUP_REPLY message).
+    reply_messages:
+        Number of LOOKUP_REPLY messages sent (one per delivered route when
+        ``count_reply`` was requested, matching the ``hops + 1`` cost model
+        of :meth:`ChordNetwork.lookup`).
     """
 
     owners: np.ndarray
     hops: np.ndarray
     delivered: np.ndarray
+    replied: np.ndarray
     rounds: int
     metrics: MetricsCollector
+    reply_messages: int = 0
 
     @property
     def messages(self) -> int:
-        return int(self.hops.sum())
+        return int(self.hops.sum()) + int(self.reply_messages)
 
     @property
     def completion_fraction(self) -> float:
@@ -136,6 +148,7 @@ def run_chord_lookups(
     metrics: MetricsCollector | None = None,
     phase_name: str = "chord-lookup",
     backend: str = "vectorized",
+    count_reply: bool = False,
 ) -> ChordLookupBatch:
     """Route a batch of identifier lookups, one overlay hop per round.
 
@@ -146,6 +159,14 @@ def run_chord_lookups(
     overlay and what makes the round count of a gossip-over-Chord round
     well defined.  Under a lossy :class:`FailureModel` a lost hop kills its
     route (no retransmissions, matching the paper's model).
+
+    With ``count_reply`` the owner answers the source directly in the round
+    after the final hop (one LOOKUP_REPLY message per delivered route,
+    keyed for the loss oracle by the route id — the batched form of the
+    ``hops + 1`` cost model of :meth:`ChordNetwork.lookup`).  Replies ride
+    the same batched cursor arrays as the forward routes, so requesting
+    them adds one round and one message per delivered route, never a
+    per-route Python loop.
     """
     sources = np.asarray(sources, dtype=np.int64)
     targets = np.asarray(target_identifiers, dtype=np.int64) % chord.ring_size
@@ -163,6 +184,7 @@ def run_chord_lookups(
             owners=np.zeros(0, dtype=np.int64),
             hops=np.zeros(0, dtype=np.int64),
             delivered=np.zeros(0, dtype=bool),
+            replied=np.zeros(0, dtype=bool),
             rounds=0,
             metrics=metrics,
         )
@@ -170,10 +192,10 @@ def run_chord_lookups(
     return run_on(
         backend,
         vectorized=lambda kernel: _chord_lookups_vectorized(
-            kernel, chord, sources, targets, oracle, metrics
+            kernel, chord, sources, targets, oracle, metrics, count_reply
         ),
         engine=lambda kernel: _chord_lookups_engine(
-            kernel, chord, sources, targets, failure_model, oracle, rng, metrics
+            kernel, chord, sources, targets, failure_model, oracle, rng, metrics, count_reply
         ),
     )
 
@@ -225,54 +247,86 @@ def _route_batch(
     targets: np.ndarray,
     oracle: LossOracle,
     metrics: MetricsCollector | None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-    """The one columnar routing loop: ``(owners, hops, delivered, rounds)``.
+    count_reply: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """The one columnar routing loop:
+    ``(owners, hops, delivered, replied, reply_messages, rounds)``.
 
     With ``metrics`` the loop *is* the vectorized backend (every hop charged
     through :func:`deliver_batch`); without it the same loop replays cursors
     and loss fates only — routing decisions and oracle keys are identical,
     which is how the engine backend reconstructs per-route hop counts
     without double-charging the messages its own execution already charged.
+
+    Replies (``count_reply``) ride the same cursor machinery: routes that
+    complete in round ``r`` queue one batched LOOKUP_REPLY send for round
+    ``r + 1`` (owner -> source, nonce = route id), exactly when the engine's
+    owner node answers from its next ``begin_round``.
     """
     count = sources.size
     owners = np.full(count, -1, dtype=np.int64)
     hops = np.zeros(count, dtype=np.int64)
     delivered = np.zeros(count, dtype=bool)
+    replied = np.zeros(count, dtype=bool)
+    reply_messages = 0
     current = sources.copy()
     active = np.ones(count, dtype=bool)
     route_ids = np.arange(count, dtype=np.int64)
+    #: replies queued for the next round: (owners, sources, route ids)
+    pending: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     rounds = 0
-    # Greedy routing terminates in <= m + n hops even in degenerate cases;
-    # the loop guard protects against bugs, not expected behaviour.
-    for _ in range(chord.m + chord.n):
-        if not active.any():
+    # Greedy routing terminates in <= m + n hops even in degenerate cases
+    # (+1 round for the trailing replies); the loop guard protects against
+    # bugs, not expected behaviour.
+    for _ in range(chord.m + chord.n + 1):
+        has_pending = pending is not None and pending[2].size > 0
+        if not active.any() and not has_pending:
             break
-        idx = np.flatnonzero(active)
-        nxt, final = _next_hops(chord, current[idx], targets[idx])
-        hops[idx] += 1
         if metrics is not None:
             metrics.record_round()
-            arrived = deliver_batch(
-                metrics, oracle, MessageKind.LOOKUP, nxt,
-                senders=current[idx], round_index=rounds,
-                nonces=route_ids[idx], payload_words=2,
-            )
-        else:
-            arrived = ~oracle.sample(
-                rounds, MessageKind.LOOKUP, current[idx], nxt, nonces=route_ids[idx]
-            )
+        if has_pending:
+            reply_from, reply_to, reply_ids = pending
+            reply_messages += int(reply_ids.size)
+            if metrics is not None:
+                reply_ok = deliver_batch(
+                    metrics, oracle, MessageKind.LOOKUP_REPLY, reply_to,
+                    senders=reply_from, round_index=rounds,
+                    nonces=reply_ids, payload_words=2,
+                )
+            else:
+                reply_ok = ~oracle.sample(
+                    rounds, MessageKind.LOOKUP_REPLY, reply_from, reply_to, nonces=reply_ids
+                )
+            replied[reply_ids[reply_ok]] = True
+        pending = None
+        idx = np.flatnonzero(active)
+        if idx.size:
+            nxt, final = _next_hops(chord, current[idx], targets[idx])
+            hops[idx] += 1
+            if metrics is not None:
+                arrived = deliver_batch(
+                    metrics, oracle, MessageKind.LOOKUP, nxt,
+                    senders=current[idx], round_index=rounds,
+                    nonces=route_ids[idx], payload_words=2,
+                )
+            else:
+                arrived = ~oracle.sample(
+                    rounds, MessageKind.LOOKUP, current[idx], nxt, nonces=route_ids[idx]
+                )
+            done = arrived & final
+            owners[idx[done]] = nxt[done]
+            delivered[idx[done]] = True
+            if count_reply and done.any():
+                pending = (nxt[done].copy(), sources[idx[done]], route_ids[idx[done]])
+            current[idx] = nxt
+            active[idx] = arrived & ~final
         rounds += 1
-        done = arrived & final
-        owners[idx[done]] = nxt[done]
-        delivered[idx[done]] = True
-        current[idx] = nxt
-        active[idx] = arrived & ~final
     if active.any():
         raise RuntimeError(
             "Chord lookup batch failed to converge; finger tables are inconsistent"
         )
-    return owners, hops, delivered, rounds
+    return owners, hops, delivered, replied, reply_messages, rounds
 
 
 def _chord_lookups_vectorized(
@@ -282,11 +336,15 @@ def _chord_lookups_vectorized(
     targets: np.ndarray,
     oracle: LossOracle,
     metrics: MetricsCollector,
+    count_reply: bool,
 ) -> ChordLookupBatch:
     del kernel  # the shared routing loop charges through deliver_batch
-    owners, hops, delivered, rounds = _route_batch(chord, sources, targets, oracle, metrics)
+    owners, hops, delivered, replied, reply_messages, rounds = _route_batch(
+        chord, sources, targets, oracle, metrics, count_reply
+    )
     return ChordLookupBatch(
-        owners=owners, hops=hops, delivered=delivered, rounds=rounds, metrics=metrics
+        owners=owners, hops=hops, delivered=delivered, replied=replied,
+        rounds=rounds, metrics=metrics, reply_messages=reply_messages,
     )
 
 
@@ -294,7 +352,9 @@ class ChordLookupNode(ProtocolNode):
     """A Chord node in a lookup batch: queues incoming routes, forwards next round.
 
     All nodes share the batch-wide result arrays; the node owning a target
-    records the completion when the final hop reaches it.
+    records the completion when the final hop reaches it (and, when the
+    batch runs with ``count_reply``, answers the route's source directly in
+    its next round).
     """
 
     def __init__(
@@ -303,23 +363,44 @@ class ChordLookupNode(ProtocolNode):
         chord: "ChordNetwork",
         owners: np.ndarray,
         delivered: np.ndarray,
+        replied: np.ndarray,
+        count_reply: bool = False,
     ) -> None:
         super().__init__(node_id)
         self.chord = chord
         self.owners = owners
         self.delivered = delivered
-        #: routes to forward in the next round, as (route_id, target) pairs.
-        #: A node may forward arbitrarily many routes per round, so the batch
-        #: runs with the engine's call budget disabled (enforce_call_budget
-        #: =False in _chord_lookups_engine).
-        self.queued: list[tuple[int, int]] = []
+        self.replied = replied
+        self.count_reply = count_reply
+        #: routes to forward in the next round, as (route_id, target, source)
+        #: triples.  A node may forward arbitrarily many routes per round, so
+        #: the batch runs with the engine's call budget disabled
+        #: (enforce_call_budget=False in _chord_lookups_engine).
+        self.queued: list[tuple[int, int, int]] = []
+        #: completed routes whose reply goes out next round: (route_id, source)
+        self.reply_queue: list[tuple[int, int]] = []
+        #: LOOKUP_REPLY messages this node sent (for the cost model)
+        self.replies_sent = 0
 
     def begin_round(self, ctx: RoundContext) -> list[Send]:
-        if not self.queued:
-            return []
-        routes, self.queued = self.queued, []
         sends: list[Send] = []
-        for route_id, target in routes:
+        if self.reply_queue:
+            replies, self.reply_queue = self.reply_queue, []
+            for route_id, source in replies:
+                self.replies_sent += 1
+                sends.append(
+                    Send(
+                        recipient=int(source),
+                        kind=MessageKind.LOOKUP_REPLY,
+                        payload={"route": int(route_id), "owner": self.node_id},
+                        payload_words=2,
+                        nonce=int(route_id),
+                    )
+                )
+        if not self.queued:
+            return sends
+        routes, self.queued = self.queued, []
+        for route_id, target, source in routes:
             nxt, final = _next_hops(
                 self.chord,
                 np.array([self.node_id], dtype=np.int64),
@@ -329,7 +410,12 @@ class ChordLookupNode(ProtocolNode):
                 Send(
                     recipient=int(nxt[0]),
                     kind=MessageKind.LOOKUP,
-                    payload={"route": int(route_id), "target": int(target), "final": bool(final[0])},
+                    payload={
+                        "route": int(route_id),
+                        "target": int(target),
+                        "source": int(source),
+                        "final": bool(final[0]),
+                    },
                     payload_words=2,
                     nonce=int(route_id),
                 )
@@ -338,18 +424,25 @@ class ChordLookupNode(ProtocolNode):
 
     def on_messages(self, ctx: RoundContext, messages: list[Message]) -> list[Send]:
         for message in messages:
+            if message.kind == MessageKind.LOOKUP_REPLY.value:
+                self.replied[int(message.get("route"))] = True
+                continue
             if message.kind != MessageKind.LOOKUP.value:
                 continue
             route_id = int(message.get("route"))
             if message.get("final"):
                 self.owners[route_id] = self.node_id
                 self.delivered[route_id] = True
+                if self.count_reply:
+                    self.reply_queue.append((route_id, int(message.get("source"))))
             else:
-                self.queued.append((route_id, int(message.get("target"))))
+                self.queued.append(
+                    (route_id, int(message.get("target")), int(message.get("source")))
+                )
         return []
 
     def is_complete(self) -> bool:
-        return not self.queued
+        return not self.queued and not self.reply_queue
 
 
 def _chord_lookups_engine(
@@ -361,13 +454,20 @@ def _chord_lookups_engine(
     oracle: LossOracle,
     rng: np.random.Generator,
     metrics: MetricsCollector,
+    count_reply: bool,
 ) -> ChordLookupBatch:
     count = sources.size
     owners = np.full(count, -1, dtype=np.int64)
     delivered = np.zeros(count, dtype=bool)
-    nodes = [ChordLookupNode(i, chord, owners, delivered) for i in range(chord.n)]
+    replied = np.zeros(count, dtype=bool)
+    nodes = [
+        ChordLookupNode(i, chord, owners, delivered, replied, count_reply)
+        for i in range(chord.n)
+    ]
     for route_id in range(count):
-        nodes[int(sources[route_id])].queued.append((route_id, int(targets[route_id])))
+        nodes[int(sources[route_id])].queued.append(
+            (route_id, int(targets[route_id]), int(sources[route_id]))
+        )
 
     outcome = kernel.run(
         nodes,
@@ -378,7 +478,7 @@ def _chord_lookups_engine(
         neighbor_fn=lambda node_id: chord.neighbors(node_id),
         loss_oracle=oracle,
         max_substeps=2,
-        max_rounds=chord.m + chord.n,
+        max_rounds=chord.m + chord.n + 1,
         strict=False,
         enforce_call_budget=False,
     )
@@ -391,5 +491,7 @@ def _chord_lookups_engine(
     # reconstruct cursors and loss fates (both are deterministic).
     hops = _route_batch(chord, sources, targets, oracle, metrics=None)[1]
     return ChordLookupBatch(
-        owners=owners, hops=hops, delivered=delivered, rounds=outcome.rounds, metrics=metrics
+        owners=owners, hops=hops, delivered=delivered, replied=replied,
+        rounds=outcome.rounds, metrics=metrics,
+        reply_messages=sum(node.replies_sent for node in nodes),
     )

@@ -1,0 +1,271 @@
+"""Shared-memory lifecycle guarantees of the sharded backend.
+
+The sharded kernel owns raw OS resources (worker processes and
+``/dev/shm`` segments), so correctness is not only "same numbers": a run
+must release every segment on success, on a parent-side error, and on a
+worker crash — and a clean interpreter exit must produce **zero**
+``resource_tracker`` complaints (no "leaked shared_memory" warnings, no
+KeyError tracebacks from double-unregistration).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import run_drr
+from repro.simulator.failures import LossOracle
+from repro.substrate import BACKENDS, shutdown_pools
+from repro.substrate.sharded import (
+    _SEGMENT_PREFIX,
+    ShardPool,
+    ShardWorkerError,
+    default_shards,
+)
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="needs a POSIX shared-memory filesystem"
+)
+
+
+def our_segments() -> list[str]:
+    return [p.name for p in SHM_DIR.iterdir() if p.name.startswith(_SEGMENT_PREFIX)]
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_pools():
+    shutdown_pools()
+    yield
+    shutdown_pools()
+    assert our_segments() == []
+
+
+def run_sharded_drr(n: int = 512):
+    kernel = BACKENDS["sharded"]
+    with kernel.options(shards=2, min_batch=0):
+        return run_drr(n, rng=3, backend="sharded")
+
+
+class TestCleanup:
+    def test_success_path_releases_every_segment(self):
+        result = run_sharded_drr()
+        assert result.forest.n == 512
+        shutdown_pools()
+        assert our_segments() == []
+
+    def test_pool_reuse_then_shutdown(self):
+        a = run_sharded_drr()
+        b = run_sharded_drr()
+        assert np.array_equal(a.forest.parent, b.forest.parent)
+        shutdown_pools()
+        assert our_segments() == []
+
+    def test_worker_exception_tears_down_and_releases(self):
+        pool = ShardPool(2)
+        try:
+            pool.run({"op": "ping", "count": 0})  # healthy barrier first
+            with pytest.raises(ShardWorkerError, match="shard worker failed"):
+                pool.run({"op": "no-such-op", "count": 0})
+            assert not pool.alive()
+        finally:
+            pool.close()
+        assert our_segments() == []
+
+    def test_worker_crash_raises_and_releases(self):
+        pool = ShardPool(2)
+        try:
+            # stage something so the pool owns segments, then kill a worker
+            pool.stage({"x": np.arange(1024, dtype=np.int64)})
+            pool._workers[0].kill()
+            pool._workers[0].join(timeout=10)
+            with pytest.raises(ShardWorkerError, match="died mid-round"):
+                pool.run({"op": "ping", "count": 0})
+        finally:
+            pool.close()
+        assert our_segments() == []
+
+    def test_closed_pool_refuses_work(self):
+        pool = ShardPool(1)
+        pool.close()
+        with pytest.raises(ShardWorkerError, match="closed"):
+            pool.run({"op": "ping", "count": 0})
+        pool.close()  # idempotent
+
+    def test_mirror_released_when_source_array_dies(self):
+        pool = ShardPool(1)
+        try:
+            array = np.arange(4096, dtype=np.float64)
+            name, dtype, count = pool.mirror(array)
+            assert name in our_segments()
+            # cached: same object -> same segment, no second copy
+            assert pool.mirror(array)[0] == name
+            del array
+            gc.collect()
+            assert name not in our_segments()
+        finally:
+            pool.close()
+        assert our_segments() == []
+
+    def test_non_contiguous_state_arrays_mirror_safely(self):
+        """A non-contiguous caller array forces a staging copy; the copy's
+        death must not unlink the segment before workers attach (regression:
+        the mirror's lifetime guard must track the caller's object)."""
+        from repro.simulator import FailureModel
+
+        big = np.random.default_rng(0).random(1024)
+        ranks = big[::2]
+        assert not ranks.flags["C_CONTIGUOUS"]
+        fm = FailureModel(loss_probability=0.2)
+        kernel = BACKENDS["sharded"]
+        with kernel.options(shards=2, min_batch=0):
+            sharded = run_drr(512, rng=3, ranks=ranks, failure_model=fm, backend="sharded")
+        reference = run_drr(512, rng=3, ranks=ranks, failure_model=fm, backend="vectorized")
+        assert np.array_equal(sharded.forest.parent, reference.forest.parent)
+        assert sharded.metrics.total_messages == reference.metrics.total_messages
+
+    def test_pooled_deliver_after_mirror_invalidation(self):
+        """New arrays after a GC'd mirror must get fresh mirrors (no stale reads)."""
+        pool = ShardPool(1)
+        oracle = LossOracle(0.0)
+        try:
+            for fill in (True, False):
+                alive = np.full(64, fill)
+                task_alive = pool.mirror(alive)
+                targets = np.arange(64, dtype=np.int64)
+                arena, specs = pool.stage(
+                    {"targets": targets, "__out__": np.zeros(64, dtype=bool)}
+                )
+                counts = pool.run(
+                    {
+                        "op": "fates",
+                        "count": 64,
+                        "arena": arena,
+                        "targets": specs["targets"],
+                        "senders": 0,
+                        "round_index": 0,
+                        "nonces": None,
+                        "kind": "data",
+                        "loss_probability": oracle.loss_probability,
+                        "key": oracle.key,
+                        "alive": task_alive,
+                        "out": specs["__out__"],
+                    }
+                )
+                assert sum(counts) == (64 if fill else 0)
+                del alive
+                gc.collect()
+        finally:
+            pool.close()
+
+
+class TestResourceTracker:
+    """A whole interpreter run must end with a silent resource tracker."""
+
+    SCRIPT = """
+import numpy as np
+from repro.core import run_drr
+from repro.substrate import BACKENDS{maybe_shutdown_import}
+kernel = BACKENDS["sharded"]
+with kernel.options(shards=2, min_batch=0):
+    result = run_drr(512, rng=3, backend="sharded")
+reference = run_drr(512, rng=3, backend="vectorized")
+assert np.array_equal(result.forest.parent, reference.forest.parent)
+{maybe_shutdown_call}print("RAN-OK")
+"""
+
+    FORKED_WORKER_SCRIPT = """
+from concurrent.futures import ProcessPoolExecutor
+import numpy as np
+import repro
+from repro.api import RunSpec
+
+def work(seed):
+    spec = RunSpec(protocol="drr", params={"n": 512}, backend="sharded",
+                   backend_options={"shards": 2, "min_batch": 0}, seed=seed)
+    return repro.run(spec).rounds
+
+if __name__ == "__main__":
+    with ProcessPoolExecutor(max_workers=2) as ex:
+        print(list(ex.map(work, [5, 6])))
+    print("RAN-OK")
+"""
+
+    def test_no_tracker_warnings_from_forked_sweep_workers(self, tmp_path):
+        """multiprocessing children skip atexit (they leave via os._exit),
+        so pool cleanup must also ride multiprocessing's Finalize path —
+        this is the regression test for the forked SweepRunner worker."""
+        script_path = tmp_path / "forked_worker.py"
+        script_path.write_text(self.FORKED_WORKER_SCRIPT)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(script_path)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "RAN-OK" in proc.stdout
+        assert "leaked shared_memory" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr
+        assert our_segments() == []
+
+    @pytest.mark.parametrize("explicit_shutdown", [True, False], ids=["shutdown", "atexit"])
+    def test_no_tracker_warnings_on_exit(self, explicit_shutdown):
+        script = self.SCRIPT.format(
+            maybe_shutdown_import=", shutdown_pools" if explicit_shutdown else "",
+            maybe_shutdown_call="shutdown_pools()\n" if explicit_shutdown else "",
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=180,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "RAN-OK" in proc.stdout
+        # resource_tracker noise would land on stderr at interpreter exit
+        assert "leaked shared_memory" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr
+        assert "Traceback" not in proc.stderr
+        assert our_segments() == []
+
+
+class TestConfiguration:
+    def test_default_shards_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert default_shards() == 3
+        monkeypatch.setenv("REPRO_SHARDS", "0")
+        with pytest.raises(ValueError):
+            default_shards()
+        monkeypatch.delenv("REPRO_SHARDS")
+        assert default_shards() >= 1
+
+    def test_kernel_options_restore_previous_configuration(self):
+        kernel = BACKENDS["sharded"]
+        before = (kernel.shards, kernel.min_batch)
+        with kernel.options(shards=7, min_batch=123):
+            assert kernel.shards == 7
+            assert kernel.min_batch == 123
+        assert (kernel.shards, kernel.min_batch) == before
+
+    def test_invalid_configuration_rejected(self):
+        kernel = BACKENDS["sharded"]
+        with pytest.raises(ValueError):
+            kernel.configure(shards=0)
+        with pytest.raises(ValueError):
+            kernel.configure(min_batch=-1)

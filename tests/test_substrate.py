@@ -1,14 +1,19 @@
 """Backend-equivalence guarantees of the execution substrate.
 
 The substrate's contract (see ``repro/substrate/kernel.py``): the columnar
-``vectorized`` kernel and the message-level ``engine`` kernel consume the
-shared RNG stream in the same order, decide per-transmission loss through
-the identity-keyed loss oracle, and charge messages through the same
-accounting conventions.  For every protocol the two backends must therefore
-produce **identical** rounds, message counts (total, per kind, per phase,
-lost), and estimates for the same seed — on reliable *and* lossy networks
-(``FailureModel`` with loss probability > 0), with and without initial
-crashes.
+``vectorized`` kernel, the multiprocessing ``sharded`` kernel, and the
+message-level ``engine`` kernel consume the shared RNG stream in the same
+order, decide per-transmission loss through the identity-keyed loss oracle,
+and charge messages through the same accounting conventions.  For every
+protocol the backends must therefore produce **identical** rounds, message
+counts (total, per kind, per phase, lost), and estimates for the same seed —
+on reliable *and* lossy networks (``FailureModel`` with loss probability
+> 0), with and without initial crashes.
+
+The ``sharded`` backend runs these tests with ``min_batch=0`` and two
+workers (the :func:`sharded_workers` fixture), so every delivery, probe
+exchange, and reliable relay actually crosses the shared-memory worker
+pool rather than falling back to the inline path.
 
 Float caveat: protocols that *sum* floats (convergecast-sum, gossip-ave,
 push-sum mass arriving over two hops) may fold concurrent contributions in
@@ -48,14 +53,17 @@ from repro.simulator.failures import LossOracle
 from repro.simulator.network import Network
 from repro.simulator.message import Message
 from repro.substrate import (
+    BACKENDS,
     available_backends,
     deliver_batch,
     get_kernel,
     normalize_backend,
     occurrence_index,
+    probe_exchange,
     run_chord_lookups,
     run_on,
 )
+from repro.substrate.sharded import ShardedKernel, shutdown_pools
 from repro.topology import ChordNetwork, grid_graph, make_graph
 
 #: The failure models every equivalence assertion runs under: reliable,
@@ -66,6 +74,18 @@ FAILURE_MODELS = [
     FailureModel(loss_probability=0.1, crash_fraction=0.15),
 ]
 FM_IDS = ["reliable", "lossy", "lossy+crashes"]
+
+#: The backends measured against the ``engine`` fidelity reference.
+FAST_BACKENDS = [name for name in available_backends() if name != "engine"]
+
+
+@pytest.fixture(scope="module")
+def sharded_workers():
+    """Force every sharded batch through a real two-worker pool."""
+    kernel = BACKENDS["sharded"]
+    with kernel.options(shards=2, min_batch=0):
+        yield kernel
+    shutdown_pools()
 
 
 def assert_metrics_identical(a: MetricsCollector, b: MetricsCollector) -> None:
@@ -83,25 +103,38 @@ def assert_metrics_identical(a: MetricsCollector, b: MetricsCollector) -> None:
 # --------------------------------------------------------------------------- #
 class TestBackendRegistry:
     def test_available_backends(self):
-        assert available_backends() == ("vectorized", "engine")
+        assert available_backends() == ("vectorized", "engine", "sharded")
 
     def test_normalize_accepts_names_and_kernels(self):
         assert normalize_backend(None) == "vectorized"
         assert normalize_backend("ENGINE ".strip().upper().lower()) == "engine"
         assert normalize_backend(get_kernel("engine")) == "engine"
+        assert normalize_backend("sharded") == "sharded"
+        assert isinstance(get_kernel("sharded"), ShardedKernel)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(Exception, match="unknown substrate backend"):
             normalize_backend("quantum")
+
+    def test_unknown_backend_error_lists_registered_backends(self):
+        """The error enumerates BACKENDS dynamically, so it never goes stale."""
+        with pytest.raises(Exception) as excinfo:
+            normalize_backend("quantum")
+        for name in BACKENDS:
+            assert name in str(excinfo.value)
 
     def test_run_on_dispatches(self):
         picked = run_on("engine", vectorized=lambda k: k.name, engine=lambda k: k.name)
         assert picked == "engine"
         picked = run_on(None, vectorized=lambda k: k.name, engine=lambda k: k.name)
         assert picked == "vectorized"
+        # sharded is a VectorizedKernel subclass: it takes the columnar path
+        picked = run_on("sharded", vectorized=lambda k: k.name, engine=lambda k: k.name)
+        assert picked == "sharded"
 
     def test_config_normalises_backend(self):
         assert DRRGossipConfig(backend="engine").backend == "engine"
+        assert DRRGossipConfig(backend="sharded").backend == "sharded"
         with pytest.raises(Exception):
             DRRGossipConfig(backend="nope")
 
@@ -161,6 +194,24 @@ class TestDeliveryParity:
             lost_a, oracle.sample(5, "data", 7, targets, nonces=np.ones(30, dtype=np.int64))
         )
 
+    def test_sample_salted_matches_per_kind_sampling(self):
+        """The engine's chunked mixed-kind path equals per-kind sampling."""
+        from repro.simulator.failures import kind_salt
+
+        oracle = LossOracle(0.35, key=4242)
+        rng = np.random.default_rng(8)
+        kinds = np.array(["probe", "rank", "gossip"])[rng.integers(0, 3, size=200)]
+        senders = rng.integers(0, 50, size=200)
+        recipients = rng.integers(0, 50, size=200)
+        rounds = rng.integers(0, 10, size=200)
+        nonces = rng.integers(0, 3, size=200)
+        salts = np.fromiter((kind_salt(k) for k in kinds), dtype=np.uint64, count=200)
+        chunked = oracle.sample_salted(rounds, salts, senders, recipients, nonces)
+        for i in range(200):
+            assert chunked[i] == oracle.lost(
+                int(rounds[i]), kinds[i], int(senders[i]), int(recipients[i]), int(nonces[i])
+            )
+
     def test_reliable_oracle_draws_nothing(self):
         fm = FailureModel()
         rng = np.random.default_rng(1)
@@ -182,6 +233,19 @@ class TestDeliveryParity:
         assert metrics.total_messages == 3
         assert metrics.total_messages_lost == 1
 
+    def test_reliable_fast_path_charges_identically(self):
+        """alive=None + reliable oracle: same counts, all delivered."""
+        oracle = LossOracle(0.0)
+        metrics = MetricsCollector(n=8)
+        delivered = deliver_batch(
+            metrics, oracle, "data", np.arange(8), senders=0, round_index=0,
+            payload_words=3,
+        )
+        assert delivered.all()
+        assert metrics.total_messages == 8
+        assert metrics.total_words == 24
+        assert metrics.total_messages_lost == 0
+
     def test_zero_size_batch_consumes_no_rng(self):
         """The empty-frontier edge case: zero messages, zero draws, zero charge."""
         fm = FailureModel(loss_probability=0.5)
@@ -200,6 +264,83 @@ class TestDeliveryParity:
     def test_occurrence_index(self):
         assert occurrence_index(np.array([5, 3, 5, 5, 3])).tolist() == [0, 0, 1, 2, 1]
         assert occurrence_index(np.zeros(0, dtype=np.int64)).tolist() == []
+
+
+# --------------------------------------------------------------------------- #
+# the sharded worker pool vs the inline primitives
+# --------------------------------------------------------------------------- #
+class TestShardedPrimitives:
+    """The pooled ops must reproduce the inline primitives bit-for-bit."""
+
+    @pytest.mark.parametrize("delta", [0.0, 0.3], ids=["reliable", "lossy"])
+    def test_pooled_deliver_matches_inline(self, sharded_workers, delta):
+        oracle = LossOracle(delta, key=777)
+        rng = np.random.default_rng(3)
+        n = 300
+        targets = rng.integers(0, n, size=n)
+        senders = rng.integers(0, n, size=n)
+        alive = rng.random(n) > 0.2
+        inline_metrics = MetricsCollector(n=n)
+        inline = deliver_batch(
+            inline_metrics, oracle, "data", targets,
+            senders=senders, round_index=5, alive=alive,
+        )
+        pooled_metrics = MetricsCollector(n=n)
+        pooled = sharded_workers.deliver(
+            pooled_metrics, oracle, "data", targets,
+            senders=senders, round_index=5, alive=alive,
+        )
+        assert np.array_equal(inline, pooled)
+        assert_metrics_identical(inline_metrics, pooled_metrics)
+
+    @pytest.mark.parametrize("delta", [0.0, 0.3], ids=["reliable", "lossy"])
+    def test_pooled_probe_exchange_matches_inline(self, sharded_workers, delta):
+        oracle = LossOracle(delta, key=55)
+        rng = np.random.default_rng(4)
+        n = 400
+        senders = np.arange(n, dtype=np.int64)
+        targets = rng.integers(0, n, size=n)
+        ranks = rng.random(n)
+        alive = rng.random(n) > 0.1
+        inline_metrics = MetricsCollector(n=n)
+        inline = probe_exchange(
+            inline_metrics, oracle, targets,
+            senders=senders, ranks=ranks, round_index=2, alive=alive,
+        )
+        pooled_metrics = MetricsCollector(n=n)
+        pooled = sharded_workers.probe_exchange(
+            pooled_metrics, oracle, targets,
+            senders=senders, ranks=ranks, round_index=2, alive=alive,
+        )
+        assert np.array_equal(inline, pooled)
+        assert_metrics_identical(inline_metrics, pooled_metrics)
+
+    @pytest.mark.parametrize("crashes", [False, True], ids=["all-alive", "crashes"])
+    def test_pooled_relay_matches_inline(self, sharded_workers, crashes):
+        from repro.substrate.delivery import relay_to_roots
+
+        oracle = LossOracle(0.0)
+        rng = np.random.default_rng(5)
+        n, m = 500, 40
+        roots = np.sort(rng.choice(n, size=m, replace=False)).astype(np.int64)
+        position = np.full(n, -1, dtype=np.int64)
+        position[roots] = np.arange(m)
+        root_of = roots[rng.integers(0, m, size=n)]
+        root_of[rng.random(n) < 0.1] = -1
+        alive = (rng.random(n) > 0.15) if crashes else None
+        targets = rng.integers(0, n, size=m)
+        inline_metrics = MetricsCollector(n=n)
+        inline = relay_to_roots(
+            inline_metrics, oracle, targets, senders=roots, round_index=1,
+            kind="gossip", position=position, root_of=root_of, alive=alive,
+        )
+        pooled_metrics = MetricsCollector(n=n)
+        pooled = sharded_workers.relay_to_roots(
+            pooled_metrics, oracle, targets, senders=roots, round_index=1,
+            kind="gossip", position=position, root_of=root_of, alive=alive,
+        )
+        assert np.array_equal(inline, pooled)
+        assert_metrics_identical(inline_metrics, pooled_metrics)
 
 
 # --------------------------------------------------------------------------- #
@@ -224,10 +365,11 @@ def forest_inputs(request):
 
 
 class TestPhaseEquivalence:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("fm", FAILURE_MODELS, ids=FM_IDS)
     @pytest.mark.parametrize("seed", [1, 2])
-    def test_drr_identical(self, seed, fm):
-        fast = run_drr(256, rng=seed, failure_model=fm, backend="vectorized")
+    def test_drr_identical(self, seed, fm, backend, sharded_workers):
+        fast = run_drr(256, rng=seed, failure_model=fm, backend=backend)
         engine = run_drr(256, rng=seed, failure_model=fm, backend="engine")
         assert np.array_equal(fast.forest.parent, engine.forest.parent)
         assert np.array_equal(fast.forest.alive, engine.forest.alive)
@@ -236,10 +378,11 @@ class TestPhaseEquivalence:
         assert fast.rounds == engine.rounds
         assert_metrics_identical(fast.metrics, engine.metrics)
 
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("op", ["max", "min", "sum"])
-    def test_convergecast_identical(self, forest_inputs, op):
+    def test_convergecast_identical(self, forest_inputs, op, backend, sharded_workers):
         fm, drr, values, _ = forest_inputs
-        fast = run_convergecast(drr, values, op=op, failure_model=fm, rng=1, backend="vectorized")
+        fast = run_convergecast(drr, values, op=op, failure_model=fm, rng=1, backend=backend)
         engine = run_convergecast(drr, values, op=op, failure_model=fm, rng=1, backend="engine")
         assert set(fast.local_value) == set(engine.local_value)
         for root in fast.local_value:
@@ -248,95 +391,96 @@ class TestPhaseEquivalence:
         assert fast.rounds == engine.rounds
         assert_metrics_identical(fast.metrics, engine.metrics)
 
-    def test_broadcast_identical(self, forest_inputs):
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_broadcast_identical(self, forest_inputs, backend, sharded_workers):
         fm, drr, _, _ = forest_inputs
         alive = drr.forest.alive
         payload = {int(r): float(r) * 3.0 for r in drr.forest.roots if alive[r]}
-        fast = run_broadcast(drr, payload, failure_model=fm, rng=4, backend="vectorized")
+        fast = run_broadcast(drr, payload, failure_model=fm, rng=4, backend=backend)
         engine = run_broadcast(drr, payload, failure_model=fm, rng=4, backend="engine")
         assert np.array_equal(fast.received, engine.received)
         assert np.allclose(fast.payload, engine.payload, equal_nan=True)
         assert fast.rounds == engine.rounds
         assert_metrics_identical(fast.metrics, engine.metrics)
 
-    def test_gossip_max_identical(self, forest_inputs):
+    def test_gossip_max_identical(self, forest_inputs, sharded_workers):
         fm, drr, values, root_of = forest_inputs
         alive = drr.forest.alive
         roots = np.array([r for r in drr.forest.roots if alive[r]], dtype=np.int64)
         cov = run_convergecast(drr, values, op="max", failure_model=fm, rng=1)
-        results, collectors = [], []
+        results, collectors = {}, {}
         for backend in available_backends():
             metrics = MetricsCollector(n=256)
-            results.append(
-                run_gossip_max(
-                    roots, cov.value_vector(roots), root_of, 256,
-                    failure_model=fm, rng=7, metrics=metrics, alive=alive, backend=backend,
-                )
+            results[backend] = run_gossip_max(
+                roots, cov.value_vector(roots), root_of, 256,
+                failure_model=fm, rng=7, metrics=metrics, alive=alive, backend=backend,
             )
-            collectors.append(metrics)
-        fast, engine = results
-        assert fast.estimates == engine.estimates
-        assert fast.after_gossip_fraction == engine.after_gossip_fraction
-        assert_metrics_identical(*collectors)
+            collectors[backend] = metrics
+        for backend in FAST_BACKENDS:
+            assert results[backend].estimates == results["engine"].estimates
+            assert (
+                results[backend].after_gossip_fraction
+                == results["engine"].after_gossip_fraction
+            )
+            assert_metrics_identical(collectors[backend], collectors["engine"])
 
-    def test_gossip_ave_identical(self, forest_inputs):
+    def test_gossip_ave_identical(self, forest_inputs, sharded_workers):
         fm, drr, values, root_of = forest_inputs
         alive = drr.forest.alive
         roots = np.array([r for r in drr.forest.roots if alive[r]], dtype=np.int64)
         cov = run_convergecast(drr, values, op="sum", failure_model=fm, rng=1)
         largest = drr.forest.largest_root()
-        results, collectors = [], []
+        results, collectors = {}, {}
         for backend in available_backends():
             metrics = MetricsCollector(n=256)
-            results.append(
-                run_gossip_ave(
-                    roots,
-                    cov.value_vector(roots),
-                    cov.weight_vector(roots),
-                    root_of, 256, failure_model=fm, rng=9, metrics=metrics,
-                    alive=alive, trace_root=largest, backend=backend,
+            results[backend] = run_gossip_ave(
+                roots,
+                cov.value_vector(roots),
+                cov.weight_vector(roots),
+                root_of, 256, failure_model=fm, rng=9, metrics=metrics,
+                alive=alive, trace_root=largest, backend=backend,
+            )
+            collectors[backend] = metrics
+        engine = results["engine"]
+        for backend in FAST_BACKENDS:
+            fast = results[backend]
+            assert set(fast.estimates) == set(engine.estimates)
+            for root in fast.estimates:
+                assert fast.estimates[root] == pytest.approx(
+                    engine.estimates[root], rel=1e-12, nan_ok=True
                 )
-            )
-            collectors.append(metrics)
-        fast, engine = results
-        assert set(fast.estimates) == set(engine.estimates)
-        for root in fast.estimates:
-            assert fast.estimates[root] == pytest.approx(
-                engine.estimates[root], rel=1e-12, nan_ok=True
-            )
-        assert len(fast.history) == len(engine.history)
-        assert np.allclose(fast.history, engine.history, rtol=1e-9, equal_nan=True)
-        assert_metrics_identical(*collectors)
+            assert len(fast.history) == len(engine.history)
+            assert np.allclose(fast.history, engine.history, rtol=1e-9, equal_nan=True)
+            assert_metrics_identical(collectors[backend], collectors["engine"])
 
-    def test_data_spread_identical(self, forest_inputs):
+    def test_data_spread_identical(self, forest_inputs, sharded_workers):
         fm, drr, _, root_of = forest_inputs
         alive = drr.forest.alive
         roots = np.array([r for r in drr.forest.roots if alive[r]], dtype=np.int64)
         spreader = int(drr.forest.largest_root())
-        results, collectors = [], []
+        results, collectors = {}, {}
         for backend in available_backends():
             metrics = MetricsCollector(n=256)
-            results.append(
-                run_data_spread(
-                    roots, spreader, 42.5, root_of, 256,
-                    failure_model=fm, rng=13, metrics=metrics, alive=alive, backend=backend,
-                )
+            results[backend] = run_data_spread(
+                roots, spreader, 42.5, root_of, 256,
+                failure_model=fm, rng=13, metrics=metrics, alive=alive, backend=backend,
             )
-            collectors.append(metrics)
-        fast, engine = results
-        assert fast.estimates == engine.estimates
-        assert_metrics_identical(*collectors)
+            collectors[backend] = metrics
+        for backend in FAST_BACKENDS:
+            assert results[backend].estimates == results["engine"].estimates
+            assert_metrics_identical(collectors[backend], collectors["engine"])
 
 
 # --------------------------------------------------------------------------- #
 # the topology kernel: Local-DRR and Chord lookups
 # --------------------------------------------------------------------------- #
 class TestTopologyKernelEquivalence:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("fm", FAILURE_MODELS, ids=FM_IDS)
     @pytest.mark.parametrize("family", ["grid", "regular4"])
-    def test_local_drr_identical(self, family, fm):
+    def test_local_drr_identical(self, family, fm, backend, sharded_workers):
         topo = make_graph(family, 144, np.random.default_rng(1))
-        fast = run_local_drr(topo, rng=7, failure_model=fm, backend="vectorized")
+        fast = run_local_drr(topo, rng=7, failure_model=fm, backend=backend)
         engine = run_local_drr(topo, rng=7, failure_model=fm, backend="engine")
         assert np.array_equal(fast.forest.parent, engine.forest.parent)
         assert np.array_equal(fast.forest.alive, engine.forest.alive)
@@ -352,15 +496,16 @@ class TestTopologyKernelEquivalence:
         engine = run_local_drr(topo, rng=5, ranks=ranks, backend="engine")
         assert np.array_equal(fast.forest.parent, engine.forest.parent)
 
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("delta", [0.0, 0.25], ids=["reliable", "lossy"])
-    def test_chord_lookups_identical(self, delta):
+    def test_chord_lookups_identical(self, delta, backend, sharded_workers):
         fm = FailureModel(loss_probability=delta)
         rng = np.random.default_rng(3)
         chord = ChordNetwork(128, rng)
         sources = rng.integers(0, 128, size=300)
         targets = rng.integers(0, chord.ring_size, size=300)
         fast = run_chord_lookups(
-            chord, sources, targets, failure_model=fm, rng=11, backend="vectorized"
+            chord, sources, targets, failure_model=fm, rng=11, backend=backend
         )
         engine = run_chord_lookups(
             chord, sources, targets, failure_model=fm, rng=11, backend="engine"
@@ -389,6 +534,47 @@ class TestTopologyKernelEquivalence:
         assert batch.rounds == int(batch.hops.max())
         assert batch.messages == int(batch.hops.sum())
 
+    @pytest.mark.parametrize("delta", [0.0, 0.25], ids=["reliable", "lossy"])
+    def test_chord_reply_batching_identical(self, delta):
+        """count_reply charges the reply leg identically on every backend."""
+        fm = FailureModel(loss_probability=delta)
+        rng = np.random.default_rng(6)
+        chord = ChordNetwork(128, rng)
+        sources = rng.integers(0, 128, size=200)
+        targets = rng.integers(0, chord.ring_size, size=200)
+        runs = {
+            backend: run_chord_lookups(
+                chord, sources, targets, failure_model=fm, rng=11,
+                backend=backend, count_reply=True,
+            )
+            for backend in available_backends()
+        }
+        engine = runs["engine"]
+        for backend in FAST_BACKENDS:
+            fast = runs[backend]
+            assert np.array_equal(fast.owners, engine.owners)
+            assert np.array_equal(fast.hops, engine.hops)
+            assert np.array_equal(fast.delivered, engine.delivered)
+            assert np.array_equal(fast.replied, engine.replied)
+            assert fast.rounds == engine.rounds
+            assert_metrics_identical(fast.metrics, engine.metrics)
+
+    def test_chord_reply_accounting_matches_scalar_cost_model(self):
+        """Reliable network: messages == hops + one reply per route
+        (the ``count_reply`` cost model of ``ChordNetwork.lookup``)."""
+        rng = np.random.default_rng(9)
+        chord = ChordNetwork(64, rng)
+        sources = rng.integers(0, 64, size=50)
+        targets = rng.integers(0, chord.ring_size, size=50)
+        plain = run_chord_lookups(chord, sources, targets, rng=1)
+        replied = run_chord_lookups(chord, sources, targets, rng=1, count_reply=True)
+        assert np.array_equal(plain.owners, replied.owners)
+        assert replied.replied.all()
+        assert replied.messages == plain.messages + 50
+        assert replied.metrics.total_messages == plain.metrics.total_messages + 50
+        # the reply leg takes one extra round after the last arrival
+        assert replied.rounds == plain.rounds + 1
+
 
 # --------------------------------------------------------------------------- #
 # full DRR-gossip pipelines
@@ -398,22 +584,7 @@ class TestPipelineEquivalence:
     #: AVERAGE / SUM / RANK accumulate floats -> float-rounding equality.
     EXACT = {Aggregate.MAX, Aggregate.MIN, Aggregate.COUNT}
 
-    @pytest.mark.parametrize(
-        "aggregate",
-        [Aggregate.MAX, Aggregate.MIN, Aggregate.AVERAGE, Aggregate.SUM, Aggregate.COUNT, Aggregate.RANK],
-    )
-    def test_every_aggregate_identical_across_backends(self, aggregate, small_values):
-        runs = {
-            backend: drr_gossip(
-                small_values,
-                aggregate,
-                rng=19,
-                config=DRRGossipConfig(backend=backend),
-                query=float(np.median(small_values)),
-            )
-            for backend in available_backends()
-        }
-        fast, engine = runs["vectorized"], runs["engine"]
+    def assert_pipeline_matches(self, fast, engine, aggregate):
         assert fast.rounds == engine.rounds
         assert fast.messages == engine.messages
         assert fast.rounds_by_phase() == engine.rounds_by_phase()
@@ -426,88 +597,102 @@ class TestPipelineEquivalence:
             assert np.allclose(fast.estimates, engine.estimates, rtol=1e-9, equal_nan=True)
         assert_metrics_identical(fast.metrics, engine.metrics)
 
+    @pytest.mark.parametrize(
+        "aggregate",
+        [Aggregate.MAX, Aggregate.MIN, Aggregate.AVERAGE, Aggregate.SUM, Aggregate.COUNT, Aggregate.RANK],
+    )
+    def test_every_aggregate_identical_across_backends(
+        self, aggregate, small_values, sharded_workers
+    ):
+        runs = {
+            backend: drr_gossip(
+                small_values,
+                aggregate,
+                rng=19,
+                config=DRRGossipConfig(backend=backend),
+                query=float(np.median(small_values)),
+            )
+            for backend in available_backends()
+        }
+        for backend in FAST_BACKENDS:
+            self.assert_pipeline_matches(runs[backend], runs["engine"], aggregate)
+
     @pytest.mark.parametrize("fm", FAILURE_MODELS[1:], ids=FM_IDS[1:])
     @pytest.mark.parametrize("aggregate", [Aggregate.MAX, Aggregate.AVERAGE])
-    def test_pipeline_identical_under_failures(self, aggregate, fm, small_values):
-        runs = [
-            drr_gossip(
+    def test_pipeline_identical_under_failures(
+        self, aggregate, fm, small_values, sharded_workers
+    ):
+        runs = {
+            backend: drr_gossip(
                 small_values, aggregate, rng=23,
                 config=DRRGossipConfig(failure_model=fm, backend=backend),
             )
             for backend in available_backends()
-        ]
-        fast, engine = runs
-        if aggregate in self.EXACT:
-            assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
-        else:
-            assert np.allclose(fast.estimates, engine.estimates, rtol=1e-9, equal_nan=True)
-        assert np.array_equal(fast.learned, engine.learned)
-        assert fast.rounds == engine.rounds
-        assert fast.messages == engine.messages
-        assert_metrics_identical(fast.metrics, engine.metrics)
+        }
+        for backend in FAST_BACKENDS:
+            self.assert_pipeline_matches(runs[backend], runs["engine"], aggregate)
 
-    def test_pipeline_identical_under_crashes(self, small_values):
+    def test_pipeline_identical_under_crashes(self, small_values, sharded_workers):
         fm = FailureModel(crash_fraction=0.15)
-        runs = [
-            drr_gossip(
+        runs = {
+            backend: drr_gossip(
                 small_values, Aggregate.MAX, rng=23,
                 config=DRRGossipConfig(failure_model=fm, backend=backend),
             )
             for backend in available_backends()
-        ]
-        fast, engine = runs
-        assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
-        assert fast.messages == engine.messages
-        assert_metrics_identical(fast.metrics, engine.metrics)
+        }
+        for backend in FAST_BACKENDS:
+            self.assert_pipeline_matches(runs[backend], runs["engine"], Aggregate.MAX)
 
 
 # --------------------------------------------------------------------------- #
 # baselines
 # --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 @pytest.mark.parametrize("fm", FAILURE_MODELS, ids=FM_IDS)
 class TestBaselineEquivalence:
-    def test_push_sum_identical(self, fm):
+    def test_push_sum_identical(self, fm, backend, sharded_workers):
         values = np.random.default_rng(3).uniform(0, 10, size=300)
-        fast = push_sum(values, rng=4, failure_model=fm, backend="vectorized")
+        fast = push_sum(values, rng=4, failure_model=fm, backend=backend)
         engine = push_sum(values, rng=4, failure_model=fm, backend="engine")
         assert np.allclose(fast.estimates, engine.estimates, rtol=1e-12, equal_nan=True)
         assert fast.rounds == engine.rounds
         assert_metrics_identical(fast.metrics, engine.metrics)
 
-    def test_push_max_identical_including_oracle_stop(self, fm):
+    def test_push_max_identical_including_oracle_stop(self, fm, backend, sharded_workers):
         values = np.random.default_rng(3).uniform(0, 10, size=300)
         for stop in (False, True):
-            fast = push_max(values, rng=6, failure_model=fm, stop_when_converged=stop, backend="vectorized")
+            fast = push_max(values, rng=6, failure_model=fm, stop_when_converged=stop, backend=backend)
             engine = push_max(values, rng=6, failure_model=fm, stop_when_converged=stop, backend="engine")
             assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
             assert fast.rounds == engine.rounds
             assert_metrics_identical(fast.metrics, engine.metrics)
 
-    def test_rumor_protocols_identical(self, fm):
+    def test_rumor_protocols_identical(self, fm, backend, sharded_workers):
         if fm.crash_fraction:
             pytest.skip("rumor protocols ignore initial crashes by design")
         for fn in (push_rumor, push_pull_rumor):
-            fast = fn(512, rng=7, failure_model=fm, backend="vectorized")
+            fast = fn(512, rng=7, failure_model=fm, backend=backend)
             engine = fn(512, rng=7, failure_model=fm, backend="engine")
             assert np.array_equal(fast.informed, engine.informed)
             assert fast.rounds == engine.rounds
             assert_metrics_identical(fast.metrics, engine.metrics)
 
-    def test_flooding_identical(self, fm):
+    def test_flooding_identical(self, fm, backend, sharded_workers):
         if fm.crash_fraction:
             pytest.skip("flooding ignores initial crashes by design")
         topology = grid_graph(144)
         values = np.random.default_rng(9).uniform(0, 100, size=144)
-        fast = flood_max(topology, values, rng=10, failure_model=fm, backend="vectorized")
+        fast = flood_max(topology, values, rng=10, failure_model=fm, backend=backend)
         engine = flood_max(topology, values, rng=10, failure_model=fm, backend="engine")
         assert np.array_equal(fast.estimates, engine.estimates)
         assert fast.rounds == engine.rounds
         assert_metrics_identical(fast.metrics, engine.metrics)
 
-    def test_efficient_gossip_identical(self, fm):
+    def test_efficient_gossip_identical(self, fm, backend, sharded_workers):
         for aggregate in (Aggregate.AVERAGE, Aggregate.MAX):
             values = np.random.default_rng(3).uniform(0, 10, size=400)
-            fast = efficient_gossip(values, aggregate, rng=12, failure_model=fm, backend="vectorized")
+            fast = efficient_gossip(values, aggregate, rng=12, failure_model=fm, backend=backend)
             engine = efficient_gossip(values, aggregate, rng=12, failure_model=fm, backend="engine")
             assert fast.group_count == engine.group_count
             assert fast.max_group_size == engine.max_group_size
