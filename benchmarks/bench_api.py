@@ -10,7 +10,10 @@ Two uses:
   (default 10^5) nodes must add less than ``--max-overhead`` percent
   (default 5) over calling ``run_drr`` directly, and a serialise →
   deserialise → re-run cycle must reproduce the direct dispatch exactly.
-  Exit status is non-zero when either bar is missed.
+  A telemetry-enabled dispatch must reproduce the plain dispatch exactly
+  (``same_outcome``, which ignores the telemetry section) with unchanged
+  spec/param hashes, and its wall cost is reported.  Exit status is
+  non-zero when any bar is missed.
 """
 
 from __future__ import annotations
@@ -95,6 +98,22 @@ def main(argv: list[str] | None = None) -> int:
     exact = replay.same_outcome(result)
     print(f"json round-trip reproduces:   {'yes' if exact else 'NO'}")
     ok = ok and exact
+
+    # telemetry neutrality: an enabled run reproduces the plain run exactly,
+    # identity hashes ignore the toggle, and the enabled cost is reported.
+    telemetry_spec = spec.with_telemetry()
+    telemetry_s = _best_of(lambda: repro.run(telemetry_spec), args.repeats)
+    telemetry_pct = 100.0 * (telemetry_s - direct_s) / direct_s
+    traced = repro.run(telemetry_spec)
+    neutral = traced.same_outcome(result) and traced.telemetry is not None
+    hashes_stable = (
+        telemetry_spec.spec_hash() == spec.spec_hash()
+        and telemetry_spec.param_hash() == spec.param_hash()
+    )
+    print(f"repro.run(+telemetry):        best {telemetry_s * 1e3:8.2f} ms ({telemetry_pct:+.2f}%, reported only)")
+    print(f"telemetry-neutral outcome:    {'yes' if neutral else 'NO'}")
+    print(f"hashes ignore telemetry:      {'yes' if hashes_stable else 'NO'}")
+    ok = ok and neutral and hashes_stable
 
     if not ok:
         print("bench_api: FAILED", file=sys.stderr)

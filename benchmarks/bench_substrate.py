@@ -24,6 +24,14 @@ Two uses:
   multiprocessing speedup, and pretending it failed would only teach
   people to delete the check).
 
+  The telemetry overhead gate (``smoke_telemetry_overhead``) patches the
+  instrumented substrate primitives back to their ``__wrapped__``
+  originals, times the hook-free hot path against the shipped path with
+  telemetry disabled, and fails when the disabled residue exceeds
+  ``--max-telemetry-overhead`` percent (default 2); the enabled cost is
+  measured and reported, and an enabled run must reproduce the disabled
+  run bit-for-bit.
+
   Every measured run appends a machine-readable row (protocol, n,
   backend, shards, wall time, git SHA) to ``BENCH_substrate.json`` — the
   persisted perf trajectory that ``drr-gossip results --bench`` prints —
@@ -243,6 +251,100 @@ def smoke_sharded(n: int, shards: int, budget_s: float = 60.0) -> bool:
     return True
 
 
+def smoke_telemetry_overhead(
+    n: int, max_overhead_pct: float = 2.0, repeats: int = 5
+) -> bool:
+    """Disabled telemetry must cost < ``max_overhead_pct`` of the hot path.
+
+    The instrumented substrate primitives keep their undecorated originals
+    reachable via ``__wrapped__``; patching them back in gives an honest
+    hook-free baseline (the PR 5 hot path) in the same process.  The gate
+    compares that baseline against the shipped path with telemetry *off*
+    (best-of-``repeats`` each, plus a small absolute slop so sub-20 ms
+    timer jitter cannot flake CI); the *enabled* cost is measured and
+    reported, and the enabled run must reproduce the disabled run exactly.
+    """
+    from repro.observability import Telemetry, use_telemetry
+    from repro.substrate import delivery
+    from repro.substrate.kernel import VectorizedKernel
+
+    values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
+
+    def run():
+        return drr_gossip_average(values, rng=1, config=DRRGossipConfig(backend="vectorized"))
+
+    def best_of(fn):
+        return min(_time(fn) for _ in range(repeats))
+
+    run()  # warm-up outside every timed region
+
+    # Hook-free baseline: unwrap the instrumented primitives on both the
+    # kernel (bound as staticmethods at class creation) and the delivery
+    # module (probe_exchange/relay call module-level deliver_batch).
+    primitives = ("deliver_batch", "probe_exchange", "relay_to_roots")
+    kernel_names = {"deliver_batch": "deliver"}
+    saved_module = {name: getattr(delivery, name) for name in primitives}
+    saved_kernel = {
+        kernel_names.get(name, name): getattr(VectorizedKernel, kernel_names.get(name, name))
+        for name in primitives
+    }
+    try:
+        for name in primitives:
+            setattr(delivery, name, saved_module[name].__wrapped__)
+            kernel_name = kernel_names.get(name, name)
+            setattr(VectorizedKernel, kernel_name, staticmethod(saved_module[name].__wrapped__))
+        baseline_s = best_of(run)
+    finally:
+        for name in primitives:
+            setattr(delivery, name, saved_module[name])
+        for kernel_name, fn in saved_kernel.items():
+            setattr(VectorizedKernel, kernel_name, staticmethod(fn))
+
+    disabled_s = best_of(run)
+    reference = run()
+
+    tel = Telemetry()
+    with use_telemetry(tel):
+        start = time.perf_counter()
+        enabled_result = run()
+        enabled_s = time.perf_counter() - start
+    tel.finish()
+
+    record("telemetry-overhead", protocol="drr-gossip-average", n=n,
+           backend="vectorized", wall_s=disabled_s)
+    record("telemetry-overhead", protocol="drr-gossip-average", n=n,
+           backend="vectorized+telemetry", wall_s=enabled_s)
+
+    overhead_pct = 100.0 * (disabled_s - baseline_s) / max(baseline_s, 1e-9)
+    enabled_pct = 100.0 * (enabled_s - baseline_s) / max(baseline_s, 1e-9)
+    print(
+        f"telemetry overhead, n={n}: hook-free {baseline_s * 1e3:.1f} ms, "
+        f"disabled {disabled_s * 1e3:.1f} ms ({overhead_pct:+.2f}%), "
+        f"enabled {enabled_s * 1e3:.1f} ms ({enabled_pct:+.2f}%, reported only)"
+    )
+    ok = True
+    if disabled_s > baseline_s * (1.0 + max_overhead_pct / 100.0) + 0.02:
+        print(
+            f"FAIL: disabled telemetry costs {overhead_pct:.2f}% "
+            f"(bar: < {max_overhead_pct:g}% of the hook-free hot path)"
+        )
+        ok = False
+    if (
+        enabled_result.messages != reference.messages
+        or enabled_result.rounds != reference.rounds
+        or not np.array_equal(enabled_result.estimates, reference.estimates)
+    ):
+        print("FAIL: enabled telemetry changed the run outcome")
+        ok = False
+    doc = tel.as_dict()
+    if not doc.get("phases") or not doc.get("spans"):
+        print("FAIL: enabled telemetry recorded no phases/spans")
+        ok = False
+    if ok:
+        print(f"OK: disabled telemetry is free (< {max_overhead_pct:g}%) and enabled is neutral")
+    return ok
+
+
 def smoke_local_drr_scale(n: int, budget_s: float = 9.0) -> bool:
     """Vectorized Local-DRR on an n-node sparse graph in single-digit seconds."""
     topo = random_regular_graph(n, 4, np.random.default_rng(0))
@@ -374,6 +476,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sharded-budget", type=float, default=60.0)
     parser.add_argument("--skip-sharded", action="store_true", help="skip the sharded smoke")
     parser.add_argument(
+        "--telemetry-n", type=int, default=None,
+        help="nodes for the disabled-telemetry overhead gate (default: --n)",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead", type=float, default=2.0,
+        help="maximum disabled-telemetry overhead over the hook-free hot path, in percent",
+    )
+    parser.add_argument(
+        "--skip-telemetry", action="store_true", help="skip the telemetry overhead gate",
+    )
+    parser.add_argument(
         "--sharded-only", action="store_true",
         help="run only the sharded equivalence smoke (the dedicated CI job)",
     )
@@ -395,6 +508,11 @@ def main(argv: list[str] | None = None) -> int:
     ok = smoke_speedup(args.n, args.rounds, args.min_speedup)
     ok = smoke_local_drr_speedup(args.n, args.min_speedup) and ok
     ok = smoke_chord_batch(args.chord_n) and ok
+    if not args.skip_telemetry:
+        ok = smoke_telemetry_overhead(
+            args.telemetry_n if args.telemetry_n is not None else args.n,
+            args.max_telemetry_overhead,
+        ) and ok
     if not args.skip_sharded:
         ok = smoke_sharded(args.sharded_n, args.shards, args.sharded_budget) and ok
     if args.scale:

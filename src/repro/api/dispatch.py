@@ -23,6 +23,7 @@ import contextlib
 import time
 from typing import Iterable, Mapping
 
+from ..observability.telemetry import NullTelemetry, Telemetry, use_telemetry
 from ..simulator.rng import make_rng
 from ..substrate import get_kernel
 from .protocols import RunContext, get_protocol
@@ -40,15 +41,22 @@ def _backend_context(spec: RunSpec):
     return kernel.options(**spec.backend_options)
 
 
-def run(spec: RunSpec | Mapping) -> RunResult:
+def run(spec: RunSpec | Mapping, *, telemetry: NullTelemetry | None = None) -> RunResult:
     """Execute one fully-described run and return the uniform envelope.
 
     ``spec`` may be a :class:`RunSpec` or a plain mapping (e.g. a parsed
     JSON document), which is validated on the way in.
+
+    ``telemetry`` optionally supplies the recorder to use (the CLI passes
+    one so it can also stream a heartbeat from it); by default a fresh
+    :class:`~repro.observability.Telemetry` is created when
+    ``spec.telemetry`` is set and nothing is recorded otherwise.  The
+    result carries the document as ``RunResult.telemetry``.
     """
     if not isinstance(spec, RunSpec):
         spec = RunSpec.from_dict(spec)
     protocol = get_protocol(spec.protocol)
+    tel = telemetry if telemetry is not None else (Telemetry() if spec.telemetry else None)
     start = time.perf_counter()
     rng = make_rng(spec.seed)
     topology = spec.topology.build(rng) if spec.topology is not None else None
@@ -59,7 +67,12 @@ def run(spec: RunSpec | Mapping) -> RunResult:
         topology=topology,
     )
     with _backend_context(spec):
-        output = protocol.run(ctx, spec.params)
+        if tel is not None and tel.enabled:
+            with use_telemetry(tel):
+                output = protocol.run(ctx, spec.params)
+            tel.finish()
+        else:
+            output = protocol.run(ctx, spec.params)
     wall_time = time.perf_counter() - start
     metrics = output.metrics
     return RunResult(
@@ -74,6 +87,7 @@ def run(spec: RunSpec | Mapping) -> RunResult:
         summary=output.summary,
         wall_time_s=wall_time,
         raw=output.raw,
+        telemetry=tel.as_dict() if tel is not None and tel.enabled else None,
     )
 
 

@@ -44,6 +44,11 @@ class RunResult:
         Wall-clock duration of the dispatch (excluded from equality).
     raw:
         The underlying protocol result object; None after deserialisation.
+    telemetry:
+        The run's telemetry document (phase/primitive timing spans, peak
+        RSS, counters, sharded-pool utilization), or None when telemetry
+        was disabled.  An observation about the execution, not part of the
+        outcome: excluded from :meth:`same_outcome` like ``wall_time_s``.
     """
 
     __slots__ = (
@@ -58,6 +63,7 @@ class RunResult:
         "_summary",
         "wall_time_s",
         "raw",
+        "telemetry",
     )
 
     def __init__(
@@ -73,6 +79,7 @@ class RunResult:
         summary: dict[str, float] | Callable[[], dict[str, float]],
         wall_time_s: float,
         raw: Any = None,
+        telemetry: Mapping[str, Any] | None = None,
     ) -> None:
         self.spec = spec
         self.rounds = int(rounds)
@@ -85,6 +92,7 @@ class RunResult:
         self._summary = summary
         self.wall_time_s = float(wall_time_s)
         self.raw = raw
+        self.telemetry = dict(telemetry) if telemetry is not None else None
 
     @property
     def estimates(self) -> np.ndarray | None:
@@ -165,6 +173,7 @@ class RunResult:
             "estimates": None if self.estimates is None else [float(v) for v in np.asarray(self.estimates)],
             "summary": {str(k): float(v) for k, v in self.summary.items()},
             "wall_time_s": float(self.wall_time_s),
+            **({"telemetry": self.telemetry} if self.telemetry is not None else {}),
         }
 
     @classmethod
@@ -181,6 +190,7 @@ class RunResult:
             estimates=None if estimates is None else np.asarray(estimates, dtype=float),
             summary={str(k): float(v) for k, v in dict(doc.get("summary", {})).items()},
             wall_time_s=float(doc.get("wall_time_s", 0.0)),
+            telemetry=doc.get("telemetry"),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -231,4 +241,8 @@ class RunResult:
         for key in sorted(self.summary):
             parts.append(f"{key:<17}: {self.summary[key]:.6g}")
         parts.append(f"wall time        : {self.wall_time_s:.3f}s")
+        if self.telemetry is not None:
+            from ..observability.telemetry import format_telemetry
+
+            parts.append(format_telemetry(self.telemetry))
         return "\n".join(parts)

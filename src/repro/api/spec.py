@@ -244,6 +244,12 @@ class RunSpec:
     backend: str = DEFAULT_BACKEND
     seed: int = DEFAULT_SPEC_SEED
     backend_options: Mapping[str, int] = field(default_factory=dict)
+    #: Record telemetry for this run (``RunResult.telemetry``).  An
+    #: execution knob, not an identity: serialised only when set (so the
+    #: toggle travels to sweep workers) but excluded from
+    #: :meth:`spec_hash` / :meth:`param_hash` — store rows, resume, and
+    #: ``same_outcome`` never see it.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         from .protocols import get_protocol  # late: protocols import core/baselines
@@ -256,6 +262,7 @@ class RunSpec:
         object.__setattr__(
             self, "backend_options", _validate_backend_options(self.backend, self.backend_options)
         )
+        object.__setattr__(self, "telemetry", bool(self.telemetry))
         if isinstance(self.topology, Mapping):
             object.__setattr__(self, "topology", TopologySpec.from_dict(self.topology))
         if isinstance(self.failures, Mapping):
@@ -280,6 +287,7 @@ class RunSpec:
                 self.backend,
                 self.seed,
                 _freeze(dict(self.backend_options)),
+                self.telemetry,
             )
         )
 
@@ -292,6 +300,9 @@ class RunSpec:
 
     def with_seed(self, seed: int) -> "RunSpec":
         return self.replace(seed=seed)
+
+    def with_telemetry(self, enabled: bool = True) -> "RunSpec":
+        return self.replace(telemetry=bool(enabled))
 
     def with_backend(self, backend: str) -> "RunSpec":
         """A copy on ``backend``, keeping only the options that backend takes.
@@ -321,6 +332,10 @@ class RunSpec:
             # Only serialised when non-empty so pre-existing specs (and the
             # store rows hashed from them) keep their identities.
             doc["backend_options"] = dict(self.backend_options)
+        if self.telemetry:
+            # Serialised so the toggle reaches sweep workers, but popped
+            # again by spec_hash/param_hash: telemetry is never identity.
+            doc["telemetry"] = True
         if self.topology is not None:
             doc["topology"] = self.topology.to_dict()
         return doc
@@ -331,7 +346,16 @@ class RunSpec:
             raise SpecValidationError(f"a run spec must be a table/object, got {doc!r}")
         if "protocol" not in doc:
             raise SpecValidationError("a run spec needs a 'protocol' name")
-        known = {"protocol", "params", "topology", "failures", "backend", "seed", "backend_options"}
+        known = {
+            "protocol",
+            "params",
+            "topology",
+            "failures",
+            "backend",
+            "seed",
+            "backend_options",
+            "telemetry",
+        }
         unknown = set(doc) - known
         if unknown:
             raise SpecValidationError(
@@ -348,6 +372,7 @@ class RunSpec:
             backend=str(doc.get("backend", DEFAULT_BACKEND)),
             seed=doc.get("seed", DEFAULT_SPEC_SEED),
             backend_options=doc.get("backend_options", {}),
+            telemetry=bool(doc.get("telemetry", False)),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -364,19 +389,27 @@ class RunSpec:
     def canonical_json(self) -> str:
         """Canonical serialisation (sorted keys, normalised values).
 
-        This string *is* the spec's identity: :meth:`spec_hash` digests it,
-        and the result store keys rows on the same canonicalisation.
+        The transport form (sweep workers rebuild the spec from it); it
+        keeps the non-identity telemetry toggle, which :meth:`spec_hash` /
+        :meth:`param_hash` pop before digesting.
         """
         return canonical_json(self.to_dict())
 
     def spec_hash(self) -> str:
-        """Stable 16-hex-char identity of this spec (seed included)."""
-        return stable_digest(self.to_dict())
+        """Stable 16-hex-char identity of this spec (seed included).
+
+        The telemetry toggle is popped first: recording telemetry does not
+        change what a run *is*, so enabling it never forks a store identity.
+        """
+        doc = self.to_dict()
+        doc.pop("telemetry", None)
+        return stable_digest(doc)
 
     def param_hash(self) -> str:
         """Stable hash of everything but the seed (the sweep-cell identity)."""
         doc = self.to_dict()
         doc.pop("seed", None)
+        doc.pop("telemetry", None)
         return stable_digest(doc)
 
     def describe(self) -> str:
@@ -385,7 +418,11 @@ class RunSpec:
         options = ""
         if self.backend_options:
             options = "[" + ",".join(f"{k}={v}" for k, v in sorted(self.backend_options.items())) + "]"
-        return f"{self.protocol}({binding}){topo} backend={self.backend}{options} seed={self.seed}"
+        telemetry = " +telemetry" if self.telemetry else ""
+        return (
+            f"{self.protocol}({binding}){topo} "
+            f"backend={self.backend}{options} seed={self.seed}{telemetry}"
+        )
 
 
 # --------------------------------------------------------------------------- #

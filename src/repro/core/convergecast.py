@@ -48,6 +48,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..observability.telemetry import current_telemetry
 from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
@@ -231,30 +232,31 @@ def _convergecast_vectorized(
     # upward transmissions are charged, lossed, and folded as arrays.  The
     # loss oracle keys each transmission by its scheduled send round, so
     # batching by depth instead of by round changes nothing.
-    for d in range(max_depth, 0, -1):
-        layer = order[bounds[d]:bounds[d + 1]]
-        if layer.size == 0:
-            continue
-        parents = forest.parent[layer]
-        delivered = kernel.deliver(
-            metrics,
-            oracle,
-            MessageKind.CONVERGECAST,
-            parents,
-            senders=layer,
-            round_index=send_round[layer] - 1,
-            alive=alive_arg,
-            payload_words=payload_words,
-        )
-        fold = delivered & known[layer]
-        src, dst = layer[fold], parents[fold]
-        if op == "sum":
-            np.add.at(acc_value, dst, acc_value[src])
-        elif op == "max":
-            np.maximum.at(acc_value, dst, acc_value[src])
-        else:
-            np.minimum.at(acc_value, dst, acc_value[src])
-        np.add.at(acc_weight, dst, acc_weight[src])
+    with current_telemetry().span("substrate.convergecast_layers"):
+        for d in range(max_depth, 0, -1):
+            layer = order[bounds[d]:bounds[d + 1]]
+            if layer.size == 0:
+                continue
+            parents = forest.parent[layer]
+            delivered = kernel.deliver(
+                metrics,
+                oracle,
+                MessageKind.CONVERGECAST,
+                parents,
+                senders=layer,
+                round_index=send_round[layer] - 1,
+                alive=alive_arg,
+                payload_words=payload_words,
+            )
+            fold = delivered & known[layer]
+            src, dst = layer[fold], parents[fold]
+            if op == "sum":
+                np.add.at(acc_value, dst, acc_value[src])
+            elif op == "max":
+                np.maximum.at(acc_value, dst, acc_value[src])
+            else:
+                np.minimum.at(acc_value, dst, acc_value[src])
+            np.add.at(acc_weight, dst, acc_weight[src])
 
     alive_roots = [int(r) for r in forest.roots if alive[r]]
     local_value = {r: float(acc_value[r]) for r in alive_roots}
@@ -478,26 +480,27 @@ def _broadcast_vectorized(
     # round is its parent's receive round plus its service position, and the
     # transmission is charged whether or not it survives.
     max_round = 0
-    for d in range(1, max_depth + 1):
-        layer = by_depth[bounds[d]:bounds[d + 1]]
-        if layer.size == 0:
-            continue
-        layer = layer[received[forest.parent[layer]]]
-        if layer.size == 0:
-            continue
-        arrival = receive_round[forest.parent[layer]] + sibling_rank[layer]
-        max_round = max(max_round, int(arrival.max()))
-        # A transmission to a depth-d child is sent in the round before its
-        # arrival (its parent's serving round), which is the round the
-        # engine stamps on the same message.
-        delivered = kernel.deliver(
-            metrics, oracle, MessageKind.BROADCAST, layer,
-            senders=forest.parent[layer], round_index=arrival - 1, alive=alive_arg,
-        )
-        got = layer[delivered]
-        received[got] = True
-        payload[got] = payload[forest.parent[got]]
-        receive_round[got] = arrival[delivered]
+    with current_telemetry().span("substrate.broadcast_layers"):
+        for d in range(1, max_depth + 1):
+            layer = by_depth[bounds[d]:bounds[d + 1]]
+            if layer.size == 0:
+                continue
+            layer = layer[received[forest.parent[layer]]]
+            if layer.size == 0:
+                continue
+            arrival = receive_round[forest.parent[layer]] + sibling_rank[layer]
+            max_round = max(max_round, int(arrival.max()))
+            # A transmission to a depth-d child is sent in the round before
+            # its arrival (its parent's serving round), which is the round
+            # the engine stamps on the same message.
+            delivered = kernel.deliver(
+                metrics, oracle, MessageKind.BROADCAST, layer,
+                senders=forest.parent[layer], round_index=arrival - 1, alive=alive_arg,
+            )
+            got = layer[delivered]
+            received[got] = True
+            payload[got] = payload[forest.parent[got]]
+            receive_round[got] = arrival[delivered]
 
     metrics.record_round(max_round)
     return BroadcastResult(received=received, payload=payload, rounds=max_round, metrics=metrics)

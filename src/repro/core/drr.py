@@ -103,6 +103,7 @@ def run_drr(
     metrics: MetricsCollector | None = None,
     ranks: np.ndarray | None = None,
     backend: str = "vectorized",
+    tracer=None,
 ) -> DRRResult:
     """Run DRR over ``n`` nodes and return the ranking forest.
 
@@ -127,6 +128,10 @@ def run_drr(
         compare the [0,1] rank domain against the [1, n^3] integer domain).
     backend:
         Substrate backend: ``"vectorized"`` (default), ``"sharded"``, or ``"engine"``.
+    tracer:
+        Optional :class:`~repro.simulator.trace.Tracer` recording
+        per-message events; engine-only (the columnar backends reject an
+        enabled tracer at dispatch).
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
@@ -158,8 +163,10 @@ def run_drr(
             kernel, n, rng, budget, failure_model, oracle, alive, ranks, metrics
         ),
         engine=lambda kernel: _run_drr_engine(
-            kernel, n, rng, budget, failure_model, oracle, alive, ranks, metrics
+            kernel, n, rng, budget, failure_model, oracle, alive, ranks, metrics,
+            tracer=tracer,
         ),
+        tracer=tracer,
     )
 
 
@@ -301,6 +308,7 @@ def _run_drr_engine(
     alive: np.ndarray,
     ranks: np.ndarray,
     metrics: MetricsCollector,
+    tracer=None,
 ) -> DRRResult:
     nodes = [DRRNode(i, float(ranks[i]), budget) for i in range(n)]
     # Four sub-steps so the full probe -> rank -> connect exchange completes
@@ -315,6 +323,7 @@ def _run_drr_engine(
         loss_oracle=oracle,
         max_substeps=4,
         max_rounds=budget + 4,
+        tracer=tracer,
     )
 
     parent = np.full(n, -1, dtype=np.int64)

@@ -33,10 +33,17 @@ immediate re-run skips all completed cells)::
     drr-gossip sweep --experiments table1 forest --ns 256 512 --reps 3 --jobs 4
     drr-gossip sweep --config sweeps/quick.toml --jobs 4
 
+Record where the wall clock goes (phase/primitive/worker telemetry), with a
+live heartbeat line and a JSONL event export::
+
+    drr-gossip run --n 100000 --backend sharded --telemetry events.jsonl --heartbeat 5
+
 Inspect and export what the store holds::
 
     drr-gossip results --markdown results/report.md
     drr-gossip results --failed
+    drr-gossip results --telemetry
+    drr-gossip results --bench --plot
 
 Render figures purely from stored rows (no recomputation; needs matplotlib)::
 
@@ -55,6 +62,15 @@ import numpy as np
 from ..api import SpecValidationError, load_specs, parse_spec_document, read_spec_document
 from ..api import run as run_spec_fn
 from ..core import Aggregate, DRRGossipConfig, drr_gossip
+from ..observability import (
+    NULL_TELEMETRY,
+    Heartbeat,
+    Telemetry,
+    configure_logging,
+    format_telemetry,
+    use_telemetry,
+    write_events_jsonl,
+)
 from ..substrate import available_backends
 from ..orchestration import (
     ResultStore,
@@ -87,6 +103,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="drr-gossip",
         description="Reproduction harness for 'Optimal Gossip-Based Aggregate Computation' (SPAA 2010)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v: INFO, -vv: DEBUG) on the `repro` logger hierarchy",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="decrease log verbosity (errors only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one DRR-gossip aggregate computation on synthetic values")
@@ -118,6 +148,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="P",
         help="worker processes for the sharded backend (default: REPRO_SHARDS or "
         "min(4, cpu count); ignored by the other backends)",
+    )
+    run.add_argument(
+        "--min-batch",
+        type=int,
+        default=None,
+        metavar="K",
+        help="sharded backend: batches smaller than K run inline in the parent "
+        "(0 forces every batch through the pool; ignored by the other backends)",
+    )
+    run.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="record phase/primitive/worker telemetry and print a summary; with "
+        "FILE, also export the events as JSONL (one event per line)",
+    )
+    run.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="print a live [heartbeat] progress line to stderr every SECS seconds",
     )
 
     for spec in load_builtin_experiments():
@@ -214,18 +268,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="trajectory file for --bench (default: BENCH_substrate.json in the current directory)",
     )
+    results.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="show stored per-run telemetry summaries and live heartbeat rows",
+    )
+    results.add_argument(
+        "--plot",
+        action="store_true",
+        help="with --bench: render the perf trajectory (wall_s vs commit, one "
+        "figure per bench/protocol; needs matplotlib)",
+    )
+    results.add_argument(
+        "--plot-output",
+        type=str,
+        default="results/figures",
+        metavar="DIR",
+        help="output directory for --plot figures",
+    )
     return parser
 
 
+def _heartbeat_for(args: argparse.Namespace, telemetry, label: str):
+    """A started :class:`Heartbeat` for ``--heartbeat``, or a null context."""
+    import contextlib
+
+    if args.heartbeat is None:
+        return contextlib.nullcontext()
+    try:
+        return Heartbeat(telemetry, interval_s=args.heartbeat, label=label)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _export_events(telemetry_doc: dict, target: str, append: bool) -> None:
+    if target:  # `--telemetry FILE` (bare `--telemetry` is const="")
+        path = write_events_jsonl(telemetry_doc, target, append=append)
+        verb = "appended" if append else "wrote"
+        print(f"{verb} telemetry events: {path}")
+
+
 def _run_single(args: argparse.Namespace) -> int:
-    if args.shards is not None:
+    if args.shards is not None or args.min_batch is not None:
         from ..substrate import sharded
 
         try:
-            sharded.configure(shards=args.shards)
+            sharded.configure(shards=args.shards, min_batch=args.min_batch)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    want_telemetry = args.telemetry is not None
     if args.spec is not None:
         try:
             specs = load_specs(args.spec)
@@ -235,8 +327,15 @@ def _run_single(args: argparse.Namespace) -> int:
         for index, spec in enumerate(specs):
             if index:
                 print()
+            if want_telemetry:
+                spec = spec.with_telemetry()
             print(f"spec             : {spec.describe()}")
-            print(run_spec_fn(spec).describe())
+            tel = Telemetry() if want_telemetry else None
+            with _heartbeat_for(args, tel if tel is not None else NULL_TELEMETRY, spec.protocol):
+                envelope = run_spec_fn(spec, telemetry=tel)
+            print(envelope.describe())
+            if want_telemetry and envelope.telemetry is not None:
+                _export_events(envelope.telemetry, args.telemetry, append=index > 0)
         return 0
     rng = np.random.default_rng(args.seed)
     values = make_values(args.workload, args.n, rng)
@@ -244,7 +343,12 @@ def _run_single(args: argparse.Namespace) -> int:
         failure_model=FailureModel(loss_probability=args.delta, crash_fraction=args.crash),
         backend=args.backend,
     )
-    result = drr_gossip(values, args.aggregate, rng=args.seed, config=config, query=args.query)
+    tel = Telemetry() if want_telemetry else NULL_TELEMETRY
+    with _heartbeat_for(args, tel, args.aggregate):
+        with use_telemetry(tel):
+            result = drr_gossip(
+                values, args.aggregate, rng=args.seed, config=config, query=args.query
+            )
     print(f"aggregate        : {result.aggregate.value}")
     print(f"backend          : {config.backend}")
     print(f"n                : {result.n}")
@@ -257,6 +361,10 @@ def _run_single(args: argparse.Namespace) -> int:
     for phase, count in result.messages_by_phase().items():
         if count:
             print(f"  {phase:<18} {count}")
+    if want_telemetry:
+        doc = tel.as_dict()
+        print(format_telemetry(doc))
+        _export_events(doc, args.telemetry, append=False)
     return 0
 
 
@@ -472,7 +580,23 @@ def _run_results(args: argparse.Namespace) -> int:
             )
             return 0
         print(format_bench_table(rows))
+        if args.plot:
+            from .plotting import PlottingUnavailableError, render_bench_plots
+
+            try:
+                written = render_bench_plots(rows, args.plot_output)
+            except PlottingUnavailableError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            if not written:
+                print("no plottable bench rows (need wall_s values)", file=sys.stderr)
+                return 1
+            for path in written:
+                print(f"wrote {path}")
         return 0
+    if args.plot:
+        print("error: --plot requires --bench (the store path is `drr-gossip plot`)", file=sys.stderr)
+        return 2
     if not Path(args.store).exists():
         print(f"no result store at {args.store} (run `drr-gossip sweep` first)", file=sys.stderr)
         return 1
@@ -491,6 +615,24 @@ def _run_results(args: argparse.Namespace) -> int:
             for run in store.query(experiment=args.experiment, status="failed"):
                 print(f"\nFAILED {run.experiment} params={run.params} seed={run.seed}")
                 print(run.error)
+        if args.telemetry:
+            shown = 0
+            for run in store.query(experiment=args.experiment, status="ok"):
+                if run.telemetry is None:
+                    continue
+                shown += 1
+                print(f"\n{run.experiment} params={run.params} seed={run.seed}")
+                print(format_telemetry(run.telemetry))
+            if not shown:
+                print("\n(no stored rows carry telemetry; sweep specs with telemetry=true record it)")
+            beats = store.heartbeats(experiment=args.experiment)
+            if beats:
+                print(f"\n{'experiment':<20} {'param_hash':<14} {'seed':>5} {'age':>8}  worker")
+                for beat in beats:
+                    print(
+                        f"{beat['experiment']:<20} {beat['param_hash'][:12]:<14} "
+                        f"{beat['seed']:>5} {beat['age_s']:>7.1f}s  {beat['worker'] or '-'}"
+                    )
         if args.json:
             path = store.export_json(args.json, args.experiment)
             print(f"wrote {path}")
@@ -503,6 +645,7 @@ def _run_results(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     if args.command == "run":
         return _run_single(args)
     if args.command == "report":

@@ -1,0 +1,37 @@
+"""Observability: telemetry recording, logging, and liveness signals.
+
+Everything here observes execution without influencing it: a
+:class:`Telemetry` recorder never touches RNG streams or metrics, so
+same-seed outcomes are bit-identical with telemetry on or off.
+"""
+
+from .heartbeat import Heartbeat
+from .logs import configure_logging, get_logger
+from .telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    RoundSampler,
+    Telemetry,
+    current_telemetry,
+    events_from_telemetry,
+    format_telemetry,
+    instrumented,
+    use_telemetry,
+    write_events_jsonl,
+)
+
+__all__ = [
+    "Heartbeat",
+    "configure_logging",
+    "get_logger",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "RoundSampler",
+    "Telemetry",
+    "current_telemetry",
+    "events_from_telemetry",
+    "format_telemetry",
+    "instrumented",
+    "use_telemetry",
+    "write_events_jsonl",
+]

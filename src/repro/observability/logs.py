@@ -1,0 +1,60 @@
+"""The ``repro`` logger hierarchy.
+
+All library logging goes through ``logging.getLogger("repro.<area>")`` so a
+host application can route or silence it as usual.  The CLI calls
+:func:`configure_logging` once, mapping ``--quiet``/``--verbose`` onto
+levels; the default (WARNING) keeps stdout byte-identical with previous
+releases — the handler writes to stderr, and INFO-level chatter (store
+migrations, sweep scheduling, worker crash captures) only appears when
+asked for.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(f"{_ROOT_NAME}.{name}" if name else _ROOT_NAME)
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` root and set its level.
+
+    ``verbosity``: -1 (``--quiet``) → ERROR, 0 → WARNING (default),
+    1 (``-v``) → INFO, >=2 (``-vv``) → DEBUG.  Idempotent: repeated calls
+    reconfigure the existing handler instead of stacking new ones.
+    """
+    if verbosity <= -1:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+
+    root = get_logger()
+    root.setLevel(level)
+    handler = next(
+        (h for h in root.handlers if getattr(h, "_repro_cli_handler", False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler._repro_cli_handler = True
+        root.addHandler(handler)
+        # The CLI handler is the sink of record; don't duplicate into the
+        # (usually unconfigured) stdlib root logger.
+        root.propagate = False
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    return root

@@ -36,10 +36,13 @@ from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecu
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from ..observability.logs import get_logger
 from ..simulator.rng import RngStream, derive_seed
 from .config import SweepDefinition
 from .registry import ExperimentRegistry, load_builtin_experiments
 from .store import ResultStore, cell_spec_json, param_hash
+
+_logger = get_logger("orchestration.runner")
 
 __all__ = [
     "SweepCell",
@@ -179,7 +182,13 @@ def cells_from_run_specs(specs: Sequence, repetitions: int = 1) -> list[SweepCel
     for spec in specs:
         for rep in range(repetitions):
             cell_spec = spec if rep == 0 else spec.with_seed(derive_seed(spec.seed, "spec-rep", rep))
-            params = {k: v for k, v in cell_spec.to_dict().items() if k != "seed"}
+            # The telemetry toggle is excluded alongside the seed: the cell's
+            # param_hash pops it, and the store re-digests these params as the
+            # row identity — keeping them aligned is what makes a telemetry
+            # re-run resume (skip) instead of duplicating every cell.
+            params = {
+                k: v for k, v in cell_spec.to_dict().items() if k not in ("seed", "telemetry")
+            }
             cells.append(
                 SweepCell(
                     experiment=f"run:{spec.protocol}",
@@ -206,16 +215,22 @@ def _execute_cell(spec_json: str) -> dict[str, Any]:
     start = time.perf_counter()
     try:
         payload = json.loads(spec_json)
+        telemetry_doc = None
         if "protocol" in payload:
             from ..api import RunSpec
             from ..api import run as run_spec_fn
 
-            result = run_spec_fn(RunSpec.from_dict(payload)).to_experiment_result()
+            envelope = run_spec_fn(RunSpec.from_dict(payload))
+            result = envelope.to_experiment_result()
+            telemetry_doc = envelope.telemetry
         else:
             spec = load_builtin_experiments().get(payload["experiment"])
             params = spec.validate_params(payload.get("params", {}))
             result = spec.driver(seed=int(payload["seed"]), **params)
-        return {"ok": True, "result": result, "duration_s": time.perf_counter() - start}
+        out = {"ok": True, "result": result, "duration_s": time.perf_counter() - start}
+        if telemetry_doc is not None:
+            out["telemetry"] = telemetry_doc
+        return out
     except Exception:  # KeyboardInterrupt/SystemExit propagate: a sweep must stay interruptible
         return {
             "ok": False,
@@ -256,14 +271,21 @@ class SweepRunner:
         skip_completed: bool = True,
         registry: ExperimentRegistry | None = None,
         progress: Callable[[CellOutcome, int, int], None] | None = None,
+        heartbeat_interval_s: float = 15.0,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if heartbeat_interval_s <= 0:
+            raise ValueError(f"heartbeat_interval_s must be positive, got {heartbeat_interval_s}")
         self.store = store
         self.jobs = jobs
         self.skip_completed = skip_completed
         self.registry = registry
         self.progress = progress
+        #: how often in-flight cells refresh their store heartbeat while no
+        #: cell finishes (the liveness signal a multi-host scheduler would
+        #: reclaim stale claims on)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
 
     def run(self, definition: SweepDefinition) -> SweepReport:
         return self.run_cells(expand_cells(definition, self.registry), name=definition.name)
@@ -286,6 +308,7 @@ class SweepRunner:
         if todo:
             if self.jobs == 1:
                 for cell in todo:
+                    self.store.mark_heartbeat(cell.experiment, cell.params, cell.seed)
                     payload = _execute_cell(cell.spec_json())
                     emitted += 1
                     self._record(report, cell, payload, emitted, len(cells))
@@ -309,9 +332,21 @@ class SweepRunner:
                 pending = {
                     pool.submit(_execute_cell, cell.spec_json()): cell for cell in queue
                 }
+                for cell in queue:
+                    self.store.mark_heartbeat(cell.experiment, cell.params, cell.seed)
                 queue = []
                 while pending:
-                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    finished, _ = wait(
+                        pending,
+                        timeout=self.heartbeat_interval_s,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not finished:
+                        # Nothing completed within the interval: refresh the
+                        # in-flight claims so their heartbeats stay fresh.
+                        for cell in pending.values():
+                            self.store.mark_heartbeat(cell.experiment, cell.params, cell.seed)
+                        continue
                     for future in finished:
                         cell = pending.pop(future)
                         try:
@@ -340,12 +375,17 @@ class SweepRunner:
     def _record(self, report: SweepReport, cell: SweepCell, payload: Mapping[str, Any], index: int, total: int) -> None:
         duration = float(payload.get("duration_s", 0.0))
         if payload["ok"]:
+            telemetry = payload.get("telemetry")
             self.store.record_result(
                 cell.experiment, cell.params, cell.seed, payload["result"], duration,
                 spec_json=cell.spec_json(),
+                telemetry_json=(
+                    json.dumps(telemetry, sort_keys=True) if telemetry is not None else None
+                ),
             )
             outcome = CellOutcome(cell=cell, status="ok", duration_s=duration)
         else:
+            _logger.warning("cell %s failed:\n%s", cell.describe(), payload["error"])
             self.store.record_failure(
                 cell.experiment, cell.params, cell.seed, payload["error"], duration,
                 spec_json=cell.spec_json(),

@@ -24,31 +24,45 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from ..observability.logs import get_logger
 from ..serialization import canonical_json, canonical_value, stable_digest
 from ..substrate import DEFAULT_BACKEND
 
 __all__ = ["ResultStore", "StoredRun", "canonical_params", "param_hash", "cell_spec_json"]
 
+_logger = get_logger("orchestration.store")
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
-    id          INTEGER PRIMARY KEY AUTOINCREMENT,
-    experiment  TEXT NOT NULL,
-    param_hash  TEXT NOT NULL,
-    seed        INTEGER NOT NULL,
-    status      TEXT NOT NULL CHECK (status IN ('ok', 'failed')),
-    params      TEXT NOT NULL,
-    backend     TEXT,
-    spec_json   TEXT,
-    description TEXT NOT NULL DEFAULT '',
-    headers     TEXT NOT NULL DEFAULT '[]',
-    rows        TEXT NOT NULL DEFAULT '[]',
-    notes       TEXT NOT NULL DEFAULT '[]',
-    error       TEXT,
-    duration_s  REAL,
-    created_at  TEXT NOT NULL DEFAULT (datetime('now')),
+    id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment     TEXT NOT NULL,
+    param_hash     TEXT NOT NULL,
+    seed           INTEGER NOT NULL,
+    status         TEXT NOT NULL CHECK (status IN ('ok', 'failed')),
+    params         TEXT NOT NULL,
+    backend        TEXT,
+    spec_json      TEXT,
+    description    TEXT NOT NULL DEFAULT '',
+    headers        TEXT NOT NULL DEFAULT '[]',
+    rows           TEXT NOT NULL DEFAULT '[]',
+    notes          TEXT NOT NULL DEFAULT '[]',
+    error          TEXT,
+    duration_s     REAL,
+    telemetry_json TEXT,
+    heartbeat_at   TEXT,
+    created_at     TEXT NOT NULL DEFAULT (datetime('now')),
     UNIQUE (experiment, param_hash, seed)
 );
 CREATE INDEX IF NOT EXISTS idx_runs_experiment ON runs (experiment, status);
+CREATE TABLE IF NOT EXISTS heartbeats (
+    experiment   TEXT NOT NULL,
+    param_hash   TEXT NOT NULL,
+    seed         INTEGER NOT NULL,
+    worker       TEXT NOT NULL DEFAULT '',
+    started_at   TEXT NOT NULL DEFAULT (datetime('now')),
+    heartbeat_at TEXT NOT NULL DEFAULT (datetime('now')),
+    UNIQUE (experiment, param_hash, seed)
+);
 """
 
 
@@ -124,6 +138,12 @@ class StoredRun:
     notes: list[str]
     error: str | None
     duration_s: float | None
+    #: the run's telemetry document (decoded from ``telemetry_json``); None
+    #: when telemetry was off or the row predates the column.
+    telemetry: dict[str, Any] | None
+    #: last liveness stamp for the cell (set when the row was recorded);
+    #: None for rows that predate the column.
+    heartbeat_at: str | None
     created_at: str
 
     @property
@@ -145,6 +165,8 @@ class StoredRun:
             "notes": self.notes,
             "error": self.error,
             "duration_s": self.duration_s,
+            "telemetry": self.telemetry,
+            "heartbeat_at": self.heartbeat_at,
             "created_at": self.created_at,
         }
 
@@ -198,6 +220,14 @@ class ResultStore:
                     f"with backend={DEFAULT_BACKEND!r}",
                     stacklevel=2,
                 )
+        # Observability columns (telemetry documents + liveness stamps) came
+        # later still; NULL is the correct value for pre-existing rows, so
+        # this migration only adds the columns (logged, not warned — it is
+        # routine, unlike the backend backfill above which rewrites rows).
+        for column, decl in (("telemetry_json", "TEXT"), ("heartbeat_at", "TEXT")):
+            if column not in columns:
+                self._conn.execute(f"ALTER TABLE runs ADD COLUMN {column} {decl}")
+                _logger.info("result store %s: added %s column", path, column)
         self._conn.commit()
 
     # ------------------------------------------------------------------ #
@@ -211,12 +241,17 @@ class ResultStore:
         result,
         duration_s: float | None = None,
         spec_json: str | None = None,
+        telemetry_json: str | None = None,
     ) -> str:
         """Upsert a successful cell; returns the canonical parameter hash.
 
         ``spec_json`` is the cell's serialised replay form; when the caller
         does not provide one (direct store writes), the canonical cell spec
-        is derived from the arguments.
+        is derived from the arguments.  ``telemetry_json`` is the run's
+        serialised telemetry document (None when telemetry was off).  The
+        row's ``heartbeat_at`` is stamped — recording a result is the
+        cell's final liveness signal — and any in-flight heartbeat claim is
+        released.
         """
         canon = canonical_params(params)
         digest = param_hash(canon)
@@ -225,14 +260,17 @@ class ResultStore:
         self._conn.execute(
             """
             INSERT INTO runs (experiment, param_hash, seed, status, params, backend, spec_json,
-                              description, headers, rows, notes, error, duration_s)
-            VALUES (?, ?, ?, 'ok', ?, ?, ?, ?, ?, ?, ?, NULL, ?)
+                              description, headers, rows, notes, error, duration_s,
+                              telemetry_json, heartbeat_at)
+            VALUES (?, ?, ?, 'ok', ?, ?, ?, ?, ?, ?, ?, NULL, ?, ?, datetime('now'))
             ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
                 status = 'ok', params = excluded.params, backend = excluded.backend,
                 spec_json = excluded.spec_json,
                 description = excluded.description,
                 headers = excluded.headers, rows = excluded.rows, notes = excluded.notes,
                 error = NULL, duration_s = excluded.duration_s,
+                telemetry_json = excluded.telemetry_json,
+                heartbeat_at = datetime('now'),
                 created_at = datetime('now')
             """,
             (
@@ -247,8 +285,10 @@ class ResultStore:
                 json.dumps(list(result.rows), default=_json_default),
                 json.dumps(list(result.notes), default=_json_default),
                 duration_s,
+                telemetry_json,
             ),
         )
+        self._release_heartbeat(experiment, digest, seed)
         self._conn.commit()
         return digest
 
@@ -268,13 +308,15 @@ class ResultStore:
             spec_json = cell_spec_json(experiment, canon, seed)
         self._conn.execute(
             """
-            INSERT INTO runs (experiment, param_hash, seed, status, params, backend, spec_json, error, duration_s)
-            VALUES (?, ?, ?, 'failed', ?, ?, ?, ?, ?)
+            INSERT INTO runs (experiment, param_hash, seed, status, params, backend, spec_json,
+                              error, duration_s, heartbeat_at)
+            VALUES (?, ?, ?, 'failed', ?, ?, ?, ?, ?, datetime('now'))
             ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
                 status = 'failed', params = excluded.params, backend = excluded.backend,
                 spec_json = excluded.spec_json, error = excluded.error,
-                headers = '[]', rows = '[]', notes = '[]',
-                duration_s = excluded.duration_s, created_at = datetime('now')
+                headers = '[]', rows = '[]', notes = '[]', telemetry_json = NULL,
+                duration_s = excluded.duration_s, heartbeat_at = datetime('now'),
+                created_at = datetime('now')
             """,
             (
                 experiment,
@@ -287,8 +329,59 @@ class ResultStore:
                 duration_s,
             ),
         )
+        self._release_heartbeat(experiment, digest, seed)
         self._conn.commit()
         return digest
+
+    # ------------------------------------------------------------------ #
+    # liveness (the heartbeat primitive the multi-host backend reclaims on)
+    # ------------------------------------------------------------------ #
+    def _release_heartbeat(self, experiment: str, digest: str, seed: int) -> None:
+        self._conn.execute(
+            "DELETE FROM heartbeats WHERE experiment = ? AND param_hash = ? AND seed = ?",
+            (experiment, digest, int(seed)),
+        )
+
+    def mark_heartbeat(
+        self, experiment: str, params: Mapping[str, Any], seed: int, worker: str = ""
+    ) -> str:
+        """Claim/refresh liveness for an in-flight cell; returns its hash.
+
+        One row per cell: the first mark claims (stamping ``started_at``),
+        later marks refresh ``heartbeat_at``.  The claim is released when
+        the cell's result or failure is recorded.
+        """
+        digest = param_hash(params)
+        self._conn.execute(
+            """
+            INSERT INTO heartbeats (experiment, param_hash, seed, worker)
+            VALUES (?, ?, ?, ?)
+            ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
+                worker = excluded.worker, heartbeat_at = datetime('now')
+            """,
+            (experiment, digest, int(seed), worker),
+        )
+        self._conn.commit()
+        return digest
+
+    def clear_heartbeat(self, experiment: str, params: Mapping[str, Any], seed: int) -> None:
+        """Release a claim without recording a row (e.g. an aborted sweep)."""
+        self._release_heartbeat(experiment, param_hash(params), int(seed))
+        self._conn.commit()
+
+    def heartbeats(self, experiment: str | None = None) -> list[dict[str, Any]]:
+        """In-flight cells with their last-seen age in seconds (oldest first)."""
+        sql = (
+            "SELECT experiment, param_hash, seed, worker, started_at, heartbeat_at, "
+            "CAST((julianday('now') - julianday(heartbeat_at)) * 86400.0 AS REAL) AS age_s "
+            "FROM heartbeats"
+        )
+        params: tuple = ()
+        if experiment is not None:
+            sql += " WHERE experiment = ?"
+            params = (experiment,)
+        rows = self._conn.execute(sql + " ORDER BY heartbeat_at ASC", params).fetchall()
+        return [dict(row) for row in rows]
 
     # ------------------------------------------------------------------ #
     # querying
@@ -363,6 +456,7 @@ class ResultStore:
     # plumbing
     # ------------------------------------------------------------------ #
     def _decode(self, row: sqlite3.Row) -> StoredRun:
+        telemetry_json = row["telemetry_json"]
         return StoredRun(
             id=int(row["id"]),
             experiment=row["experiment"],
@@ -378,6 +472,8 @@ class ResultStore:
             notes=json.loads(row["notes"]),
             error=row["error"],
             duration_s=row["duration_s"],
+            telemetry=json.loads(telemetry_json) if telemetry_json else None,
+            heartbeat_at=row["heartbeat_at"],
             created_at=row["created_at"],
         )
 

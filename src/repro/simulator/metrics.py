@@ -28,6 +28,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..observability import telemetry as _telemetry
+
 __all__ = ["PhaseMetrics", "MetricsCollector"]
 
 
@@ -85,6 +87,9 @@ class MetricsCollector:
     def begin_phase(self, name: str) -> None:
         """Switch the collector to phase ``name`` (creating it if needed)."""
         self._current = self._ensure_phase(name)
+        tel = _telemetry._CURRENT
+        if tel.enabled:
+            tel.phase_begin(name)
 
     @property
     def current_phase(self) -> str:
@@ -106,6 +111,9 @@ class MetricsCollector:
         if count < 0:
             raise ValueError("round count cannot be negative")
         self._current.rounds += count
+        tel = _telemetry._CURRENT
+        if tel.enabled:
+            tel.round_tick()
 
     def record_message(self, kind: str, payload_words: int = 1, lost: bool = False) -> None:
         """Record one attempted transmission.

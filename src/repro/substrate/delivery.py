@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability.telemetry import instrumented
 from ..simulator.failures import LossOracle
 from ..simulator.message import MessageKind
 from ..simulator.metrics import MetricsCollector
@@ -115,6 +116,7 @@ def occurrence_index(keys: np.ndarray) -> np.ndarray:
     return ranks
 
 
+@instrumented("substrate.deliver")
 def deliver_batch(
     metrics: MetricsCollector,
     oracle: LossOracle,
@@ -158,6 +160,7 @@ def deliver_batch(
     return delivered
 
 
+@instrumented("substrate.probe_exchange")
 def probe_exchange(
     metrics: MetricsCollector,
     oracle: LossOracle,
@@ -208,6 +211,7 @@ def probe_exchange(
     return found
 
 
+@instrumented("substrate.relay")
 def relay_to_roots(
     metrics: MetricsCollector,
     oracle: LossOracle,

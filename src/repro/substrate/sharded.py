@@ -47,6 +47,7 @@ from __future__ import annotations
 import atexit
 import contextlib
 import os
+import time
 import traceback
 import weakref
 from multiprocessing import get_context
@@ -55,6 +56,7 @@ from multiprocessing import util as _mp_util
 
 import numpy as np
 
+from ..observability.telemetry import current_telemetry
 from ..simulator.failures import LossOracle
 from ..simulator.message import MessageKind
 from ..simulator.metrics import MetricsCollector
@@ -253,8 +255,10 @@ def _worker_main(conn, worker_index: int, shards: int) -> None:
                 count = task.get("count", 0)
                 lo = count * worker_index // shards
                 hi = count * (worker_index + 1) // shards
+                started = time.perf_counter()
                 result = _OPS[task["op"]](task, state, lo, hi)
-                conn.send(("ok", result))
+                busy_s = time.perf_counter() - started
+                conn.send(("ok", result, busy_s))
             except Exception:  # pragma: no cover - surfaced in the parent
                 conn.send(("err", traceback.format_exc()))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
@@ -352,6 +356,9 @@ class ShardPool:
         view = np.frombuffer(segment.buf, dtype=contiguous.dtype, count=contiguous.size)
         view[:] = contiguous.ravel()
         del view
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.count("sharded.mirror_bytes", int(contiguous.nbytes))
 
         def _on_death(_ref, pool=weakref.ref(self), name=segment.name, k=key):
             live = pool()
@@ -385,6 +392,9 @@ class ShardPool:
             offsets[name] = offset
             offset += int(array.nbytes)
         arena = self._ensure_arena(offset)
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.gauge_max("sharded.arena_bytes", arena.size)
         specs: dict[str, tuple[int, str, int]] = {}
         for name, array in layout.items():
             off = offsets[name]
@@ -406,6 +416,7 @@ class ShardPool:
         if self._dead_mirror_names:
             task = {**task, "drop_mirrors": tuple(self._dead_mirror_names)}
             self._dead_mirror_names.clear()
+        started = time.perf_counter()
         try:
             for conn in self._conns:
                 conn.send(task)
@@ -416,12 +427,16 @@ class ShardPool:
                 "a shard worker died mid-round; the pool was torn down "
                 "(its shared-memory segments have been released)"
             ) from exc
+        wall_s = time.perf_counter() - started
         self._release_retired()
-        failures = [detail for status, detail in replies if status != "ok"]
+        failures = [reply[1] for reply in replies if reply[0] != "ok"]
         if failures:
             self.close()
             raise ShardWorkerError(f"shard worker failed:\n{failures[0]}")
-        return [detail for _, detail in replies]
+        tel = current_telemetry()
+        if tel.enabled and task.get("op") != "ping":
+            tel.record_pool_round([reply[2] for reply in replies], wall_s)
+        return [reply[1] for reply in replies]
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -573,13 +588,21 @@ class ShardedKernel(VectorizedKernel):
 
     def _pool_for(self, count: int) -> ShardPool | None:
         if count < self._min_batch:
+            self._count_inline("sharded.inline.small_batch")
             return None
         shards = self.shards
         if shards <= 1 and self._min_batch > 0:
             # A single shard on a plain run adds IPC for no parallelism;
             # min_batch == 0 forces the pool anyway (tests exercise it so).
+            self._count_inline("sharded.inline.single_shard")
             return None
         return _get_pool(shards)
+
+    @staticmethod
+    def _count_inline(reason: str) -> None:
+        tel = current_telemetry()
+        if tel.enabled:
+            tel.count(reason)
 
     # -- primitives ---------------------------------------------------- #
     def deliver(
@@ -692,7 +715,11 @@ class ShardedKernel(VectorizedKernel):
     ) -> np.ndarray:
         targets = np.asarray(targets)
         count = int(targets.size)
-        pool = self._pool_for(count) if oracle.reliable else None
+        if not oracle.reliable:
+            self._count_inline("sharded.inline.lossy_relay")
+            pool = None
+        else:
+            pool = self._pool_for(count)
         if pool is None:
             # Lossy relays need batch-global forwarding nonces
             # (occurrence ranks), so they run inline — same results, the

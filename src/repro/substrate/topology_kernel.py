@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..observability.telemetry import instrumented
 from ..simulator.failures import FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
@@ -58,6 +59,7 @@ __all__ = [
 # --------------------------------------------------------------------------- #
 # neighbour broadcast (message-passing model on a graph)
 # --------------------------------------------------------------------------- #
+@instrumented("substrate.neighbor_broadcast")
 def neighbor_broadcast(
     metrics: MetricsCollector,
     oracle: LossOracle,
