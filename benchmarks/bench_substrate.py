@@ -24,6 +24,16 @@ Two uses:
   multiprocessing speedup, and pretending it failed would only teach
   people to delete the check).
 
+  The compiled tiers follow the same honesty rule: ``--compiled-only``
+  (the ``bench-compiled`` CI job) asserts bit-equivalence at
+  ``--compiled-n`` and requires the jitted probe exchange to beat the
+  vectorized one by ``--compiled-min-ratio`` (default 2x) — enforced only
+  under real numba, reported in python-fallback mode.  ``--scale-xl``
+  runs ``drr_gossip_average`` at 10^8 nodes on the compiled backend
+  inside ``--xl-budget`` seconds.  ``--sharded-lossy`` proves the lossy
+  Phase III relay runs fully pooled (zero ``sharded.inline.*`` telemetry
+  counters) while matching the vectorized run bit-for-bit.
+
   The telemetry overhead gate (``smoke_telemetry_overhead``) patches the
   instrumented substrate primitives back to their ``__wrapped__``
   originals, times the hook-free hot path against the shipped path with
@@ -115,6 +125,18 @@ def test_bench_chord_lookup_batch(benchmark):
     sources = rng.integers(0, 4096, size=4096)
     targets = rng.integers(0, chord.ring_size, size=4096)
     benchmark(run_chord_lookups, chord, sources, targets, rng=1)
+
+
+def test_bench_occurrence_index(benchmark):
+    # Relay-shaped workload: a forwarder batch with balls-in-bins duplicate
+    # depth (the case the single-pass peeling rewrite targets; the old
+    # impl paid a stable argsort here every lossy gossip round).
+    from repro.substrate import occurrence_index
+
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 1 << 16, size=1 << 17)
+    ranks = benchmark(occurrence_index, keys)
+    assert int(ranks.max()) >= 1
 
 
 # --------------------------------------------------------------------------- #
@@ -448,6 +470,198 @@ def smoke_scale_large(n: int, shards: int, vectorized_budget_s: float, min_ratio
     return ok
 
 
+def smoke_sharded_lossy(n: int, shards: int) -> bool:
+    """Lossy Phase III relays run *sharded*: zero ``sharded.inline.*`` counters.
+
+    PR 5 shipped the lossy relay as an inline fallback (cross-shard
+    occurrence nonces were unsolved); the cross-shard rank merge removed
+    it.  This smoke proves the removal end-to-end: a lossy run with
+    ``min_batch=0`` must push every relay through the pool (telemetry
+    counts any inline detour) while staying bit-equivalent to vectorized.
+    """
+    from repro.observability import Telemetry, use_telemetry
+    from repro.simulator.failures import FailureModel
+
+    values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
+    lossy = FailureModel(loss_probability=0.05)
+    reference = drr_gossip_average(
+        values, rng=1, config=DRRGossipConfig(failure_model=lossy, backend="vectorized")
+    )
+    sharded_backend.configure(shards=shards, min_batch=0)
+    tel = Telemetry()
+    try:
+        start = time.perf_counter()
+        with use_telemetry(tel):
+            result = drr_gossip_average(
+                values, rng=1, config=DRRGossipConfig(failure_model=lossy, backend="sharded")
+            )
+        sharded_s = time.perf_counter() - start
+    finally:
+        sharded_backend.configure(min_batch=sharded_backend.DEFAULT_MIN_BATCH)
+        shutdown_pools()
+    tel.finish()
+    doc = tel.as_dict()
+    inline = sorted(
+        name for name in doc.get("counters", {}) if name.startswith("sharded.inline.")
+    )
+    record("sharded-lossy-smoke", protocol="drr-gossip-average", n=n, backend="sharded",
+           shards=shards, wall_s=sharded_s, messages=result.messages, rounds=result.rounds)
+    print(
+        f"sharded lossy smoke, n={n}, P={shards}, delta=0.05: {sharded_s:.2f}s, "
+        f"rounds={result.rounds}, messages={result.messages}"
+    )
+    ok = True
+    if inline:
+        print(f"FAIL: lossy relays fell back inline (counters: {', '.join(inline)})")
+        ok = False
+    if result.messages != reference.messages or result.rounds != reference.rounds:
+        print("FAIL: pooled lossy run diverged from vectorized (rounds/messages)")
+        ok = False
+    if result.metrics.messages_by_phase() != reference.metrics.messages_by_phase():
+        print("FAIL: pooled lossy run diverged from vectorized (per-phase messages)")
+        ok = False
+    if not np.allclose(result.estimates, reference.estimates, rtol=1e-12, equal_nan=True):
+        print("FAIL: pooled lossy estimates diverged beyond 1e-12")
+        ok = False
+    if ok:
+        print("OK: lossy relays run fully pooled (no sharded.inline.* counters)")
+    return ok
+
+
+def smoke_compiled(n: int, min_ratio: float) -> bool:
+    """Compiled-backend gate: exact equivalence + a jitted probe-exchange win.
+
+    Asserts a lossy+crash ``drr_gossip_average`` at ``n`` is bit-equivalent
+    to vectorized, then times the fused probe exchange (the DRR hot
+    primitive) on both kernels.  The >= ``min_ratio`` speedup is enforced
+    only under real numba — in python-fallback mode (``REPRO_COMPILED_PYTHON``)
+    the compiled kernel routes through the same NumPy loops, so the ratio
+    is reported, not enforced (same honesty rule as the cores guard in the
+    sharded tier).
+    """
+    from repro.simulator.failures import FailureModel, LossOracle
+    from repro.simulator.metrics import MetricsCollector
+    from repro.substrate import BACKENDS, NUMBA_AVAILABLE, VectorizedKernel
+    from repro.substrate.compiled import NUMBA_REQUIREMENT
+
+    kernel = BACKENDS.get("compiled")
+    if kernel is None:
+        print(f"FAIL: compiled backend is not registered ({NUMBA_REQUIREMENT})")
+        return False
+    mode = "numba" if NUMBA_AVAILABLE else "python-fallback"
+
+    values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
+    model = FailureModel(loss_probability=0.05, crash_fraction=0.02)
+    reference = drr_gossip_average(
+        values, rng=1, config=DRRGossipConfig(failure_model=model, backend="vectorized")
+    )
+    start = time.perf_counter()
+    result = drr_gossip_average(
+        values, rng=1, config=DRRGossipConfig(failure_model=model, backend="compiled")
+    )
+    compiled_s = time.perf_counter() - start
+    record("compiled-smoke", protocol="drr-gossip-average", n=n,
+           backend=f"compiled[{mode}]", wall_s=compiled_s,
+           messages=result.messages, rounds=result.rounds)
+    ok = True
+    if result.messages != reference.messages or result.rounds != reference.rounds:
+        print("FAIL: compiled backend diverged from vectorized (rounds/messages)")
+        ok = False
+    if result.metrics.messages_by_phase() != reference.metrics.messages_by_phase():
+        print("FAIL: compiled backend diverged from vectorized (per-phase messages)")
+        ok = False
+    if not np.allclose(result.estimates, reference.estimates, rtol=1e-12, equal_nan=True):
+        print("FAIL: compiled estimates diverged beyond 1e-12")
+        ok = False
+    print(f"compiled smoke ({mode}), n={n}: {compiled_s:.2f}s, equivalence "
+          f"{'OK' if ok else 'FAILED'}")
+
+    # probe-exchange micro-bench: one big lossy DRR probing round
+    size = max(n, 1_000_000)
+    rng = np.random.default_rng(1)
+    senders = rng.integers(0, size, size=size)
+    targets = rng.integers(0, size, size=size)
+    ranks = rng.permutation(size)
+    oracle = LossOracle(0.05, key=12345)
+
+    def probe(fn):
+        return fn(
+            MetricsCollector(), oracle, targets,
+            senders=senders, ranks=ranks, round_index=3, alive=None,
+        )
+
+    probe(kernel._inline_probe_exchange)  # numba compile / warm-up
+    vec_s = min(_time(lambda: probe(VectorizedKernel.probe_exchange)) for _ in range(3))
+    comp_s = min(_time(lambda: probe(kernel._inline_probe_exchange)) for _ in range(3))
+    if not np.array_equal(
+        probe(VectorizedKernel.probe_exchange), probe(kernel._inline_probe_exchange)
+    ):
+        print("FAIL: compiled probe exchange disagrees with vectorized")
+        ok = False
+    ratio = vec_s / max(comp_s, 1e-9)
+    record("probe-exchange-micro", protocol="drr-probe", n=size,
+           backend="vectorized", wall_s=vec_s)
+    record("probe-exchange-micro", protocol="drr-probe", n=size,
+           backend=f"compiled[{mode}]", wall_s=comp_s)
+    print(
+        f"probe-exchange micro, batch={size}: vectorized {vec_s * 1e3:.1f} ms, "
+        f"compiled {comp_s * 1e3:.1f} ms -> {ratio:.2f}x"
+    )
+    if NUMBA_AVAILABLE:
+        if ratio < min_ratio:
+            print(f"FAIL: compiled probe exchange {ratio:.2f}x below the required {min_ratio:g}x")
+            ok = False
+        else:
+            print(f"OK: compiled probe exchange wins by >= {min_ratio:g}x")
+    else:
+        print(
+            f"NOTE: python-fallback mode; the {min_ratio:g}x ratio is reported, "
+            "not enforced (no jitted loops to win with)"
+        )
+    return ok
+
+
+def smoke_scale_xl(n: int, budget_s: float) -> bool:
+    """The n=10^8 tier: ``drr_gossip_average`` on the compiled backend.
+
+    Warmth matters at this size: a tiny run first pays numba's one-off
+    compile cost (cached on disk afterwards) so the timed run measures the
+    protocol, not the compiler.
+    """
+    from repro.substrate import BACKENDS, NUMBA_AVAILABLE
+    from repro.substrate.compiled import NUMBA_REQUIREMENT
+
+    if "compiled" not in BACKENDS:
+        print(f"FAIL: compiled backend is not registered ({NUMBA_REQUIREMENT})")
+        return False
+    mode = "numba" if NUMBA_AVAILABLE else "python-fallback"
+    warm = np.random.default_rng(0).uniform(0.0, 100.0, size=10_000)
+    drr_gossip_average(warm, rng=1, config=DRRGossipConfig(backend="compiled"))
+
+    values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
+    start = time.perf_counter()
+    result = drr_gossip_average(values, rng=1, config=DRRGossipConfig(backend="compiled"))
+    elapsed = time.perf_counter() - start
+    record("pipeline-scale-xl", protocol="drr-gossip-average", n=n,
+           backend=f"compiled[{mode}]", wall_s=elapsed,
+           messages=result.messages, rounds=result.rounds)
+    print(
+        f"drr_gossip_average, n={n}: compiled ({mode}) {elapsed:.1f}s, "
+        f"rounds={result.rounds}, messages={result.messages}, "
+        f"max_rel_error={result.max_relative_error:.2e}"
+    )
+    ok = True
+    if not (result.coverage == 1.0 and result.max_relative_error < 1e-3):
+        print("FAIL: xl-scale compiled run did not converge")
+        ok = False
+    if elapsed > budget_s:
+        print(f"FAIL: compiled n={n} took {elapsed:.1f}s (> {budget_s:g}s budget)")
+        ok = False
+    if ok:
+        print(f"OK: compiled backend completes n={n} in {elapsed:.1f}s (< {budget_s:g}s)")
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n", type=int, default=100_000, help="nodes for the speedup comparison")
@@ -470,6 +684,35 @@ def main(argv: list[str] | None = None) -> int:
         help="vectorized wall-clock budget (s) for the 10^7 run (single-digit minutes)",
     )
     parser.add_argument("--large-min-ratio", type=float, default=3.0)
+    parser.add_argument(
+        "--scale-xl", action="store_true",
+        help="also run the 10^8-node compiled tier (single-digit-minutes budget; "
+        "requires the compiled backend and ~16 GB of RAM)",
+    )
+    parser.add_argument("--scale-xl-n", type=int, default=100_000_000)
+    parser.add_argument(
+        "--xl-budget", type=float, default=540.0,
+        help="compiled wall-clock budget (s) for the 10^8 run (single-digit minutes)",
+    )
+    parser.add_argument(
+        "--compiled-only", action="store_true",
+        help="run only the compiled-backend gate: equivalence smoke + jitted "
+        "probe-exchange speedup (the dedicated CI job)",
+    )
+    parser.add_argument(
+        "--compiled-n", type=int, default=100_000,
+        help="nodes for the compiled equivalence smoke",
+    )
+    parser.add_argument(
+        "--compiled-min-ratio", type=float, default=2.0,
+        help="required vectorized->compiled speedup on the probe-exchange micro-bench",
+    )
+    parser.add_argument(
+        "--sharded-lossy", action="store_true",
+        help="also run the lossy pooled-relay smoke (zero sharded.inline.* counters "
+        "at --sharded-lossy-n with --shards workers)",
+    )
+    parser.add_argument("--sharded-lossy-n", type=int, default=1_000_000)
     parser.add_argument("--chord-n", type=int, default=4096, help="nodes/lookups for the Chord batch check")
     parser.add_argument("--sharded-n", type=int, default=100_000, help="nodes for the sharded equivalence smoke")
     parser.add_argument("--shards", type=int, default=2, help="worker processes for the sharded smoke")
@@ -501,6 +744,20 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--sharded-only and --skip-sharded contradict each other")
     if args.sharded_only:
         ok = smoke_sharded(args.sharded_n, args.shards, args.sharded_budget)
+        if args.sharded_lossy:
+            ok = smoke_sharded_lossy(args.sharded_lossy_n, args.shards) and ok
+        if args.scale_large:
+            ok = smoke_scale_large(
+                args.scale_large_n, args.large_shards, args.large_budget, args.large_min_ratio
+            ) and ok
+        if not args.no_json and BENCH_ROWS:
+            path = append_bench_rows(BENCH_ROWS, args.json)
+            print(f"recorded {len(BENCH_ROWS)} benchmark row(s) in {path}")
+        return 0 if ok else 1
+    if args.compiled_only:
+        ok = smoke_compiled(args.compiled_n, args.compiled_min_ratio)
+        if args.scale_xl:
+            ok = smoke_scale_xl(args.scale_xl_n, args.xl_budget) and ok
         if not args.no_json and BENCH_ROWS:
             path = append_bench_rows(BENCH_ROWS, args.json)
             print(f"recorded {len(BENCH_ROWS)} benchmark row(s) in {path}")
@@ -515,6 +772,12 @@ def main(argv: list[str] | None = None) -> int:
         ) and ok
     if not args.skip_sharded:
         ok = smoke_sharded(args.sharded_n, args.shards, args.sharded_budget) and ok
+    if args.sharded_lossy:
+        ok = smoke_sharded_lossy(args.sharded_lossy_n, args.shards) and ok
+    from repro.substrate import BACKENDS as _backends
+
+    if "compiled" in _backends:
+        ok = smoke_compiled(args.compiled_n, args.compiled_min_ratio) and ok
     if args.scale:
         ok = smoke_scale(args.scale_n) and ok
         ok = smoke_local_drr_scale(args.scale_n) and ok
@@ -522,6 +785,8 @@ def main(argv: list[str] | None = None) -> int:
         ok = smoke_scale_large(
             args.scale_large_n, args.large_shards, args.large_budget, args.large_min_ratio
         ) and ok
+    if args.scale_xl:
+        ok = smoke_scale_xl(args.scale_xl_n, args.xl_budget) and ok
     if not args.no_json and BENCH_ROWS:
         path = append_bench_rows(BENCH_ROWS, args.json)
         print(f"recorded {len(BENCH_ROWS)} benchmark row(s) in {path}")

@@ -179,6 +179,7 @@ class TopologySpec:
 #: are rejected at spec-construction time).
 BACKEND_OPTION_KEYS: dict[str, frozenset[str]] = {
     "sharded": frozenset({"shards", "min_batch"}),
+    "compiled": frozenset({"shards", "min_batch"}),
 }
 
 

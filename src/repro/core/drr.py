@@ -217,7 +217,7 @@ def _run_drr_vectorized(
                 senders=finders, round_index=rounds - 1, alive=alive_arg,
             )
             connect_delivered[finders] = connect_ok
-            active = active[~found]
+            active = kernel.compact_frontier(active, found)
 
     forest = Forest(parent=parent, rank=ranks, alive=alive)
     forest.validate()

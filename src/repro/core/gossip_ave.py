@@ -209,20 +209,11 @@ def _gossip_ave_vectorized(
             kind=MessageKind.GOSSIP, position=position, root_of=root_of,
             alive=alive_arg, payload_words=2,
         )
-        delivered = receiver >= 0
-        if delivered.any():
-            landed = receiver[delivered]
-            # bincount is the fused scatter-add (one C pass per round).  It
-            # pre-sums the round's contributions before folding into s/g,
-            # so results differ from per-message folding at the last ulp —
-            # inside the documented 1e-12 fold-order tolerance, like every
-            # other sum-type reordering between the backends.
-            s += np.bincount(landed, weights=send_s[delivered], minlength=m).astype(
-                estimate_dtype, copy=False
-            )
-            g += np.bincount(landed, weights=send_g[delivered], minlength=m).astype(
-                estimate_dtype, copy=False
-            )
+        # The fused scatter-add pre-sums the round's contributions before
+        # folding into s/g, so results differ from per-message folding at
+        # the last ulp — inside the documented 1e-12 fold-order tolerance,
+        # like every other sum-type reordering between the backends.
+        kernel.fold_pushes(receiver, send_s, send_g, s, g)
 
         if trace_pos is not None:
             history.append(float(s[trace_pos] / g[trace_pos]) if g[trace_pos] > 0 else float("nan"))

@@ -21,6 +21,7 @@ __all__ = [
     "DEFAULT_BENCH_FILE",
     "append_bench_rows",
     "current_git_sha",
+    "filter_bench_rows",
     "format_bench_table",
     "load_bench_rows",
 ]
@@ -80,6 +81,37 @@ def append_bench_rows(
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def filter_bench_rows(
+    rows: Sequence[Mapping[str, Any]],
+    bench_name: str | None = None,
+    since_sha: str | None = None,
+) -> list[dict[str, Any]]:
+    """Filter the trajectory by bench name and/or starting commit.
+
+    ``bench_name`` keeps rows whose ``bench`` field equals the name.
+    ``since_sha`` keeps the suffix of the append-ordered trajectory starting
+    at the first row stamped with that commit; SHAs prefix-match in both
+    directions, so short and full forms are interchangeable.  A ``since_sha``
+    that never appears in the trajectory raises ``ValueError`` (a typo'd SHA
+    silently matching nothing would read as "no regressions since then").
+    """
+    filtered = [dict(row) for row in rows]
+    if since_sha is not None:
+        want = str(since_sha).strip()
+        start = None
+        for index, row in enumerate(filtered):
+            sha = str(row.get("git_sha") or "")
+            if sha and (sha.startswith(want) or want.startswith(sha)):
+                start = index
+                break
+        if start is None:
+            raise ValueError(f"no bench row is stamped with commit {want!r}")
+        filtered = filtered[start:]
+    if bench_name is not None:
+        filtered = [row for row in filtered if row.get("bench") == bench_name]
+    return filtered
 
 
 def format_bench_table(rows: Sequence[Mapping[str, Any]]) -> str:

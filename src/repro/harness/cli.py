@@ -139,23 +139,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(available_backends()),
         default="vectorized",
         help="execution substrate: columnar batches (vectorized), multiprocessing "
-        "shards over shared memory (sharded), or message-level simulation (engine)",
+        "shards over shared memory (sharded), numba-jitted primitives (compiled; "
+        "needs the numba extra), or message-level simulation (engine)",
     )
     run.add_argument(
         "--shards",
         type=int,
         default=None,
         metavar="P",
-        help="worker processes for the sharded backend (default: REPRO_SHARDS or "
-        "min(4, cpu count); ignored by the other backends)",
+        help="worker processes for the sharded/compiled backends (sharded default: "
+        "REPRO_SHARDS or min(4, cpu count); compiled default: 1, i.e. inline jitted "
+        "loops; rejected by backends without a configure() seam)",
     )
     run.add_argument(
         "--min-batch",
         type=int,
         default=None,
         metavar="K",
-        help="sharded backend: batches smaller than K run inline in the parent "
-        "(0 forces every batch through the pool; ignored by the other backends)",
+        help="sharded/compiled backends: batches smaller than K run inline in the "
+        "parent (0 forces every batch through the pool; rejected by backends "
+        "without a configure() seam)",
     )
     run.add_argument(
         "--telemetry",
@@ -269,6 +272,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="trajectory file for --bench (default: BENCH_substrate.json in the current directory)",
     )
     results.add_argument(
+        "--bench-name",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="with --bench: restrict to rows of one bench (e.g. drr_gossip_scale)",
+    )
+    results.add_argument(
+        "--since",
+        type=str,
+        default=None,
+        metavar="SHA",
+        help="with --bench: drop rows recorded before the first row stamped with "
+        "this commit (short or full SHA)",
+    )
+    results.add_argument(
         "--telemetry",
         action="store_true",
         help="show stored per-run telemetry summaries and live heartbeat rows",
@@ -310,10 +328,19 @@ def _export_events(telemetry_doc: dict, target: str, append: bool) -> None:
 
 def _run_single(args: argparse.Namespace) -> int:
     if args.shards is not None or args.min_batch is not None:
-        from ..substrate import sharded
+        from ..substrate import BACKENDS
 
+        # Any backend exposing a configure() seam takes the sharding knobs
+        # (today: sharded and compiled).
+        configure = getattr(BACKENDS.get(args.backend), "configure", None)
+        if configure is None:
+            print(
+                f"error: backend {args.backend!r} takes no --shards/--min-batch",
+                file=sys.stderr,
+            )
+            return 2
         try:
-            sharded.configure(shards=args.shards, min_batch=args.min_batch)
+            configure(shards=args.shards, min_batch=args.min_batch)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -565,18 +592,28 @@ def _run_plot(args: argparse.Namespace) -> int:
 
 def _run_results(args: argparse.Namespace) -> int:
     if args.bench:
-        from .benchlog import DEFAULT_BENCH_FILE, format_bench_table, load_bench_rows
+        from .benchlog import (
+            DEFAULT_BENCH_FILE,
+            filter_bench_rows,
+            format_bench_table,
+            load_bench_rows,
+        )
 
         bench_path = Path(args.bench_file) if args.bench_file else Path(DEFAULT_BENCH_FILE)
         try:
             rows = load_bench_rows(bench_path)
+            if rows:
+                rows = filter_bench_rows(
+                    rows, bench_name=args.bench_name, since_sha=args.since
+                )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         if not rows:
             print(
                 f"no benchmark rows at {bench_path} "
-                "(run `python benchmarks/bench_substrate.py` to record some)",
+                "(run `python benchmarks/bench_substrate.py` to record some; "
+                "--bench-name/--since narrow the table)",
             )
             return 0
         print(format_bench_table(rows))
@@ -596,6 +633,9 @@ def _run_results(args: argparse.Namespace) -> int:
         return 0
     if args.plot:
         print("error: --plot requires --bench (the store path is `drr-gossip plot`)", file=sys.stderr)
+        return 2
+    if args.bench_name is not None or args.since is not None:
+        print("error: --bench-name/--since require --bench", file=sys.stderr)
         return 2
     if not Path(args.store).exists():
         print(f"no result store at {args.store} (run `drr-gossip sweep` first)", file=sys.stderr)

@@ -41,7 +41,7 @@ import numpy as np
 
 from .errors import ConfigurationError
 
-__all__ = ["FailureModel", "LossOracle", "kind_salt", "paper_delta_range"]
+__all__ = ["FailureModel", "LossOracle", "kind_salt", "paper_delta_range", "set_batch_hasher"]
 
 
 def paper_delta_range(n: int) -> tuple[float, float]:
@@ -196,6 +196,23 @@ def _as_u64(value) -> np.ndarray:
     return np.asarray(value, dtype=np.int64).astype(np.uint64)
 
 
+#: optional compiled batch hasher installed by :mod:`repro.substrate.compiled`
+#: when numba is importable.  Signature matches :meth:`LossOracle._mix` plus
+#: the leading run key; must be bit-identical to the NumPy chain below (the
+#: backend-equivalence suite enforces this wherever numba is present).
+_BATCH_HASHER = None
+
+#: batches below this stay on the NumPy chain — the jitted call's fixed
+#: overhead only pays off once the hash loop dominates.
+_BATCH_HASHER_MIN = 4096
+
+
+def set_batch_hasher(hasher) -> None:
+    """Install (or, with ``None``, remove) the accelerated batch hasher."""
+    global _BATCH_HASHER
+    _BATCH_HASHER = hasher
+
+
 class LossOracle:
     """Per-transmission loss decisions keyed by transmission identity.
 
@@ -250,6 +267,14 @@ class LossOracle:
             kind_value = kind_value.astype(np.uint64, copy=False)
         else:
             kind_value = np.uint64(kind_value)
+        if (
+            _BATCH_HASHER is not None
+            and isinstance(recipients, np.ndarray)
+            and recipients.size >= _BATCH_HASHER_MIN
+        ):
+            return _BATCH_HASHER(
+                self.key, kind_value, round_index, senders, recipients, nonces
+            )
         with np.errstate(over="ignore"):
             x = _splitmix64(np.uint64(self.key) ^ kind_value)
             x = _splitmix64(x ^ _as_u64(round_index))

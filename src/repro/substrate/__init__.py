@@ -1,6 +1,6 @@
 """Backend-selectable execution substrate.
 
-One simulation kernel, three interchangeable backends:
+One simulation kernel, four interchangeable backends:
 
 * ``vectorized`` — columnar NumPy execution; an entire round's calls and
   replies are batched as arrays.  Scales to millions of nodes.
@@ -9,6 +9,11 @@ One simulation kernel, three interchangeable backends:
   round).  Targets ``n >= 10^7``; configure the shard count via
   :func:`repro.substrate.sharded.configure`, ``REPRO_SHARDS``, or
   ``RunSpec.backend_options``.
+* ``compiled`` — the columnar kernel with numba-jitted hot primitives
+  (:mod:`repro.substrate.compiled`).  Targets ``n`` up to ``10^8``;
+  requires the optional numba extra (``pip install .[compiled]``) and
+  deregisters itself with an explanatory error when numba is missing.
+  Composes with sharding via ``backend_options={"shards": P}``.
 * ``engine`` — per-node message-level execution on the
   :class:`~repro.simulator.engine.SynchronousEngine`.  The fidelity
   reference.
@@ -27,7 +32,9 @@ and never shard-boundary-dependent).
 """
 
 from .delivery import (
+    compact_frontier,
     deliver_batch,
+    fold_pushes,
     occurrence_index,
     probe_exchange,
     relay_to_roots,
@@ -42,6 +49,7 @@ from .topology_kernel import (
 from .kernel import (
     BACKENDS,
     DEFAULT_BACKEND,
+    UNAVAILABLE_BACKENDS,
     EngineKernel,
     Kernel,
     VectorizedKernel,
@@ -51,19 +59,25 @@ from .kernel import (
     run_on,
 )
 from .sharded import ShardedKernel, shutdown_pools
+from .compiled import NUMBA_AVAILABLE, CompiledKernel
 from . import tuning
 
 __all__ = [
     "BACKENDS",
     "ChordLookupBatch",
     "ChordLookupNode",
+    "CompiledKernel",
     "DEFAULT_BACKEND",
     "EngineKernel",
     "Kernel",
+    "NUMBA_AVAILABLE",
     "ShardedKernel",
+    "UNAVAILABLE_BACKENDS",
     "VectorizedKernel",
     "available_backends",
+    "compact_frontier",
     "deliver_batch",
+    "fold_pushes",
     "get_kernel",
     "neighbor_broadcast",
     "occurrence_index",

@@ -55,7 +55,9 @@ from ..simulator.metrics import MetricsCollector
 from .tuning import get_tuning
 
 __all__ = [
+    "compact_frontier",
     "deliver_batch",
+    "fold_pushes",
     "occurrence_index",
     "probe_exchange",
     "relay_to_roots",
@@ -96,23 +98,70 @@ def sample_uniform(
     return targets.astype(dtype, copy=False)
 
 
-def occurrence_index(keys: np.ndarray) -> np.ndarray:
-    """Occurrence rank of each element among equal keys, in array order.
+#: peeling bails to the sort path above this duplicate depth — beyond it the
+#: batch is adversarially skewed and the stable sort is the better constant.
+_PEEL_MAX_DEPTH = 64
 
-    ``occurrence_index([5, 3, 5, 5, 3]) == [0, 0, 1, 2, 1]``.  Used to build
-    loss-oracle nonces for batches that may repeat a (sender, recipient)
-    pair within a round: the engine assigns the same ranks by counting a
-    node's sends in arrival order, which equals batch order here.
-    """
-    keys = np.asarray(keys)
-    if keys.size == 0:
-        return np.zeros(0, dtype=np.int64)
+
+def _occurrence_index_sorted(keys: np.ndarray) -> np.ndarray:
+    """Stable-sort fallback for sparse / non-integer / deeply skewed keys."""
     order = np.argsort(keys, kind="stable")
     sorted_keys = keys[order]
     new_group = np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
     group_start = np.maximum.accumulate(np.where(new_group, np.arange(keys.size), 0))
     ranks = np.empty(keys.size, dtype=np.int64)
     ranks[order] = np.arange(keys.size) - group_start
+    return ranks
+
+
+def occurrence_index(keys: np.ndarray) -> np.ndarray:
+    """Occurrence rank of each element among equal keys, in array order.
+
+    ``occurrence_index([5, 3, 5, 5, 2]) == [0, 0, 1, 2, 0]``.  Used to build
+    loss-oracle nonces for batches that may repeat a (sender, recipient)
+    pair within a round: the engine assigns the same ranks by counting a
+    node's sends in arrival order, which equals batch order here.
+
+    The hot-path batches (forwarders of a lossy Phase III relay) carry dense
+    integer node ids whose duplicate depth is the balls-in-bins maximum load,
+    ``O(log n / log log n)`` w.h.p.  Those run through a linear counting
+    scheme: one ``bincount`` over the key range plus one scatter/gather pass
+    per duplicate level, so the global stable sort that used to dominate the
+    lossy relay is gone.  Sparse, non-integer, or adversarially skewed keys
+    fall back to the stable sort.  (The compiled kernel replaces this with a
+    true single-pass counting loop.)
+    """
+    keys = np.asarray(keys)
+    size = int(keys.size)
+    if size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if not np.issubdtype(keys.dtype, np.integer):
+        return _occurrence_index_sorted(keys)
+    lo = int(keys.min())
+    span = int(keys.max()) - lo + 1
+    if span > 4 * size + 1024:
+        return _occurrence_index_sorted(keys)
+    slots = (keys.astype(np.int64, copy=False) - lo) if lo else keys.astype(np.int64, copy=False)
+    depth = int(np.bincount(slots, minlength=span).max())
+    if depth == 1:
+        return np.zeros(size, dtype=np.int64)
+    if depth > _PEEL_MAX_DEPTH:
+        return _occurrence_index_sorted(keys)
+    ranks = np.empty(size, dtype=np.int64)
+    idx = np.arange(size)
+    first = np.empty(span, dtype=np.int64)
+    for level in range(depth):
+        live = slots[idx]
+        # Duplicate fancy-index assignment keeps the *last* write; reversing
+        # makes the earliest remaining occurrence of each key win.  Stale
+        # entries from earlier levels are never read: a slot is always
+        # rewritten in the same pass that reads it.
+        first[live[::-1]] = idx[::-1]
+        is_first = first[live] == idx
+        ranks[idx[is_first]] = level
+        idx = idx[~is_first]
+        if not idx.size:
+            break
     return ranks
 
 
@@ -303,6 +352,45 @@ def relay_to_roots(
         )
         receiver[send_idx[arrived]] = position[hop_to[arrived]]
     return receiver
+
+
+def compact_frontier(active: np.ndarray, drop: np.ndarray) -> np.ndarray:
+    """Remove the dropped senders from a compacted frontier, keeping order.
+
+    ``active[~drop]`` spelled as a kernel primitive so backends can fuse the
+    mask inversion and the gather (the vectorized form materialises ``~drop``
+    every DRR round; the compiled kernel writes survivors in one pass).
+    """
+    return active[~drop]
+
+
+@instrumented("substrate.fold_pushes")
+def fold_pushes(
+    receiver: np.ndarray,
+    send_s: np.ndarray,
+    send_g: np.ndarray,
+    s: np.ndarray,
+    g: np.ndarray,
+) -> None:
+    """Fold one gossip round's delivered pushes into ``s``/``g`` in place.
+
+    ``receiver`` holds the landing position of each push (-1 = dropped).
+    bincount is the fused scatter-add (one C pass per round): it pre-sums
+    the round's contributions per position *in batch order* before folding
+    into the accumulators, and every backend reproduces exactly that
+    summation order so fixed-seed estimates stay bit-identical.
+    """
+    delivered = receiver >= 0
+    if not delivered.any():
+        return
+    landed = receiver[delivered]
+    m = s.size
+    s += np.bincount(landed, weights=send_s[delivered], minlength=m).astype(
+        s.dtype, copy=False
+    )
+    g += np.bincount(landed, weights=send_g[delivered], minlength=m).astype(
+        g.dtype, copy=False
+    )
 
 
 def _relay_reliable(

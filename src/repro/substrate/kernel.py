@@ -51,7 +51,9 @@ from ..simulator.metrics import MetricsCollector
 from ..simulator.network import Network
 from ..simulator.node import ProtocolNode
 from .delivery import (
+    compact_frontier,
     deliver_batch,
+    fold_pushes,
     occurrence_index,
     probe_exchange,
     relay_to_roots,
@@ -64,6 +66,7 @@ __all__ = [
     "EngineKernel",
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "UNAVAILABLE_BACKENDS",
     "available_backends",
     "get_kernel",
     "normalize_backend",
@@ -104,6 +107,10 @@ class VectorizedKernel(Kernel):
     sample_uniform = staticmethod(sample_uniform)
     #: per-(key) send ranks, matching the engine's per-node send numbering
     occurrence_index = staticmethod(occurrence_index)
+    #: drop found senders from the compacted DRR frontier (order-preserving)
+    compact_frontier = staticmethod(compact_frontier)
+    #: fused scatter-add folding a gossip round's pushes into the accumulators
+    fold_pushes = staticmethod(fold_pushes)
 
 
 class EngineKernel(Kernel):
@@ -175,6 +182,13 @@ BACKENDS: dict[str, Kernel] = {
 
 DEFAULT_BACKEND = VectorizedKernel.name
 
+#: backends that exist but could not register in this environment, mapped to
+#: the human-readable reason (e.g. ``compiled`` without numba installed).
+#: :func:`normalize_backend` turns the reason into the error message, so a
+#: user selecting an uninstalled backend learns how to get it rather than
+#: being told it does not exist.
+UNAVAILABLE_BACKENDS: dict[str, str] = {}
+
 
 def available_backends() -> tuple[str, ...]:
     """Names of the registered backends (stable order: default first)."""
@@ -190,6 +204,12 @@ def normalize_backend(backend: str | Kernel | None) -> str:
         return backend.name
     name = str(backend).strip().lower()
     if name not in BACKENDS:
+        reason = UNAVAILABLE_BACKENDS.get(name)
+        if reason is not None:
+            raise ConfigurationError(
+                f"substrate backend {name!r} is not available: {reason} "
+                f"(available: {', '.join(available_backends())})"
+            )
         raise ConfigurationError(
             f"unknown substrate backend {backend!r} "
             f"(available: {', '.join(available_backends())})"

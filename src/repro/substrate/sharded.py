@@ -18,10 +18,13 @@ Architecture
 * Each round's batch is split into ``P`` contiguous slices; every worker
   runs its local slice columnar-style (the same NumPy passes the
   vectorized kernel runs) and the parent joins them with **one barrier per
-  round** before charging metrics.
-* Work below ``min_batch`` (and every step whose cross-slice ordering the
-  identity-keyed oracle does not erase, e.g. the forwarding nonces of a
-  *lossy* Phase III relay) runs inline on the inherited vectorized path.
+  round** before charging metrics.  The *lossy* Phase III relay is the one
+  two-barrier op: slice-local first-hop fates plus per-slice
+  ``occurrence_index`` partials, an exclusive-scan merge of per-key
+  forward counts across slice boundaries in the parent (so every FORWARD
+  nonce equals its batch-global occurrence rank), then slice-local
+  second-hop fates.
+* Work below ``min_batch`` runs inline on the inherited vectorized path.
 
 Equivalence
 -----------
@@ -60,6 +63,7 @@ from ..observability.telemetry import current_telemetry
 from ..simulator.failures import LossOracle
 from ..simulator.message import MessageKind
 from ..simulator.metrics import MetricsCollector
+from .delivery import occurrence_index
 from .kernel import BACKENDS, VectorizedKernel
 
 __all__ = ["ShardedKernel", "ShardPool", "configure", "default_shards", "shutdown_pools"]
@@ -234,12 +238,118 @@ def _op_relay_reliable(task, state: _WorkerState, lo: int, hi: int):
     return first_count, forwards, forward_arrived
 
 
+def _op_relay_lossy_first(task, state: _WorkerState, lo: int, hi: int):
+    """First hop of the lossy two-hop relay for a slice.
+
+    Computes slice-local first-hop fates, resolves direct root hits into the
+    ``out`` (receiver) column, and marks the pushes that need a FORWARD in
+    the ``fwd`` column (forwarder node id, -1 otherwise).  The ``nonce``
+    column receives the *slice-local* occurrence rank of each forward; the
+    parent later adds the exclusive-scan offset of earlier slices so every
+    nonce becomes the batch-global occurrence rank the engine assigns.
+    Returns ``(first_ok_count, sorted unique forwarder ids, their counts)``
+    — the per-slice partials of the cross-shard merge.
+    """
+    targets = state.column(task["arena"], task["targets"])[lo:hi]
+    senders = state.column(task["arena"], task["senders"])[lo:hi]
+    position = state.mirror(task["position"])
+    root_of = state.mirror(task["root_of"])
+    alive = state.mirror(task["alive"]) if task.get("alive") is not None else None
+    oracle = LossOracle(task["loss_probability"], task["key"])
+    first_lost = oracle.sample(task["round_index"], task["kind"], senders, targets)
+    first_ok = ~first_lost if alive is None else ~first_lost & alive[targets]
+    receiver = np.full(hi - lo, -1, dtype=np.int64)
+    is_root_target = position[targets] >= 0
+    direct = first_ok & is_root_target
+    receiver[direct] = position[targets[direct]]
+    fwd = np.full(hi - lo, -1, dtype=np.int64)
+    local_rank = np.zeros(hi - lo, dtype=np.int64)
+    needs_forward = np.flatnonzero(first_ok & ~is_root_target)
+    forwarders = targets[needs_forward]
+    knows_root = root_of[forwarders] >= 0
+    send_idx = needs_forward[knows_root]
+    if send_idx.size:
+        hop_from = np.asarray(targets[send_idx], dtype=np.int64)
+        fwd[send_idx] = hop_from
+        local_rank[send_idx] = occurrence_index(hop_from)
+        unique_keys, key_counts = np.unique(hop_from, return_counts=True)
+    else:
+        unique_keys = np.zeros(0, dtype=np.int64)
+        key_counts = np.zeros(0, dtype=np.int64)
+    state.column(task["arena"], task["out"])[lo:hi] = receiver
+    state.column(task["arena"], task["fwd"])[lo:hi] = fwd
+    state.column(task["arena"], task["nonce"])[lo:hi] = local_rank
+    return int(first_ok.sum()), unique_keys, key_counts.astype(np.int64, copy=False)
+
+
+def _op_relay_lossy_second(task, state: _WorkerState, lo: int, hi: int):
+    """Forward hop of the lossy relay for a slice (nonces already merged)."""
+    fwd = state.column(task["arena"], task["fwd"])[lo:hi]
+    nonces = state.column(task["arena"], task["nonce"])[lo:hi]
+    receiver = state.column(task["arena"], task["out"])[lo:hi]
+    position = state.mirror(task["position"])
+    root_of = state.mirror(task["root_of"])
+    alive = state.mirror(task["alive"]) if task.get("alive") is not None else None
+    oracle = LossOracle(task["loss_probability"], task["key"])
+    send_idx = np.flatnonzero(fwd >= 0)
+    forwards = int(send_idx.size)
+    if not forwards:
+        return 0, 0
+    hop_from = fwd[send_idx]
+    hop_to = root_of[hop_from]
+    second_lost = oracle.sample(
+        task["round_index"], MessageKind.FORWARD, hop_from, hop_to,
+        nonces=nonces[send_idx],
+    )
+    arrived = ~second_lost if alive is None else ~second_lost & alive[hop_to]
+    receiver[send_idx[arrived]] = position[hop_to[arrived]]
+    return forwards, int(arrived.sum())
+
+
 _OPS = {
     "fates": _op_fates,
     "probe": _op_probe,
     "relay_reliable": _op_relay_reliable,
+    "relay_lossy_first": _op_relay_lossy_first,
+    "relay_lossy_second": _op_relay_lossy_second,
     "ping": lambda task, state, lo, hi: None,
 }
+
+
+def _merge_rank_offsets(
+    key_lists: list[np.ndarray], count_lists: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Exclusive scan of per-key forward counts across slice boundaries.
+
+    ``key_lists[p]`` / ``count_lists[p]`` are slice ``p``'s sorted unique
+    forwarder ids and their forward counts.  Returns, per slice, the number
+    of forwards each of its keys performed in *earlier* slices — exactly the
+    offset that turns a slice-local occurrence rank into the batch-global
+    one (slices are contiguous, so batch order is slice order).
+    """
+    sizes = [int(keys.size) for keys in key_lists]
+    total = sum(sizes)
+    if total == 0:
+        return [np.zeros(0, dtype=np.int64) for _ in key_lists]
+    cat_keys = np.concatenate(key_lists)
+    cat_counts = np.concatenate(count_lists)
+    # Stable sort by key: entries of one key stay in slice order, so the
+    # exclusive cumsum within each group counts earlier slices only.
+    order = np.argsort(cat_keys, kind="stable")
+    sorted_keys = cat_keys[order]
+    sorted_counts = cat_counts[order]
+    exclusive = np.cumsum(sorted_counts) - sorted_counts
+    new_group = np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+    group_base = np.maximum.accumulate(np.where(new_group, exclusive, 0))
+    within = exclusive - group_base
+    offsets = np.empty(total, dtype=np.int64)
+    offsets[order] = within
+    out: list[np.ndarray] = []
+    start = 0
+    for size in sizes:
+        out.append(offsets[start:start + size])
+        start += size
+    return out
 
 
 def _worker_main(conn, worker_index: int, shards: int) -> None:
@@ -604,6 +714,15 @@ class ShardedKernel(VectorizedKernel):
         if tel.enabled:
             tel.count(reason)
 
+    # -- inline fallbacks ----------------------------------------------- #
+    # Batches the pool rejects (below ``min_batch``, or a single shard) run
+    # through these hooks; the compiled kernel overrides them with its
+    # jitted implementations, which is how ``sharded`` composes with
+    # ``compiled`` slice-local ops.
+    _inline_deliver = staticmethod(VectorizedKernel.deliver)
+    _inline_probe_exchange = staticmethod(VectorizedKernel.probe_exchange)
+    _inline_relay_to_roots = staticmethod(VectorizedKernel.relay_to_roots)
+
     # -- primitives ---------------------------------------------------- #
     def deliver(
         self,
@@ -622,7 +741,7 @@ class ShardedKernel(VectorizedKernel):
         count = int(targets.size)
         pool = None if (oracle.reliable and alive is None) else self._pool_for(count)
         if pool is None:
-            return VectorizedKernel.deliver(
+            return self._inline_deliver(
                 metrics, oracle, kind, targets,
                 senders=senders, round_index=round_index, alive=alive,
                 payload_words=payload_words, nonces=nonces,
@@ -672,7 +791,7 @@ class ShardedKernel(VectorizedKernel):
         count = int(targets.size)
         pool = self._pool_for(count)
         if pool is None:
-            return VectorizedKernel.probe_exchange(
+            return self._inline_probe_exchange(
                 metrics, oracle, targets,
                 senders=senders, ranks=ranks, round_index=round_index, alive=alive,
             )
@@ -715,38 +834,138 @@ class ShardedKernel(VectorizedKernel):
     ) -> np.ndarray:
         targets = np.asarray(targets)
         count = int(targets.size)
-        if not oracle.reliable:
-            self._count_inline("sharded.inline.lossy_relay")
-            pool = None
-        else:
-            pool = self._pool_for(count)
+        pool = self._pool_for(count)
         if pool is None:
-            # Lossy relays need batch-global forwarding nonces
-            # (occurrence ranks), so they run inline — same results, the
-            # oracle keys fates by identity either way.
-            return VectorizedKernel.relay_to_roots(
+            return self._inline_relay_to_roots(
                 metrics, oracle, targets,
                 senders=senders, round_index=round_index, kind=kind,
                 position=position, root_of=root_of, alive=alive,
                 payload_words=payload_words,
             )
+        if oracle.reliable:
+            arena, specs = pool.stage(
+                {"targets": targets, "__out__": np.zeros(count, dtype=np.int64)}
+            )
+            task = {
+                "op": "relay_reliable",
+                "count": count,
+                "arena": arena,
+                "targets": specs["targets"],
+                "position": pool.mirror(position),
+                "root_of": pool.mirror(root_of),
+                "alive": pool.mirror(alive) if alive is not None else None,
+                "out": specs["__out__"],
+            }
+            counts = pool.run(task)
+            first_ok = sum(c[0] for c in counts)
+            forwards = sum(c[1] for c in counts)
+            forward_arrived = sum(c[2] for c in counts)
+            metrics.record_messages(kind, count, payload_words=payload_words, lost=count - first_ok)
+            if forwards:
+                metrics.record_messages(
+                    MessageKind.FORWARD,
+                    forwards,
+                    payload_words=payload_words,
+                    lost=forwards - forward_arrived,
+                )
+            return np.array(pool.out_column(arena, specs["__out__"]))
+        return self._relay_lossy_pooled(
+            pool, metrics, oracle, targets,
+            senders=senders, round_index=round_index, kind=kind,
+            position=position, root_of=root_of, alive=alive,
+            payload_words=payload_words,
+        )
+
+    def _relay_lossy_pooled(
+        self,
+        pool: ShardPool,
+        metrics: MetricsCollector,
+        oracle: LossOracle,
+        targets: np.ndarray,
+        *,
+        senders: np.ndarray,
+        round_index: int,
+        kind,
+        position: np.ndarray,
+        root_of: np.ndarray,
+        alive: np.ndarray | None,
+        payload_words: int,
+    ) -> np.ndarray:
+        """The lossy relay on the pool: two barriers, cross-shard nonces.
+
+        Barrier 1 computes slice-local first-hop fates and per-slice
+        occurrence partials; the parent merges the per-key forward counts
+        with one exclusive scan across slice boundaries and promotes each
+        slice-local rank to the batch-global occurrence rank in place;
+        barrier 2 hashes the FORWARD fates slice-locally against those
+        nonces.  Fates are identity-keyed, so the result is bit-identical
+        to the inline (and engine) relay.
+        """
+        count = int(targets.size)
+        senders = np.asarray(senders)
         arena, specs = pool.stage(
-            {"targets": targets, "__out__": np.zeros(count, dtype=np.int64)}
+            {
+                "targets": targets,
+                "senders": senders,
+                "fwd": np.full(count, -1, dtype=np.int64),
+                "nonce": np.zeros(count, dtype=np.int64),
+                "__out__": np.full(count, -1, dtype=np.int64),
+            }
         )
         task = {
-            "op": "relay_reliable",
+            "op": "relay_lossy_first",
             "count": count,
             "arena": arena,
             "targets": specs["targets"],
+            "senders": specs["senders"],
+            "fwd": specs["fwd"],
+            "nonce": specs["nonce"],
+            "round_index": int(round_index),
+            "kind": str(getattr(kind, "value", kind)),
+            "loss_probability": oracle.loss_probability,
+            "key": oracle.key,
             "position": pool.mirror(position),
             "root_of": pool.mirror(root_of),
             "alive": pool.mirror(alive) if alive is not None else None,
             "out": specs["__out__"],
         }
-        counts = pool.run(task)
-        first_ok = sum(c[0] for c in counts)
-        forwards = sum(c[1] for c in counts)
-        forward_arrived = sum(c[2] for c in counts)
+        partials = pool.run(task)
+        first_ok = sum(p[0] for p in partials)
+        offsets = _merge_rank_offsets([p[1] for p in partials], [p[2] for p in partials])
+        fwd_col = pool.out_column(arena, specs["fwd"])
+        nonce_col = pool.out_column(arena, specs["nonce"])
+        shards = pool.shards
+        for index in range(shards):
+            slice_keys = partials[index][1]
+            slice_offsets = offsets[index]
+            if not slice_keys.size or not slice_offsets.any():
+                continue
+            lo = count * index // shards
+            hi = count * (index + 1) // shards
+            fwd_slice = fwd_col[lo:hi]
+            forwarding = fwd_slice >= 0
+            if not forwarding.any():
+                continue
+            key_pos = np.searchsorted(slice_keys, fwd_slice[forwarding])
+            nonce_slice = nonce_col[lo:hi]
+            nonce_slice[forwarding] += slice_offsets[key_pos]
+        second = {
+            "op": "relay_lossy_second",
+            "count": count,
+            "arena": arena,
+            "fwd": specs["fwd"],
+            "nonce": specs["nonce"],
+            "round_index": int(round_index),
+            "loss_probability": oracle.loss_probability,
+            "key": oracle.key,
+            "position": task["position"],
+            "root_of": task["root_of"],
+            "alive": task["alive"],
+            "out": specs["__out__"],
+        }
+        counts = pool.run(second)
+        forwards = sum(c[0] for c in counts)
+        forward_arrived = sum(c[1] for c in counts)
         metrics.record_messages(kind, count, payload_words=payload_words, lost=count - first_ok)
         if forwards:
             metrics.record_messages(

@@ -319,9 +319,14 @@ class TestShardedTelemetry:
         assert result.messages == plain.messages
         assert np.array_equal(result.estimates, plain.estimates)
 
-    def test_lossy_relay_falls_back_inline_and_is_counted(self):
+    def test_lossy_relay_runs_pooled_with_no_inline_counters(self):
+        # The lossy Phase III relay shards (two barriers, cross-shard
+        # occurrence-rank merge): with min_batch=0 nothing falls back
+        # inline, so no ``sharded.inline.*`` counter may fire.
         result, doc = self._run(failure_model=FailureModel(loss_probability=0.05))
-        assert doc["counters"]["sharded.inline.lossy_relay"] > 0
+        inline = [name for name in doc["counters"] if name.startswith("sharded.inline.")]
+        assert inline == []
+        assert doc["sharded"]["pool_rounds"] > 0
 
     def test_small_batches_are_counted_when_min_batch_gates(self):
         kernel = BACKENDS["sharded"]
