@@ -73,6 +73,8 @@ from ..observability import (
 )
 from ..substrate import available_backends
 from ..orchestration import (
+    EXECUTION_BACKENDS,
+    QueueWorker,
     ResultStore,
     SweepDefinition,
     SweepRunner,
@@ -81,7 +83,9 @@ from ..orchestration import (
     load_builtin_experiments,
     load_sweep,
     print_progress,
+    print_worker_progress,
 )
+from ..orchestration.worker import DEFAULT_LEASE_S, DEFAULT_MAX_ATTEMPTS
 from ..simulator import FailureModel
 from . import experiments  # noqa: F401  (import registers the drivers)
 from .report import write_json, write_markdown_report, write_markdown_report_from_store
@@ -233,6 +237,106 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-execute cells even when the store already has their results",
     )
+    sweep.add_argument(
+        "--exec",
+        dest="exec_backend",
+        choices=list(EXECUTION_BACKENDS),
+        default="local",
+        help="execution backend: 'local' fans cells over this host's process pool; "
+        "'queue' enqueues them in the store's claimable work queue and drains it "
+        "with --jobs workers (plus any `drr-gossip worker` processes on hosts "
+        "sharing the store)",
+    )
+    sweep.add_argument(
+        "--enqueue-only",
+        action="store_true",
+        help="with --exec queue: enqueue the cells and exit without draining "
+        "(start `drr-gossip worker` processes to execute them)",
+    )
+    sweep.add_argument(
+        "--lease",
+        type=float,
+        default=DEFAULT_LEASE_S,
+        metavar="SECS",
+        help="queue backend: heartbeat silence after which a claim is reclaimed",
+    )
+    sweep.add_argument(
+        "--max-attempts",
+        type=int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        metavar="N",
+        help="queue backend: claims per cell before it is marked failed",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="claim and execute queued sweep cells from a shared store until it drains",
+    )
+    worker.add_argument("--store", type=str, default=DEFAULT_STORE, help="SQLite result store path")
+    worker.add_argument(
+        "--worker-id",
+        type=str,
+        default=None,
+        help="claim owner label recorded in the queue (default: host:pid)",
+    )
+    worker.add_argument(
+        "--lease",
+        type=float,
+        default=DEFAULT_LEASE_S,
+        metavar="SECS",
+        help="heartbeat silence after which another worker's claim is reclaimed",
+    )
+    worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        metavar="N",
+        help="claims per cell before it is marked failed instead of reclaimed",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECS",
+        help="idle sleep between claim attempts while other workers hold cells",
+    )
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=15.0,
+        metavar="SECS",
+        help="how often an executing cell refreshes its claim's heartbeat row",
+    )
+    worker.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="keep polling an empty queue this long before exiting (start workers "
+        "before submitting work)",
+    )
+    worker.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after handling N cells (default: drain the queue)",
+    )
+    worker.add_argument(
+        "--no-skip",
+        action="store_true",
+        help="execute claims even when the store already has their results "
+        "(disables the content-addressed cache check)",
+    )
+    worker.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="record per-claim/execute/write spans and queue-depth gauges; with "
+        "FILE, also export the events as JSONL",
+    )
 
     plot = sub.add_parser(
         "plot",
@@ -303,6 +407,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="results/figures",
         metavar="DIR",
         help="output directory for --plot figures",
+    )
+    results.add_argument(
+        "--queue",
+        action="store_true",
+        help="show the distributed work queue: per-experiment state counts and "
+        "claims whose heartbeats have gone stale",
+    )
+    results.add_argument(
+        "--stale-after",
+        type=float,
+        default=DEFAULT_LEASE_S,
+        metavar="SECS",
+        help="with --queue: flag claims with no heartbeat for this long as stale",
     )
     return parser
 
@@ -457,10 +574,43 @@ def _apply_backend(definition: SweepDefinition, backend: str) -> SweepDefinition
     return dataclasses.replace(definition, plans=tuple(plans))
 
 
+def _enqueue_cells(args: argparse.Namespace, cells, name: str) -> int:
+    """``sweep --exec queue --enqueue-only``: fill the queue, let workers drain it."""
+    with ResultStore(args.store) as store:
+        done = store.completed_cells() if not args.no_skip else set()
+        entries: list[tuple[str, str, int, str]] = []
+        seen: set[str] = set()
+        completed = 0
+        for cell in cells:
+            if cell.key in done:
+                completed += 1
+                continue
+            spec = cell.spec_json()
+            if spec in seen:
+                continue
+            seen.add(spec)
+            entries.append((cell.experiment, cell.param_hash, cell.seed, spec))
+        enqueued = store.enqueue_cells(entries)
+        depth = store.queue_depth()
+    duplicates = len(cells) - completed - len(entries)
+    print(
+        f"sweep {name!r}: enqueued {enqueued} of {len(cells)} cell(s) "
+        f"({completed} already completed, {duplicates} duplicate specs)"
+    )
+    print(
+        f"queue: {depth['pending']} pending, {depth['claimed']} claimed, "
+        f"{depth['done']} done, {depth['failed']} failed"
+    )
+    print(f"drain with: drr-gossip worker --store {args.store}")
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     try:
         if args.jobs < 1:
             raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
+        if args.enqueue_only and args.exec_backend != "queue":
+            raise ValueError("--enqueue-only requires --exec queue")
         if args.spec:
             if args.config or args.experiments or args.ns or args.seed is not None:
                 raise ValueError(
@@ -471,11 +621,16 @@ def _run_sweep(args: argparse.Namespace) -> int:
             if args.backend is not None:
                 specs = [spec.with_backend(args.backend) for spec in specs]
             cells = cells_from_run_specs(specs, repetitions=args.reps if args.reps is not None else 1)
+            if args.enqueue_only:
+                return _enqueue_cells(args, cells, Path(args.spec).stem)
             with ResultStore(args.store) as store:
                 runner = SweepRunner(
                     store,
                     jobs=args.jobs,
+                    backend=args.exec_backend,
                     skip_completed=not args.no_skip,
+                    lease_s=args.lease,
+                    max_attempts=args.max_attempts,
                     progress=print_progress,
                 )
                 report = runner.run_cells(cells, name=Path(args.spec).stem)
@@ -512,7 +667,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
             )
         if args.backend is not None:
             definition = _apply_backend(definition, args.backend)
-        expand_cells(definition)  # validate experiment names and grids up front
+        cells = expand_cells(definition)  # validate experiment names and grids up front
+        if args.enqueue_only:
+            return _enqueue_cells(args, cells, definition.name)
     except (KeyError, ValueError, TypeError, OSError) as exc:
         message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -521,13 +678,77 @@ def _run_sweep(args: argparse.Namespace) -> int:
         runner = SweepRunner(
             store,
             jobs=args.jobs,
+            backend=args.exec_backend,
             skip_completed=not args.no_skip,
+            lease_s=args.lease,
+            max_attempts=args.max_attempts,
             progress=print_progress,
         )
-        report = runner.run(definition)
+        report = runner.run_cells(cells, name=definition.name)
     print(report.summary())
     print(f"store: {args.store}")
     return 0 if report.failed == 0 else 1
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    if args.store != ":memory:" and not Path(args.store).exists():
+        print(
+            f"no result store at {args.store} "
+            "(enqueue cells with `drr-gossip sweep --exec queue --enqueue-only` first)",
+            file=sys.stderr,
+        )
+        return 1
+    want_telemetry = args.telemetry is not None
+    tel = Telemetry() if want_telemetry else None
+    try:
+        with ResultStore(args.store) as store:
+            worker = QueueWorker(
+                store,
+                worker_id=args.worker_id,
+                lease_s=args.lease,
+                max_attempts=args.max_attempts,
+                poll_interval_s=args.poll,
+                heartbeat_interval_s=args.heartbeat,
+                linger_s=args.linger,
+                max_cells=args.max_cells,
+                skip_completed=not args.no_skip,
+                telemetry=tel,
+                progress=print_worker_progress,
+            )
+            report = worker.drain()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if want_telemetry and tel is not None:
+        doc = tel.as_dict()
+        print(format_telemetry(doc))
+        _export_events(doc, args.telemetry, append=False)
+    return 0 if report.failed == 0 and report.exhausted == 0 else 1
+
+
+def _print_queue_view(store: ResultStore, experiment: str | None, stale_after: float) -> None:
+    counts = store.queue_counts(experiment)
+    if not counts:
+        print("queue: empty (enqueue cells with `drr-gossip sweep --exec queue --enqueue-only`)")
+        return
+    print(f"{'experiment':<20} {'pending':>8} {'claimed':>8} {'done':>6} {'failed':>6}")
+    for row in counts:
+        print(
+            f"{row['experiment']:<20} {row['pending']:>8} {row['claimed']:>8} "
+            f"{row['done']:>6} {row['failed']:>6}"
+        )
+    stale = store.stale_claims(stale_after)
+    if experiment is not None:
+        stale = [row for row in stale if row["experiment"] == experiment]
+    if stale:
+        print(f"\nstale claims (no heartbeat for > {stale_after:.0f}s; workers reclaim these):")
+        print(f"{'experiment':<20} {'param_hash':<14} {'seed':>5} {'attempt':>7} {'age':>8}  owner")
+        for row in stale:
+            print(
+                f"{row['experiment']:<20} {row['param_hash'][:12]:<14} {row['seed']:>5} "
+                f"{row['attempt']:>7} {row['age_s']:>7.1f}s  {row['owner'] or '-'}"
+            )
 
 
 def _validate_one_spec_file(path: Path) -> str:
@@ -640,6 +861,10 @@ def _run_results(args: argparse.Namespace) -> int:
     if not Path(args.store).exists():
         print(f"no result store at {args.store} (run `drr-gossip sweep` first)", file=sys.stderr)
         return 1
+    if args.queue:
+        with ResultStore(args.store) as store:
+            _print_queue_view(store, args.experiment, args.stale_after)
+        return 0
     with ResultStore(args.store) as store:
         summary = store.summary()
         if args.experiment is not None:
@@ -692,6 +917,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_report(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "worker":
+        return _run_worker(args)
     if args.command == "spec":
         return _run_spec_tools(args)
     if args.command == "plot":

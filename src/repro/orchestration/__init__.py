@@ -23,6 +23,7 @@ Typical use::
     print(report.summary())
 """
 
+from .backends import QUEUE_STATES, QueuedCell, StoreBackend
 from .config import ExperimentPlan, SweepDefinition, load_sweep
 from .registry import (
     DEFAULT_REGISTRY,
@@ -35,6 +36,7 @@ from .registry import (
     register_experiment,
 )
 from .runner import (
+    EXECUTION_BACKENDS,
     CellOutcome,
     SweepCell,
     SweepReport,
@@ -44,8 +46,24 @@ from .runner import (
     print_progress,
 )
 from .store import ResultStore, StoredRun, canonical_params, cell_spec_json, param_hash
+from .worker import (
+    QueueWorker,
+    WorkerReport,
+    default_worker_id,
+    print_worker_progress,
+    row_identity,
+)
 
 __all__ = [
+    "QUEUE_STATES",
+    "QueuedCell",
+    "StoreBackend",
+    "EXECUTION_BACKENDS",
+    "QueueWorker",
+    "WorkerReport",
+    "default_worker_id",
+    "print_worker_progress",
+    "row_identity",
     "ExperimentPlan",
     "SweepDefinition",
     "load_sweep",

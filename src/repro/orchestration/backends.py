@@ -1,0 +1,136 @@
+"""The store's queue/claim surface: what a distributed sweep drains.
+
+PR 4 reduced every sweep cell to one serialised spec string, so multi-host
+fan-out is purely a transport question: *where do workers get the next
+string, and where do results go back?*  This module pins that transport
+down as a small interface — :class:`StoreBackend` — so the sweep runner
+and the pull-based worker loop (:mod:`~repro.orchestration.worker`) never
+care which database holds the queue.
+
+:class:`~repro.orchestration.store.ResultStore` implements the surface
+over SQLite (WAL + ``BEGIN IMMEDIATE`` claims), which is enough for any
+number of workers sharing a filesystem.  A Postgres/MySQL store for
+real cross-datacenter concurrency implements the same eight methods
+(``SELECT ... FOR UPDATE SKIP LOCKED`` instead of the immediate-lock
+``UPDATE``) and slots in without touching the runner or the worker.
+
+Queue lifecycle
+---------------
+Every queued cell is one row keyed by ``(experiment, param_hash, seed)``
+— the same identity the result rows use — and moves through::
+
+    pending --claim--> claimed --finish--> done | failed
+       ^                  |
+       +---reclaim(stale)-+          (attempt += 1 on every claim)
+
+* **claim** is atomic: exactly one worker wins a pending row.
+* **claimed** rows carry ``owner`` and ``claim_time`` and are kept alive
+  by the worker's heartbeat row; a claim whose liveness signal is older
+  than the lease is *stale* and goes back to pending (the worker died).
+* **fail_exhausted** stops a poison cell that keeps killing its workers:
+  once a pending row has been claimed ``max_attempts`` times without a
+  recorded result, it is marked failed instead of looping forever.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+__all__ = ["QUEUE_STATES", "QueuedCell", "StoreBackend"]
+
+#: the four states a queue row moves through
+QUEUE_STATES = ("pending", "claimed", "done", "failed")
+
+
+@dataclass(frozen=True)
+class QueuedCell:
+    """One row of the work queue, decoded from whatever backend holds it."""
+
+    experiment: str
+    param_hash: str
+    seed: int
+    #: the cell's whole transport form (``SweepCell.spec_json()``) — a
+    #: worker needs nothing else to execute it
+    spec_json: str
+    state: str
+    owner: str | None = None
+    claim_time: str | None = None
+    #: how many times this cell has been claimed (capped by the worker's
+    #: ``max_attempts``)
+    attempt: int = 0
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.experiment, self.param_hash, int(self.seed))
+
+
+class StoreBackend(abc.ABC):
+    """Minimal queue/claim surface of a result store.
+
+    Implementations must make :meth:`claim_cell` atomic under concurrent
+    callers from independent processes/hosts: a pending row is handed to
+    exactly one of them.
+    """
+
+    @abc.abstractmethod
+    def enqueue_cells(self, entries: Iterable[tuple[str, str, int, str]]) -> int:
+        """Insert ``(experiment, param_hash, seed, spec_json)`` rows as pending.
+
+        Rows already queued stay untouched while in flight (pending or
+        claimed — another submitter got there first); ``done``/``failed``
+        rows are reset to pending with a fresh attempt budget, mirroring
+        the local backend's failures-retry-on-the-next-invocation
+        semantics.  Returns how many rows became pending.
+        """
+
+    @abc.abstractmethod
+    def claim_cell(self, owner: str = "") -> QueuedCell | None:
+        """Atomically claim the oldest pending row, or None when none is pending.
+
+        The winning row moves to ``claimed`` with ``owner``/``claim_time``
+        set and ``attempt`` incremented.
+        """
+
+    @abc.abstractmethod
+    def finish_cell(self, key: tuple[str, str, int], state: str) -> None:
+        """Move a claimed row to its terminal state (``done`` or ``failed``)."""
+
+    @abc.abstractmethod
+    def requeue_cell(self, key: tuple[str, str, int]) -> None:
+        """Release a claim back to pending (graceful worker shutdown mid-cell)."""
+
+    @abc.abstractmethod
+    def reclaim_stale(self, lease_s: float) -> list[tuple[str, str, int]]:
+        """Return stale claims to pending; returns the reclaimed keys.
+
+        A claim is stale when its last liveness signal — the heartbeat row
+        its worker refreshes, or ``claim_time`` if the worker never got
+        that far — is older than ``lease_s`` seconds.
+        """
+
+    @abc.abstractmethod
+    def fail_exhausted(self, max_attempts: int) -> list[QueuedCell]:
+        """Mark pending rows already claimed ``max_attempts`` times as failed.
+
+        Returns the rows so the caller can record a failure row per cell;
+        this is the cap that turns a worker-killing poison cell into a
+        recorded failure instead of an infinite reclaim loop.
+        """
+
+    @abc.abstractmethod
+    def queue_counts(self, experiment: str | None = None) -> list[dict[str, Any]]:
+        """Per-experiment ``{experiment, pending, claimed, done, failed}`` rows."""
+
+    @abc.abstractmethod
+    def queue_depth(self) -> dict[str, int]:
+        """Whole-queue state counts ``{pending, claimed, done, failed}``."""
+
+    @abc.abstractmethod
+    def queue_cells(self, state: str | None = None) -> Sequence[QueuedCell]:
+        """Queue rows (optionally one state), oldest first."""
+
+    @abc.abstractmethod
+    def stale_claims(self, lease_s: float) -> list[dict[str, Any]]:
+        """Read-only view of claims whose liveness age exceeds ``lease_s``."""

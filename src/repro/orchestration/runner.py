@@ -22,18 +22,34 @@ Workers receive every cell as one *serialised spec string* — either an
 experiment cell (``{"experiment", "params", "seed"}``) resolved by name
 through the default registry, or a protocol :class:`~repro.api.RunSpec`
 document executed through :func:`repro.run`.  Nothing but that string
-crosses the process boundary, so pointing the fan-out at another transport
-(an SSH dispatcher, a job queue over the store) is a transport change
-only.
+crosses the process boundary, which is what makes the runner's execution
+backends pure transport choices:
+
+* ``local`` — fan the cells over a :class:`ProcessPoolExecutor` on this
+  host (the default, and the only option before the queue existed).
+* ``queue`` — enqueue the cells as pending rows in the store's work
+  queue and let pull-based workers (this process, and any number of
+  ``drr-gossip worker`` processes on hosts sharing the store) claim and
+  execute them; see :mod:`~repro.orchestration.worker`.
+
+Identical cells are *content-addressed*: cells whose serialised spec
+strings are equal collapse onto one execution, and the duplicates are
+reported as ``cached`` — on the queue backend a claim additionally
+checks the store for an already-recorded result before executing, so
+re-submitted specs are served from cache across sweeps too.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 from ..observability.logs import get_logger
@@ -45,6 +61,7 @@ from .store import ResultStore, cell_spec_json, param_hash
 _logger = get_logger("orchestration.runner")
 
 __all__ = [
+    "EXECUTION_BACKENDS",
     "SweepCell",
     "CellOutcome",
     "SweepReport",
@@ -52,6 +69,10 @@ __all__ = [
     "expand_cells",
     "cells_from_run_specs",
 ]
+
+#: how a sweep's cells reach their executors: a process pool on this host,
+#: or the store's claimable work queue (any number of hosts)
+EXECUTION_BACKENDS = ("local", "queue")
 
 
 @dataclass(frozen=True)
@@ -84,10 +105,15 @@ class SweepCell:
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """What happened to one cell: executed ok, failed, or skipped."""
+    """What happened to one cell.
+
+    ``cached`` marks a duplicate of an executed cell (identical
+    serialised spec) whose result was fanned out instead of recomputed;
+    ``skipped`` marks a cell whose result predates this invocation.
+    """
 
     cell: SweepCell
-    status: str  # 'ok' | 'failed' | 'skipped'
+    status: str  # 'ok' | 'failed' | 'skipped' | 'cached'
     duration_s: float = 0.0
     error: str | None = None
 
@@ -115,6 +141,10 @@ class SweepReport:
         return self.count("skipped")
 
     @property
+    def cached(self) -> int:
+        return self.count("cached")
+
+    @property
     def total(self) -> int:
         return len(self.outcomes)
 
@@ -123,9 +153,10 @@ class SweepReport:
         return sum(o.duration_s for o in self.outcomes)
 
     def summary(self) -> str:
+        extra = f", {self.cached} cached" if self.cached else ""
         return (
             f"sweep {self.sweep!r}: {self.total} cells — "
-            f"{self.executed} executed, {self.skipped} skipped, {self.failed} failed "
+            f"{self.executed} executed, {self.skipped} skipped, {self.failed} failed{extra} "
             f"({self.wall_time_s:.1f}s cell time)"
         )
 
@@ -261,31 +292,59 @@ def _execute_cell_isolated(cell: "SweepCell") -> dict[str, Any]:
 
 
 class SweepRunner:
-    """Fan a sweep's cells out over worker processes and persist every outcome."""
+    """Fan a sweep's cells out to an execution backend and persist every outcome.
+
+    ``backend="local"`` executes on this host's process pool (``jobs``
+    workers).  ``backend="queue"`` enqueues the cells into the store's
+    claimable work queue and drains it: with ``jobs == 1`` the runner
+    itself works the queue in-process, with ``jobs > 1`` it launches that
+    many ``python -m repro worker`` processes — and in both cases any
+    *additional* workers pointed at the same store (other hosts sharing
+    the filesystem) claim cells right alongside, shrinking the wall
+    clock without any coordination beyond the store itself.
+    """
 
     def __init__(
         self,
         store: ResultStore,
         *,
         jobs: int = 1,
+        backend: str = "local",
         skip_completed: bool = True,
         registry: ExperimentRegistry | None = None,
         progress: Callable[[CellOutcome, int, int], None] | None = None,
         heartbeat_interval_s: float = 15.0,
+        lease_s: float = 60.0,
+        max_attempts: int = 3,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if backend not in EXECUTION_BACKENDS:
+            known = ", ".join(EXECUTION_BACKENDS)
+            raise ValueError(f"unknown execution backend {backend!r} (choose from: {known})")
         if heartbeat_interval_s <= 0:
             raise ValueError(f"heartbeat_interval_s must be positive, got {heartbeat_interval_s}")
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be positive, got {lease_s}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.store = store
         self.jobs = jobs
+        self.backend = backend
         self.skip_completed = skip_completed
         self.registry = registry
         self.progress = progress
         #: how often in-flight cells refresh their store heartbeat while no
-        #: cell finishes (the liveness signal a multi-host scheduler would
-        #: reclaim stale claims on)
+        #: cell finishes — both the local pool's liveness signal and the
+        #: lease the queue backend reclaims stale claims on
         self.heartbeat_interval_s = float(heartbeat_interval_s)
+        #: queue backend: seconds of heartbeat silence before a claim is stale
+        self.lease_s = float(lease_s)
+        #: queue backend: claims per cell before it is marked failed
+        self.max_attempts = int(max_attempts)
+        #: duplicate cells (identical serialised spec) keyed by the spec of
+        #: their executed representative; rebuilt on every run_cells call
+        self._dupes: dict[str, list[SweepCell]] = {}
 
     def run(self, definition: SweepDefinition) -> SweepReport:
         return self.run_cells(expand_cells(definition, self.registry), name=definition.name)
@@ -295,28 +354,36 @@ class SweepRunner:
         report = SweepReport(sweep=name)
         done_keys = self.store.completed_cells() if self.skip_completed else set()
         todo: list[SweepCell] = []
+        self._dupes = {}
         for cell in cells:
             if cell.key in done_keys:
                 report.outcomes.append(CellOutcome(cell=cell, status="skipped"))
+                continue
+            # Content-addressed dedup: identical serialised specs collapse
+            # onto one execution; the twins get the result fanned out.
+            spec = cell.spec_json()
+            if spec in self._dupes:
+                self._dupes[spec].append(cell)
             else:
+                self._dupes[spec] = []
                 todo.append(cell)
 
-        emitted = len(report.outcomes)
         for index, outcome in enumerate(report.outcomes, start=1):
             self._emit(outcome, index, len(cells))
 
         if todo:
-            if self.jobs == 1:
+            if self.backend == "queue":
+                self._run_queue(report, todo, len(cells))
+            elif self.jobs == 1:
                 for cell in todo:
                     self.store.mark_heartbeat(cell.experiment, cell.params, cell.seed)
                     payload = _execute_cell(cell.spec_json())
-                    emitted += 1
-                    self._record(report, cell, payload, emitted, len(cells))
+                    self._record(report, cell, payload, len(cells))
             else:
-                self._run_pool(report, todo, emitted, len(cells))
+                self._run_pool(report, todo, len(cells))
         return report
 
-    def _run_pool(self, report: SweepReport, todo: Sequence[SweepCell], emitted: int, total: int) -> None:
+    def _run_pool(self, report: SweepReport, todo: Sequence[SweepCell], total: int) -> None:
         # Load driver registrations before forking so workers inherit them
         # and the fallback in-worker import only matters under spawn.
         load_builtin_experiments()
@@ -360,39 +427,123 @@ class SweepRunner:
                                 "error": traceback.format_exc(),
                                 "duration_s": 0.0,
                             }
-                        emitted += 1
-                        self._record(report, cell, payload, emitted, total)
+                        self._record(report, cell, payload, total)
             for cell in broken:
                 if cell.key in retried:
                     # Broken twice: run it alone in a single-worker pool so a
                     # poison cell can only take itself down, never a batchmate.
-                    emitted += 1
-                    self._record(report, cell, _execute_cell_isolated(cell), emitted, total)
+                    self._record(report, cell, _execute_cell_isolated(cell), total)
                 else:
                     retried.add(cell.key)
                     queue.append(cell)
 
-    def _record(self, report: SweepReport, cell: SweepCell, payload: Mapping[str, Any], index: int, total: int) -> None:
+    def _run_queue(self, report: SweepReport, todo: Sequence[SweepCell], total: int) -> None:
+        """Enqueue the cells into the store's work queue and drain it."""
+        store = self.store
+        if str(store.path) == ":memory:" and self.jobs > 1:
+            raise ValueError(
+                "the queue backend with jobs > 1 launches worker processes and "
+                "needs a file-backed store, not ':memory:'"
+            )
+        store.enqueue_cells(
+            (cell.experiment, cell.param_hash, cell.seed, cell.spec_json()) for cell in todo
+        )
+        if self.jobs == 1:
+            from .worker import QueueWorker  # local import: worker imports this module
+
+            QueueWorker(
+                store,
+                lease_s=self.lease_s,
+                max_attempts=self.max_attempts,
+                heartbeat_interval_s=self.heartbeat_interval_s,
+                skip_completed=self.skip_completed,
+            ).drain()
+        else:
+            self._drain_with_worker_processes()
+        # The queue decoupled execution from this process (other workers may
+        # have run some cells), so outcomes are synthesised from what
+        # actually landed in the store, in cell order.
+        for cell in todo:
+            run = store.get(cell.experiment, cell.params, cell.seed)
+            if run is None:
+                payload: dict[str, Any] = {
+                    "ok": False,
+                    "error": (
+                        "cell never executed: the queue drain ended without a stored "
+                        "result (all workers died?); re-run the sweep to retry it"
+                    ),
+                    "duration_s": 0.0,
+                    "already_recorded": True,
+                }
+            elif run.ok:
+                payload = {"ok": True, "duration_s": run.duration_s or 0.0, "already_recorded": True}
+            else:
+                payload = {
+                    "ok": False,
+                    "error": run.error or "unknown failure",
+                    "duration_s": run.duration_s or 0.0,
+                    "already_recorded": True,
+                }
+            self._record(report, cell, payload, total)
+
+    def _drain_with_worker_processes(self) -> None:
+        """Launch ``self.jobs`` queue workers as subprocesses and wait them out."""
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = package_root + (os.pathsep + existing if existing else "")
+        command = [
+            sys.executable, "-m", "repro", "worker",
+            "--store", str(self.store.path),
+            "--lease", str(self.lease_s),
+            "--max-attempts", str(self.max_attempts),
+            "--heartbeat", str(self.heartbeat_interval_s),
+        ]
+        if not self.skip_completed:
+            command.append("--no-skip")
+        workers = [
+            subprocess.Popen(command + ["--worker-id", f"{os.getpid()}:w{index}"], env=env)
+            for index in range(self.jobs)
+        ]
+        for proc in workers:
+            code = proc.wait()
+            if code not in (0, 1):  # 1 = drained but some cells failed; rows say which
+                _logger.warning("queue worker %s exited with code %d", proc.args[-1], code)
+
+    def _record(self, report: SweepReport, cell: SweepCell, payload: Mapping[str, Any], total: int) -> None:
         duration = float(payload.get("duration_s", 0.0))
         if payload["ok"]:
-            telemetry = payload.get("telemetry")
-            self.store.record_result(
-                cell.experiment, cell.params, cell.seed, payload["result"], duration,
-                spec_json=cell.spec_json(),
-                telemetry_json=(
-                    json.dumps(telemetry, sort_keys=True) if telemetry is not None else None
-                ),
-            )
+            if not payload.get("already_recorded"):
+                telemetry = payload.get("telemetry")
+                self.store.record_result(
+                    cell.experiment, cell.params, cell.seed, payload["result"], duration,
+                    spec_json=cell.spec_json(),
+                    telemetry_json=(
+                        json.dumps(telemetry, sort_keys=True) if telemetry is not None else None
+                    ),
+                )
             outcome = CellOutcome(cell=cell, status="ok", duration_s=duration)
         else:
-            _logger.warning("cell %s failed:\n%s", cell.describe(), payload["error"])
-            self.store.record_failure(
-                cell.experiment, cell.params, cell.seed, payload["error"], duration,
-                spec_json=cell.spec_json(),
-            )
+            if not payload.get("already_recorded"):
+                _logger.warning("cell %s failed:\n%s", cell.describe(), payload["error"])
+                self.store.record_failure(
+                    cell.experiment, cell.params, cell.seed, payload["error"], duration,
+                    spec_json=cell.spec_json(),
+                )
             outcome = CellOutcome(cell=cell, status="failed", duration_s=duration, error=payload["error"])
         report.outcomes.append(outcome)
-        self._emit(outcome, index, total)
+        self._emit(outcome, len(report.outcomes), total)
+        # Fan the executed result out to content-identical duplicates: same
+        # spec string means same store row, so nothing else is recorded.
+        for twin in self._dupes.get(cell.spec_json(), ()):
+            if payload["ok"]:
+                twin_outcome = CellOutcome(cell=twin, status="cached")
+            else:
+                twin_outcome = CellOutcome(cell=twin, status="failed", error=payload["error"])
+            report.outcomes.append(twin_outcome)
+            self._emit(twin_outcome, len(report.outcomes), total)
 
     def _emit(self, outcome: CellOutcome, index: int, total: int) -> None:
         if self.progress is not None:
@@ -401,5 +552,6 @@ class SweepRunner:
 
 def print_progress(outcome: CellOutcome, index: int, total: int) -> None:
     """Default progress reporter: one line per finished/skipped cell."""
-    suffix = f"{outcome.duration_s:.2f}s" if outcome.status != "skipped" else "cached"
+    suffixes = {"skipped": "already in store", "cached": "deduplicated"}
+    suffix = suffixes.get(outcome.status, f"{outcome.duration_s:.2f}s")
     print(f"[{index}/{total}] {outcome.status:<7} {outcome.cell.describe()} ({suffix})", flush=True)

@@ -7,28 +7,42 @@ the store needs no schema migration when a driver adds a column; the
 UNIQUE key gives the sweep runner its skip-completed resume semantics and
 makes re-running a crashed cell an upsert rather than a duplicate.
 
-The store is written only from the sweep parent process (workers return
-results over the process pool), so a plain connection with the default
-isolation level is sufficient; WAL mode keeps concurrent readers (``drr-gossip
-results`` against a live sweep) from blocking.
+The store is written concurrently: the local sweep parent, any number of
+``drr-gossip worker`` processes on hosts sharing the filesystem, and the
+heartbeat threads they run all hold their own connections.  WAL mode plus
+a configurable ``busy_timeout`` make concurrent writers queue instead of
+crash, every write retries on ``SQLITE_BUSY``, and the work-queue claim
+(:meth:`ResultStore.claim_cell`) takes the write lock up front with
+``BEGIN IMMEDIATE`` so a pending row is handed to exactly one claimant.
+The queue/claim surface is pinned down by
+:class:`~repro.orchestration.backends.StoreBackend` so a server-grade
+database can replace SQLite without touching the runner or workers.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
 from ..observability.logs import get_logger
 from ..serialization import canonical_json, canonical_value, stable_digest
 from ..substrate import DEFAULT_BACKEND
+from .backends import QueuedCell, StoreBackend
 
 __all__ = ["ResultStore", "StoredRun", "canonical_params", "param_hash", "cell_spec_json"]
+
+#: default time a writer waits for a competing writer's transaction
+DEFAULT_BUSY_TIMEOUT_S = 30.0
+
+#: write retries layered on top of the busy timeout (each full wait)
+_BUSY_RETRIES = 5
 
 _logger = get_logger("orchestration.store")
 
@@ -63,7 +77,34 @@ CREATE TABLE IF NOT EXISTS heartbeats (
     heartbeat_at TEXT NOT NULL DEFAULT (datetime('now')),
     UNIQUE (experiment, param_hash, seed)
 );
+CREATE TABLE IF NOT EXISTS queue (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment  TEXT NOT NULL,
+    param_hash  TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    spec_json   TEXT NOT NULL,
+    state       TEXT NOT NULL DEFAULT 'pending'
+                CHECK (state IN ('pending', 'claimed', 'done', 'failed')),
+    owner       TEXT,
+    claim_time  TEXT,
+    attempt     INTEGER NOT NULL DEFAULT 0,
+    enqueued_at TEXT NOT NULL DEFAULT (datetime('now')),
+    UNIQUE (experiment, param_hash, seed)
+);
+CREATE INDEX IF NOT EXISTS idx_queue_state ON queue (state, id);
 """
+
+#: SQL age (seconds) of a claimed queue row's last liveness signal: the
+#: heartbeat its worker refreshes, falling back to the claim time when the
+#: worker died before its first heartbeat.
+_CLAIM_AGE_SQL = (
+    "(julianday('now') - julianday(COALESCE(h.heartbeat_at, q.claim_time))) * 86400.0"
+)
+
+_CLAIM_JOIN_SQL = (
+    "FROM queue q LEFT JOIN heartbeats h ON h.experiment = q.experiment "
+    "AND h.param_hash = q.param_hash AND h.seed = q.seed "
+)
 
 
 def _json_default(value: Any) -> Any:
@@ -185,16 +226,27 @@ class StoredRun:
         )
 
 
-class ResultStore:
-    """SQLite store keyed by ``(experiment, param_hash, seed)``."""
+class ResultStore(StoreBackend):
+    """SQLite store keyed by ``(experiment, param_hash, seed)``.
 
-    def __init__(self, path: str | Path) -> None:
+    ``busy_timeout_s`` is how long any single statement waits for a
+    competing writer before raising ``SQLITE_BUSY``; on top of that every
+    write transaction retries a few times, so independent worker
+    processes hammering one shared store queue behind each other instead
+    of crashing a sweep.
+    """
+
+    def __init__(self, path: str | Path, *, busy_timeout_s: float = DEFAULT_BUSY_TIMEOUT_S) -> None:
+        if busy_timeout_s < 0:
+            raise ValueError(f"busy_timeout_s must be >= 0, got {busy_timeout_s}")
         self.path = Path(path)
+        self.busy_timeout_s = float(busy_timeout_s)
         if str(path) != ":memory:":
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(path))
+        self._conn = sqlite3.connect(str(path), timeout=self.busy_timeout_s)
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout_s * 1000)}")
         self._conn.executescript(_SCHEMA)
         # Stores created before the substrate / run-API refactors lack the
         # backend and spec_json columns; add them in place.
@@ -231,6 +283,47 @@ class ResultStore:
         self._conn.commit()
 
     # ------------------------------------------------------------------ #
+    # write plumbing: SQLITE_BUSY retries on top of the busy timeout
+    # ------------------------------------------------------------------ #
+    def _write_retry(self, what: str, txn: Callable[[], Any]) -> Any:
+        """Run one complete write transaction, retrying on SQLITE_BUSY.
+
+        ``txn`` must be a full transaction (its own commit): a busy error
+        can surface mid-transaction (lock upgrade at commit), so the
+        retry rolls back whatever partial state is open and replays the
+        whole thing.  Non-lock errors propagate immediately.
+        """
+        delay = 0.05
+        for attempt in range(_BUSY_RETRIES + 1):
+            try:
+                return txn()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                try:
+                    self._conn.rollback()
+                except sqlite3.Error:  # pragma: no cover - rollback best-effort
+                    pass
+                if attempt == _BUSY_RETRIES:
+                    raise
+                _logger.debug(
+                    "store %s: %s hit SQLITE_BUSY (attempt %d/%d), retrying",
+                    self.path, what, attempt + 1, _BUSY_RETRIES,
+                )
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+
+    def _begin_immediate(self) -> None:
+        """Open an immediate (write-locked) transaction.
+
+        All write methods commit before returning, so no transaction is
+        open here; taking the write lock up front is what makes the
+        guarded claim UPDATE race-free across processes.
+        """
+        self._conn.execute("BEGIN IMMEDIATE")
+
+    # ------------------------------------------------------------------ #
     # writing
     # ------------------------------------------------------------------ #
     def record_result(
@@ -257,8 +350,10 @@ class ResultStore:
         digest = param_hash(canon)
         if spec_json is None:
             spec_json = cell_spec_json(experiment, canon, seed)
-        self._conn.execute(
-            """
+
+        def txn() -> None:
+            self._conn.execute(
+                """
             INSERT INTO runs (experiment, param_hash, seed, status, params, backend, spec_json,
                               description, headers, rows, notes, error, duration_s,
                               telemetry_json, heartbeat_at)
@@ -273,23 +368,25 @@ class ResultStore:
                 heartbeat_at = datetime('now'),
                 created_at = datetime('now')
             """,
-            (
-                experiment,
-                digest,
-                int(seed),
-                json.dumps(canon, sort_keys=True, default=_json_default),
-                _backend_of(canon),
-                spec_json,
-                result.description,
-                json.dumps(list(result.headers), default=_json_default),
-                json.dumps(list(result.rows), default=_json_default),
-                json.dumps(list(result.notes), default=_json_default),
-                duration_s,
-                telemetry_json,
-            ),
-        )
-        self._release_heartbeat(experiment, digest, seed)
-        self._conn.commit()
+                (
+                    experiment,
+                    digest,
+                    int(seed),
+                    json.dumps(canon, sort_keys=True, default=_json_default),
+                    _backend_of(canon),
+                    spec_json,
+                    result.description,
+                    json.dumps(list(result.headers), default=_json_default),
+                    json.dumps(list(result.rows), default=_json_default),
+                    json.dumps(list(result.notes), default=_json_default),
+                    duration_s,
+                    telemetry_json,
+                ),
+            )
+            self._release_heartbeat(experiment, digest, seed)
+            self._conn.commit()
+
+        self._write_retry("record_result", txn)
         return digest
 
     def record_failure(
@@ -306,8 +403,10 @@ class ResultStore:
         digest = param_hash(canon)
         if spec_json is None:
             spec_json = cell_spec_json(experiment, canon, seed)
-        self._conn.execute(
-            """
+
+        def txn() -> None:
+            self._conn.execute(
+                """
             INSERT INTO runs (experiment, param_hash, seed, status, params, backend, spec_json,
                               error, duration_s, heartbeat_at)
             VALUES (?, ?, ?, 'failed', ?, ?, ?, ?, ?, datetime('now'))
@@ -318,19 +417,21 @@ class ResultStore:
                 duration_s = excluded.duration_s, heartbeat_at = datetime('now'),
                 created_at = datetime('now')
             """,
-            (
-                experiment,
-                digest,
-                int(seed),
-                json.dumps(canon, sort_keys=True, default=_json_default),
-                _backend_of(canon),
-                spec_json,
-                error,
-                duration_s,
-            ),
-        )
-        self._release_heartbeat(experiment, digest, seed)
-        self._conn.commit()
+                (
+                    experiment,
+                    digest,
+                    int(seed),
+                    json.dumps(canon, sort_keys=True, default=_json_default),
+                    _backend_of(canon),
+                    spec_json,
+                    error,
+                    duration_s,
+                ),
+            )
+            self._release_heartbeat(experiment, digest, seed)
+            self._conn.commit()
+
+        self._write_retry("record_failure", txn)
         return digest
 
     # ------------------------------------------------------------------ #
@@ -352,17 +453,30 @@ class ResultStore:
         the cell's result or failure is recorded.
         """
         digest = param_hash(params)
-        self._conn.execute(
-            """
-            INSERT INTO heartbeats (experiment, param_hash, seed, worker)
-            VALUES (?, ?, ?, ?)
-            ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
-                worker = excluded.worker, heartbeat_at = datetime('now')
-            """,
-            (experiment, digest, int(seed), worker),
-        )
-        self._conn.commit()
+        self.mark_heartbeat_key((experiment, digest, int(seed)), worker)
         return digest
+
+    def mark_heartbeat_key(self, key: tuple[str, str, int], worker: str = "") -> None:
+        """:meth:`mark_heartbeat` for callers that already hold the param hash.
+
+        This is the lease-renewal path of queue workers: the claimed row
+        carries the hash, so no parameter decode is needed to stay alive.
+        """
+        experiment, digest, seed = key
+
+        def txn() -> None:
+            self._conn.execute(
+                """
+                INSERT INTO heartbeats (experiment, param_hash, seed, worker)
+                VALUES (?, ?, ?, ?)
+                ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
+                    worker = excluded.worker, heartbeat_at = datetime('now')
+                """,
+                (experiment, digest, int(seed), worker),
+            )
+            self._conn.commit()
+
+        self._write_retry("mark_heartbeat", txn)
 
     def clear_heartbeat(self, experiment: str, params: Mapping[str, Any], seed: int) -> None:
         """Release a claim without recording a row (e.g. an aborted sweep)."""
@@ -384,6 +498,190 @@ class ResultStore:
         return [dict(row) for row in rows]
 
     # ------------------------------------------------------------------ #
+    # work queue (the StoreBackend claim surface distributed sweeps drain)
+    # ------------------------------------------------------------------ #
+    def _decode_queue_row(self, row: sqlite3.Row) -> QueuedCell:
+        return QueuedCell(
+            experiment=row["experiment"],
+            param_hash=row["param_hash"],
+            seed=int(row["seed"]),
+            spec_json=row["spec_json"],
+            state=row["state"],
+            owner=row["owner"],
+            claim_time=row["claim_time"],
+            attempt=int(row["attempt"]),
+        )
+
+    def enqueue_cells(self, entries: Iterable[tuple[str, str, int, str]]) -> int:
+        entries = list(entries)
+
+        def txn() -> int:
+            self._begin_immediate()
+            pending = 0
+            for experiment, digest, seed, spec_json in entries:
+                pending += self._conn.execute(
+                    """
+                    INSERT INTO queue (experiment, param_hash, seed, spec_json)
+                    VALUES (?, ?, ?, ?)
+                    ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
+                        spec_json = excluded.spec_json, state = 'pending',
+                        owner = NULL, claim_time = NULL, attempt = 0
+                    WHERE queue.state IN ('done', 'failed')
+                    """,
+                    (experiment, digest, int(seed), str(spec_json)),
+                ).rowcount
+            self._conn.commit()
+            return pending
+
+        return self._write_retry("enqueue_cells", txn)
+
+    def claim_cell(self, owner: str = "") -> QueuedCell | None:
+        def txn() -> QueuedCell | None:
+            # BEGIN IMMEDIATE holds the write lock for the whole
+            # select-then-update, so the guarded `WHERE state = 'pending'`
+            # can never lose a race: one claimant per row, full stop.
+            self._begin_immediate()
+            row = self._conn.execute(
+                "SELECT id FROM queue WHERE state = 'pending' ORDER BY id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                self._conn.commit()
+                return None
+            updated = self._conn.execute(
+                "UPDATE queue SET state = 'claimed', owner = ?, "
+                "claim_time = datetime('now'), attempt = attempt + 1 "
+                "WHERE id = ? AND state = 'pending'",
+                (owner, row["id"]),
+            ).rowcount
+            claimed = self._conn.execute(
+                "SELECT * FROM queue WHERE id = ?", (row["id"],)
+            ).fetchone()
+            self._conn.commit()
+            if updated != 1:  # pragma: no cover - unreachable under the write lock
+                return None
+            return self._decode_queue_row(claimed)
+
+        return self._write_retry("claim_cell", txn)
+
+    def finish_cell(self, key: tuple[str, str, int], state: str) -> None:
+        if state not in ("done", "failed"):
+            raise ValueError(f"terminal queue state must be 'done' or 'failed', got {state!r}")
+        experiment, digest, seed = key
+
+        def txn() -> None:
+            self._conn.execute(
+                "UPDATE queue SET state = ? WHERE experiment = ? AND param_hash = ? AND seed = ?",
+                (state, experiment, digest, int(seed)),
+            )
+            self._conn.commit()
+
+        self._write_retry("finish_cell", txn)
+
+    def requeue_cell(self, key: tuple[str, str, int]) -> None:
+        experiment, digest, seed = key
+
+        def txn() -> None:
+            self._conn.execute(
+                "UPDATE queue SET state = 'pending', owner = NULL, claim_time = NULL "
+                "WHERE experiment = ? AND param_hash = ? AND seed = ? AND state = 'claimed'",
+                (experiment, digest, int(seed)),
+            )
+            self._release_heartbeat(experiment, digest, seed)
+            self._conn.commit()
+
+        self._write_retry("requeue_cell", txn)
+
+    def reclaim_stale(self, lease_s: float) -> list[tuple[str, str, int]]:
+        if lease_s < 0:
+            raise ValueError(f"lease_s must be >= 0, got {lease_s}")
+
+        def txn() -> list[tuple[str, str, int]]:
+            self._begin_immediate()
+            rows = self._conn.execute(
+                "SELECT q.id, q.experiment, q.param_hash, q.seed "
+                + _CLAIM_JOIN_SQL
+                + f"WHERE q.state = 'claimed' AND {_CLAIM_AGE_SQL} > ?",
+                (float(lease_s),),
+            ).fetchall()
+            for row in rows:
+                self._conn.execute(
+                    "UPDATE queue SET state = 'pending', owner = NULL, claim_time = NULL "
+                    "WHERE id = ?",
+                    (row["id"],),
+                )
+                self._release_heartbeat(row["experiment"], row["param_hash"], row["seed"])
+            self._conn.commit()
+            return [(r["experiment"], r["param_hash"], int(r["seed"])) for r in rows]
+
+        reclaimed = self._write_retry("reclaim_stale", txn)
+        if reclaimed:
+            _logger.info(
+                "store %s: reclaimed %d stale claim(s) older than %.1fs",
+                self.path, len(reclaimed), lease_s,
+            )
+        return reclaimed
+
+    def fail_exhausted(self, max_attempts: int) -> list[QueuedCell]:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+
+        def txn() -> list[QueuedCell]:
+            self._begin_immediate()
+            rows = self._conn.execute(
+                "SELECT * FROM queue WHERE state = 'pending' AND attempt >= ? ORDER BY id",
+                (int(max_attempts),),
+            ).fetchall()
+            for row in rows:
+                self._conn.execute(
+                    "UPDATE queue SET state = 'failed' WHERE id = ?", (row["id"],)
+                )
+            self._conn.commit()
+            return [self._decode_queue_row(row) for row in rows]
+
+        failed = self._write_retry("fail_exhausted", txn)
+        return [dataclass_replace(cell, state="failed") for cell in failed]
+
+    def queue_counts(self, experiment: str | None = None) -> list[dict[str, Any]]:
+        sql = (
+            "SELECT experiment, "
+            "SUM(state = 'pending') AS pending, SUM(state = 'claimed') AS claimed, "
+            "SUM(state = 'done') AS done, SUM(state = 'failed') AS failed "
+            "FROM queue"
+        )
+        args: tuple = ()
+        if experiment is not None:
+            sql += " WHERE experiment = ?"
+            args = (experiment,)
+        rows = self._conn.execute(sql + " GROUP BY experiment ORDER BY experiment", args).fetchall()
+        return [dict(row) for row in rows]
+
+    def queue_depth(self) -> dict[str, int]:
+        row = self._conn.execute(
+            "SELECT SUM(state = 'pending') AS pending, SUM(state = 'claimed') AS claimed, "
+            "SUM(state = 'done') AS done, SUM(state = 'failed') AS failed FROM queue"
+        ).fetchone()
+        return {state: int(row[state] or 0) for state in ("pending", "claimed", "done", "failed")}
+
+    def queue_cells(self, state: str | None = None) -> list[QueuedCell]:
+        sql = "SELECT * FROM queue"
+        args: tuple = ()
+        if state is not None:
+            sql += " WHERE state = ?"
+            args = (state,)
+        rows = self._conn.execute(sql + " ORDER BY id", args).fetchall()
+        return [self._decode_queue_row(row) for row in rows]
+
+    def stale_claims(self, lease_s: float) -> list[dict[str, Any]]:
+        rows = self._conn.execute(
+            "SELECT q.experiment, q.param_hash, q.seed, q.owner, q.attempt, q.claim_time, "
+            + f"CAST({_CLAIM_AGE_SQL} AS REAL) AS age_s "
+            + _CLAIM_JOIN_SQL
+            + f"WHERE q.state = 'claimed' AND {_CLAIM_AGE_SQL} > ? ORDER BY q.id",
+            (float(lease_s),),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    # ------------------------------------------------------------------ #
     # querying
     # ------------------------------------------------------------------ #
     def is_completed(self, experiment: str, params: Mapping[str, Any], seed: int) -> bool:
@@ -391,6 +689,21 @@ class ResultStore:
         row = self._conn.execute(
             "SELECT 1 FROM runs WHERE experiment = ? AND param_hash = ? AND seed = ? AND status = 'ok'",
             (experiment, param_hash(params), int(seed)),
+        ).fetchone()
+        return row is not None
+
+    def is_completed_key(self, key: tuple[str, str, int]) -> bool:
+        """:meth:`is_completed` by ``(experiment, param_hash, seed)`` key.
+
+        This is the content-addressed cache check queue workers make
+        before executing a claim: a re-submitted identical spec whose
+        result already landed is finished without running.
+        """
+        experiment, digest, seed = key
+        row = self._conn.execute(
+            "SELECT 1 FROM runs WHERE experiment = ? AND param_hash = ? AND seed = ? "
+            "AND status = 'ok'",
+            (experiment, digest, int(seed)),
         ).fetchone()
         return row is not None
 

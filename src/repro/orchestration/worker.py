@@ -1,0 +1,302 @@
+"""Pull-based queue worker: claim cells from a shared store, run, write back.
+
+This is the other half of the ``queue`` execution backend: a sweep (or
+``drr-gossip sweep --exec queue --enqueue-only``) fills the store's queue
+table with pending cells, and any number of :class:`QueueWorker` loops —
+started with ``drr-gossip worker --store PATH`` on any hosts that share
+the store — drain it.  Each iteration:
+
+1. **reclaim** stale claims (a dead worker's lease expired) back to
+   pending, and mark cells that exhausted their attempt budget as failed;
+2. **claim** the oldest pending cell atomically (exactly one worker wins);
+3. **cache check**: if the cell's result is already in the store
+   (a re-submitted identical spec), finish it without executing;
+4. **execute** the cell's serialised spec via the same ``_execute_cell``
+   entry point the local process pool uses, refreshing the claim's
+   heartbeat row from a side thread so long cells keep their lease;
+5. **write back** the result/failure row and move the queue row to its
+   terminal state.
+
+The loop exits when the queue is drained — no pending *and* no claimed
+rows — or, with ``linger_s``, after the queue has stayed drained that
+long (so operators can start workers before submitting work).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..observability.logs import get_logger
+from ..observability.telemetry import NULL_TELEMETRY, NullTelemetry
+from .backends import QueuedCell
+from .runner import _execute_cell
+from .store import ResultStore
+
+_logger = get_logger("orchestration.worker")
+
+__all__ = [
+    "DEFAULT_LEASE_S",
+    "DEFAULT_MAX_ATTEMPTS",
+    "QueueWorker",
+    "WorkerReport",
+    "default_worker_id",
+    "print_worker_progress",
+    "row_identity",
+]
+
+#: seconds of heartbeat silence after which a claim counts as stale
+DEFAULT_LEASE_S = 60.0
+
+#: claims per cell before it is marked failed instead of reclaimed again
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+def default_worker_id() -> str:
+    """``host:pid`` — unique across the hosts sharing a store."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def row_identity(spec_json: str) -> tuple[str, dict[str, Any], int]:
+    """Decode a cell's transport form into its store-row identity.
+
+    Returns ``(experiment, params, seed)`` such that
+    ``param_hash(params)`` reproduces the hash the cell was queued under
+    — the exact inverse of how ``SweepCell``/``cells_from_run_specs``
+    built the spec string, so a worker's result rows collide (upsert)
+    with the local backend's rather than duplicating them.
+    """
+    payload = json.loads(spec_json)
+    if "protocol" in payload:
+        params = {k: v for k, v in payload.items() if k not in ("seed", "telemetry")}
+        return f"run:{payload['protocol']}", params, int(payload["seed"])
+    return str(payload["experiment"]), dict(payload.get("params", {})), int(payload["seed"])
+
+
+@dataclass
+class WorkerReport:
+    """What one drain loop did: cells executed/failed/served from cache."""
+
+    worker: str
+    executed: int = 0
+    failed: int = 0
+    #: claims finished from an already-stored result without executing
+    cached: int = 0
+    #: stale claims returned to pending by this worker's reclaim passes
+    reclaimed: int = 0
+    #: cells marked failed because their attempt budget ran out
+    exhausted: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def cells(self) -> int:
+        return self.executed + self.failed + self.cached
+
+    def summary(self) -> str:
+        extra = f", {self.exhausted} gave up" if self.exhausted else ""
+        return (
+            f"worker {self.worker}: {self.executed} executed, {self.failed} failed, "
+            f"{self.cached} cached{extra} ({self.wall_s:.1f}s)"
+        )
+
+
+class _LeaseHeartbeat:
+    """Daemon thread refreshing one claim's heartbeat on its own connection.
+
+    The worker executes cells in its own process, so lease renewal must
+    come from a thread; SQLite connections are not shared across threads,
+    so the thread opens (and closes) its own.  In-memory stores get no
+    thread — a second connection would see a different database — which
+    is fine: they cannot be shared across processes anyway.
+    """
+
+    def __init__(self, store_path: str, key: tuple[str, str, int], worker: str, interval_s: float) -> None:
+        self._path = store_path
+        self._key = key
+        self._worker = worker
+        self._interval = float(interval_s)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _run(self) -> None:
+        store = ResultStore(self._path)
+        try:
+            while not self._stop.wait(self._interval):
+                store.mark_heartbeat_key(self._key, self._worker)
+        finally:
+            store.close()
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        if self._path != ":memory:":
+            self._thread = threading.Thread(
+                target=self._run, name="repro-lease-heartbeat", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self._interval + 5.0)
+            self._thread = None
+
+
+class QueueWorker:
+    """Drain a store's work queue: claim, execute, write back, repeat."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        worker_id: str | None = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        poll_interval_s: float = 0.5,
+        heartbeat_interval_s: float = 15.0,
+        linger_s: float = 0.0,
+        max_cells: int | None = None,
+        skip_completed: bool = True,
+        telemetry: NullTelemetry | None = None,
+        progress: Callable[[QueuedCell, str, float], None] | None = None,
+    ) -> None:
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be positive, got {lease_s}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if poll_interval_s <= 0:
+            raise ValueError(f"poll_interval_s must be positive, got {poll_interval_s}")
+        if heartbeat_interval_s <= 0:
+            raise ValueError(f"heartbeat_interval_s must be positive, got {heartbeat_interval_s}")
+        if linger_s < 0:
+            raise ValueError(f"linger_s must be >= 0, got {linger_s}")
+        if max_cells is not None and max_cells < 1:
+            raise ValueError(f"max_cells must be >= 1, got {max_cells}")
+        self.store = store
+        self.worker_id = worker_id if worker_id is not None else default_worker_id()
+        self.lease_s = float(lease_s)
+        self.max_attempts = int(max_attempts)
+        self.poll_interval_s = float(poll_interval_s)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.linger_s = float(linger_s)
+        self.max_cells = max_cells
+        self.skip_completed = skip_completed
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.progress = progress
+
+    def drain(self) -> WorkerReport:
+        """Work the queue until it drains (plus ``linger_s``); returns the tally."""
+        report = WorkerReport(worker=self.worker_id)
+        telemetry = self.telemetry
+        start = time.perf_counter()
+        drained_since: float | None = None
+        while self.max_cells is None or report.cells < self.max_cells:
+            report.reclaimed += len(self.store.reclaim_stale(self.lease_s))
+            for cell in self.store.fail_exhausted(self.max_attempts):
+                self._record_exhausted(cell, report)
+            with telemetry.span("worker.claim"):
+                claim = self.store.claim_cell(self.worker_id)
+            depth = self.store.queue_depth()
+            telemetry.gauge_max("queue.pending", depth["pending"])
+            telemetry.gauge_max("queue.claimed", depth["claimed"])
+            if claim is None:
+                # Nothing pending.  Claimed rows owned by others may still
+                # fail and come back via reclaim, so wait on those; a fully
+                # drained queue ends the loop once any linger grace is up.
+                if depth["pending"] == 0 and depth["claimed"] == 0:
+                    now = time.perf_counter()
+                    if drained_since is None:
+                        drained_since = now
+                    if now - drained_since >= self.linger_s:
+                        break
+                time.sleep(self.poll_interval_s)
+                continue
+            drained_since = None
+            self._run_claim(claim, report)
+        report.wall_s = time.perf_counter() - start
+        _logger.info("%s", report.summary())
+        return report
+
+    def _record_exhausted(self, cell: QueuedCell, report: WorkerReport) -> None:
+        experiment, params, seed = row_identity(cell.spec_json)
+        error = (
+            f"gave up after {cell.attempt} claim(s) without a recorded result "
+            f"(max_attempts={self.max_attempts}; the cell likely kills its worker)"
+        )
+        self.store.record_failure(experiment, params, seed, error, spec_json=cell.spec_json)
+        report.exhausted += 1
+        self._emit(cell, "exhausted", 0.0)
+
+    def _run_claim(self, claim: QueuedCell, report: WorkerReport) -> None:
+        telemetry = self.telemetry
+        if self.skip_completed and self.store.is_completed_key(claim.key):
+            # Content-addressed dedup: an identical spec was already
+            # computed (this sweep or an earlier one) — serve the cached
+            # result instead of burning the cycles again.
+            self.store.finish_cell(claim.key, "done")
+            telemetry.count("worker.cached")
+            report.cached += 1
+            self._emit(claim, "cached", 0.0)
+            return
+        self.store.mark_heartbeat_key(claim.key, self.worker_id)
+        try:
+            with _LeaseHeartbeat(
+                str(self.store.path), claim.key, self.worker_id, self.heartbeat_interval_s
+            ):
+                with telemetry.span("worker.execute"):
+                    payload = _execute_cell(claim.spec_json)
+        except BaseException:
+            # Interrupted mid-cell (KeyboardInterrupt/SystemExit): hand the
+            # claim back so another worker picks the cell up immediately
+            # instead of waiting out the lease.
+            self.store.requeue_cell(claim.key)
+            raise
+        self._write_back(claim, payload, report)
+
+    def _write_back(self, claim: QueuedCell, payload: Mapping[str, Any], report: WorkerReport) -> None:
+        experiment, params, seed = row_identity(claim.spec_json)
+        duration = float(payload.get("duration_s", 0.0))
+        with self.telemetry.span("worker.write"):
+            if payload["ok"]:
+                doc = payload.get("telemetry")
+                self.store.record_result(
+                    experiment, params, seed, payload["result"], duration,
+                    spec_json=claim.spec_json,
+                    telemetry_json=json.dumps(doc, sort_keys=True) if doc is not None else None,
+                )
+                self.store.finish_cell(claim.key, "done")
+            else:
+                _logger.warning(
+                    "cell %s (hash=%s seed=%d) failed:\n%s",
+                    experiment, claim.param_hash[:12], seed, payload["error"],
+                )
+                self.store.record_failure(
+                    experiment, params, seed, payload["error"], duration,
+                    spec_json=claim.spec_json,
+                )
+                self.store.finish_cell(claim.key, "failed")
+        self.telemetry.count("worker.cells")
+        if payload["ok"]:
+            report.executed += 1
+            self._emit(claim, "ok", duration)
+        else:
+            report.failed += 1
+            self._emit(claim, "failed", duration)
+
+    def _emit(self, cell: QueuedCell, status: str, duration_s: float) -> None:
+        if self.progress is not None:
+            self.progress(cell, status, duration_s)
+
+
+def print_worker_progress(cell: QueuedCell, status: str, duration_s: float) -> None:
+    """Default per-claim progress line for the ``drr-gossip worker`` CLI."""
+    suffix = "cached" if status == "cached" else f"{duration_s:.2f}s"
+    print(
+        f"{status:<9} {cell.experiment} hash={cell.param_hash[:12]} "
+        f"seed={cell.seed} attempt={cell.attempt} ({suffix})",
+        flush=True,
+    )
