@@ -45,13 +45,22 @@ from .runner import (
     expand_cells,
     print_progress,
 )
-from .store import ResultStore, StoredRun, canonical_params, cell_spec_json, param_hash
+from .store import (
+    ResultStore,
+    StoredRun,
+    canonical_params,
+    cell_spec_hash,
+    cell_spec_json,
+    param_hash,
+)
 from .worker import (
     QueueWorker,
     WorkerReport,
+    WorkerShutdown,
     default_worker_id,
     print_worker_progress,
     row_identity,
+    signal_shutdown,
 )
 
 __all__ = [
@@ -61,9 +70,11 @@ __all__ = [
     "EXECUTION_BACKENDS",
     "QueueWorker",
     "WorkerReport",
+    "WorkerShutdown",
     "default_worker_id",
     "print_worker_progress",
     "row_identity",
+    "signal_shutdown",
     "ExperimentPlan",
     "SweepDefinition",
     "load_sweep",
@@ -85,6 +96,7 @@ __all__ = [
     "ResultStore",
     "StoredRun",
     "canonical_params",
+    "cell_spec_hash",
     "cell_spec_json",
     "param_hash",
 ]

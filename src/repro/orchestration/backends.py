@@ -60,6 +60,9 @@ class QueuedCell:
     #: how many times this cell has been claimed (capped by the worker's
     #: ``max_attempts``)
     attempt: int = 0
+    #: content address of ``spec_json`` (``cell_spec_hash``) — the id the
+    #: simulation service hands out; None on rows from pre-service stores
+    spec_hash: str | None = None
 
     @property
     def key(self) -> tuple[str, str, int]:

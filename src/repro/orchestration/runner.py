@@ -56,7 +56,7 @@ from ..observability.logs import get_logger
 from ..simulator.rng import RngStream, derive_seed
 from .config import SweepDefinition
 from .registry import ExperimentRegistry, load_builtin_experiments
-from .store import ResultStore, cell_spec_json, param_hash
+from .store import ResultStore, cell_spec_hash, cell_spec_json, param_hash
 
 _logger = get_logger("orchestration.runner")
 
@@ -73,6 +73,11 @@ __all__ = [
 #: how a sweep's cells reach their executors: a process pool on this host,
 #: or the store's claimable work queue (any number of hosts)
 EXECUTION_BACKENDS = ("local", "queue")
+
+#: largest estimate vector persisted inside a stored RunResult envelope;
+#: beyond this the vector is dropped (marked ``estimates_omitted``) so a
+#: single n=10^8 cell cannot bloat the store or the service's responses
+MAX_ENVELOPE_ESTIMATES = 65536
 
 
 @dataclass(frozen=True)
@@ -247,6 +252,7 @@ def _execute_cell(spec_json: str) -> dict[str, Any]:
     try:
         payload = json.loads(spec_json)
         telemetry_doc = None
+        envelope_doc = None
         if "protocol" in payload:
             from ..api import RunSpec
             from ..api import run as run_spec_fn
@@ -254,6 +260,14 @@ def _execute_cell(spec_json: str) -> dict[str, Any]:
             envelope = run_spec_fn(RunSpec.from_dict(payload))
             result = envelope.to_experiment_result()
             telemetry_doc = envelope.telemetry
+            # The full RunResult document is carried back alongside the
+            # store-row projection so it can be persisted verbatim — the
+            # content-addressed cache the simulation service serves from.
+            envelope_doc = envelope.to_dict()
+            estimates = envelope_doc.get("estimates")
+            if estimates is not None and len(estimates) > MAX_ENVELOPE_ESTIMATES:
+                envelope_doc["estimates"] = None
+                envelope_doc["estimates_omitted"] = len(estimates)
         else:
             spec = load_builtin_experiments().get(payload["experiment"])
             params = spec.validate_params(payload.get("params", {}))
@@ -261,6 +275,8 @@ def _execute_cell(spec_json: str) -> dict[str, Any]:
         out = {"ok": True, "result": result, "duration_s": time.perf_counter() - start}
         if telemetry_doc is not None:
             out["telemetry"] = telemetry_doc
+        if envelope_doc is not None:
+            out["envelope"] = envelope_doc
         return out
     except Exception:  # KeyboardInterrupt/SystemExit propagate: a sweep must stay interruptible
         return {
@@ -462,9 +478,11 @@ class SweepRunner:
             self._drain_with_worker_processes()
         # The queue decoupled execution from this process (other workers may
         # have run some cells), so outcomes are synthesised from what
-        # actually landed in the store, in cell order.
+        # actually landed in the store — looked up by content address, the
+        # same key the workers' cache checks and the service use — in cell
+        # order.
         for cell in todo:
-            run = store.get(cell.experiment, cell.params, cell.seed)
+            run = store.get_by_spec_hash(cell_spec_hash(cell.spec_json()))
             if run is None:
                 payload: dict[str, Any] = {
                     "ok": False,
@@ -517,11 +535,15 @@ class SweepRunner:
         if payload["ok"]:
             if not payload.get("already_recorded"):
                 telemetry = payload.get("telemetry")
+                envelope = payload.get("envelope")
                 self.store.record_result(
                     cell.experiment, cell.params, cell.seed, payload["result"], duration,
                     spec_json=cell.spec_json(),
                     telemetry_json=(
                         json.dumps(telemetry, sort_keys=True) if telemetry is not None else None
+                    ),
+                    result_json=(
+                        json.dumps(envelope, sort_keys=True) if envelope is not None else None
                     ),
                 )
             outcome = CellOutcome(cell=cell, status="ok", duration_s=duration)

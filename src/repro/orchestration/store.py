@@ -36,7 +36,14 @@ from ..serialization import canonical_json, canonical_value, stable_digest
 from ..substrate import DEFAULT_BACKEND
 from .backends import QueuedCell, StoreBackend
 
-__all__ = ["ResultStore", "StoredRun", "canonical_params", "param_hash", "cell_spec_json"]
+__all__ = [
+    "ResultStore",
+    "StoredRun",
+    "canonical_params",
+    "param_hash",
+    "cell_spec_json",
+    "cell_spec_hash",
+]
 
 #: default time a writer waits for a competing writer's transaction
 DEFAULT_BUSY_TIMEOUT_S = 30.0
@@ -56,6 +63,7 @@ CREATE TABLE IF NOT EXISTS runs (
     params         TEXT NOT NULL,
     backend        TEXT,
     spec_json      TEXT,
+    spec_hash      TEXT,
     description    TEXT NOT NULL DEFAULT '',
     headers        TEXT NOT NULL DEFAULT '[]',
     rows           TEXT NOT NULL DEFAULT '[]',
@@ -63,6 +71,7 @@ CREATE TABLE IF NOT EXISTS runs (
     error          TEXT,
     duration_s     REAL,
     telemetry_json TEXT,
+    result_json    TEXT,
     heartbeat_at   TEXT,
     created_at     TEXT NOT NULL DEFAULT (datetime('now')),
     UNIQUE (experiment, param_hash, seed)
@@ -83,6 +92,7 @@ CREATE TABLE IF NOT EXISTS queue (
     param_hash  TEXT NOT NULL,
     seed        INTEGER NOT NULL,
     spec_json   TEXT NOT NULL,
+    spec_hash   TEXT,
     state       TEXT NOT NULL DEFAULT 'pending'
                 CHECK (state IN ('pending', 'claimed', 'done', 'failed')),
     owner       TEXT,
@@ -92,6 +102,13 @@ CREATE TABLE IF NOT EXISTS queue (
     UNIQUE (experiment, param_hash, seed)
 );
 CREATE INDEX IF NOT EXISTS idx_queue_state ON queue (state, id);
+"""
+
+#: created after the column migrations run: on a pre-service store the
+#: spec_hash columns do not exist until the ALTERs in ``__init__`` add them
+_SPEC_HASH_INDEXES = """
+CREATE INDEX IF NOT EXISTS idx_runs_spec_hash ON runs (spec_hash);
+CREATE INDEX IF NOT EXISTS idx_queue_spec_hash ON queue (spec_hash);
 """
 
 #: SQL age (seconds) of a claimed queue row's last liveness signal: the
@@ -156,6 +173,23 @@ def cell_spec_json(experiment: str, params: Mapping[str, Any], seed: int) -> str
     )
 
 
+def cell_spec_hash(spec_json: str) -> str:
+    """Content address of one serialised cell (16 hex chars).
+
+    This is the digest the ``spec_hash`` columns, the content-addressed
+    cache checks, and the simulation service's run ids all share.  For a
+    protocol :class:`~repro.api.RunSpec` document the non-identity
+    ``telemetry`` toggle is popped first, so the digest equals
+    ``RunSpec.spec_hash()`` exactly; experiment-cell documents digest
+    as-is (their canonical form already is the identity).
+    """
+    doc = json.loads(spec_json)
+    if isinstance(doc, Mapping) and "protocol" in doc:
+        doc = dict(doc)
+        doc.pop("telemetry", None)
+    return stable_digest(doc)
+
+
 @dataclass(frozen=True)
 class StoredRun:
     """One persisted sweep cell, decoded from its database row."""
@@ -186,6 +220,13 @@ class StoredRun:
     #: None for rows that predate the column.
     heartbeat_at: str | None
     created_at: str
+    #: content address of ``spec_json`` (:func:`cell_spec_hash`) — the
+    #: service's run id; None only for pre-run-API rows without a spec.
+    spec_hash: str | None = None
+    #: the full serialised :class:`~repro.api.RunResult` envelope for
+    #: protocol cells (what ``GET /v1/runs/{id}/result`` serves); None for
+    #: experiment cells and rows written before the service existed.
+    result_json: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -200,6 +241,7 @@ class StoredRun:
             "params": self.params,
             "backend": self.backend,
             "spec_json": self.spec_json,
+            "spec_hash": self.spec_hash,
             "description": self.description,
             "headers": self.headers,
             "rows": self.rows,
@@ -236,14 +278,24 @@ class ResultStore(StoreBackend):
     of crashing a sweep.
     """
 
-    def __init__(self, path: str | Path, *, busy_timeout_s: float = DEFAULT_BUSY_TIMEOUT_S) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        busy_timeout_s: float = DEFAULT_BUSY_TIMEOUT_S,
+        check_same_thread: bool = True,
+    ) -> None:
         if busy_timeout_s < 0:
             raise ValueError(f"busy_timeout_s must be >= 0, got {busy_timeout_s}")
         self.path = Path(path)
         self.busy_timeout_s = float(busy_timeout_s)
         if str(path) != ":memory:":
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(path), timeout=self.busy_timeout_s)
+        # check_same_thread=False is the service manager's mode: one store
+        # shared by HTTP handler threads behind the manager's own lock.
+        self._conn = sqlite3.connect(
+            str(path), timeout=self.busy_timeout_s, check_same_thread=check_same_thread
+        )
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout_s * 1000)}")
@@ -280,7 +332,43 @@ class ResultStore(StoreBackend):
             if column not in columns:
                 self._conn.execute(f"ALTER TABLE runs ADD COLUMN {column} {decl}")
                 _logger.info("result store %s: added %s column", path, column)
+        # Content-addressing columns (the simulation service's run-id /
+        # result-cache surface).  Rows written before the columns existed
+        # are backfilled from their stored spec_json so the service can
+        # serve pre-existing results from cache too.
+        if "result_json" not in columns:
+            self._conn.execute("ALTER TABLE runs ADD COLUMN result_json TEXT")
+            _logger.info("result store %s: added result_json column", path)
+        if "spec_hash" not in columns:
+            self._conn.execute("ALTER TABLE runs ADD COLUMN spec_hash TEXT")
+            self._backfill_spec_hashes("runs")
+        queue_columns = {row["name"] for row in self._conn.execute("PRAGMA table_info(queue)")}
+        if "spec_hash" not in queue_columns:
+            self._conn.execute("ALTER TABLE queue ADD COLUMN spec_hash TEXT")
+            self._backfill_spec_hashes("queue")
+        self._conn.executescript(_SPEC_HASH_INDEXES)
         self._conn.commit()
+
+    def _backfill_spec_hashes(self, table: str) -> None:
+        """Fill the just-added ``spec_hash`` column from stored spec strings.
+
+        Runs exactly once per store (at the migration that adds the
+        column); pre-run-API rows without a spec_json stay NULL, which the
+        content-addressed lookups treat as "not addressable".
+        """
+        assert table in ("runs", "queue")
+        rows = self._conn.execute(
+            f"SELECT id, spec_json FROM {table} WHERE spec_json IS NOT NULL"
+        ).fetchall()
+        for row in rows:
+            self._conn.execute(
+                f"UPDATE {table} SET spec_hash = ? WHERE id = ?",
+                (cell_spec_hash(row["spec_json"]), row["id"]),
+            )
+        _logger.info(
+            "result store %s: added %s.spec_hash column (%d row(s) backfilled)",
+            self.path, table, len(rows),
+        )
 
     # ------------------------------------------------------------------ #
     # write plumbing: SQLITE_BUSY retries on top of the busy timeout
@@ -335,36 +423,42 @@ class ResultStore(StoreBackend):
         duration_s: float | None = None,
         spec_json: str | None = None,
         telemetry_json: str | None = None,
+        result_json: str | None = None,
     ) -> str:
         """Upsert a successful cell; returns the canonical parameter hash.
 
         ``spec_json`` is the cell's serialised replay form; when the caller
         does not provide one (direct store writes), the canonical cell spec
         is derived from the arguments.  ``telemetry_json`` is the run's
-        serialised telemetry document (None when telemetry was off).  The
-        row's ``heartbeat_at`` is stamped — recording a result is the
-        cell's final liveness signal — and any in-flight heartbeat claim is
-        released.
+        serialised telemetry document (None when telemetry was off).
+        ``result_json`` is the full serialised RunResult envelope for
+        protocol cells (what the simulation service's result endpoint
+        returns).  The row's ``spec_hash`` is the content address derived
+        from ``spec_json``, its ``heartbeat_at`` is stamped — recording a
+        result is the cell's final liveness signal — and any in-flight
+        heartbeat claim is released.
         """
         canon = canonical_params(params)
         digest = param_hash(canon)
         if spec_json is None:
             spec_json = cell_spec_json(experiment, canon, seed)
+        spec_digest = cell_spec_hash(spec_json)
 
         def txn() -> None:
             self._conn.execute(
                 """
             INSERT INTO runs (experiment, param_hash, seed, status, params, backend, spec_json,
-                              description, headers, rows, notes, error, duration_s,
-                              telemetry_json, heartbeat_at)
-            VALUES (?, ?, ?, 'ok', ?, ?, ?, ?, ?, ?, ?, NULL, ?, ?, datetime('now'))
+                              spec_hash, description, headers, rows, notes, error, duration_s,
+                              telemetry_json, result_json, heartbeat_at)
+            VALUES (?, ?, ?, 'ok', ?, ?, ?, ?, ?, ?, ?, ?, NULL, ?, ?, ?, datetime('now'))
             ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
                 status = 'ok', params = excluded.params, backend = excluded.backend,
-                spec_json = excluded.spec_json,
+                spec_json = excluded.spec_json, spec_hash = excluded.spec_hash,
                 description = excluded.description,
                 headers = excluded.headers, rows = excluded.rows, notes = excluded.notes,
                 error = NULL, duration_s = excluded.duration_s,
                 telemetry_json = excluded.telemetry_json,
+                result_json = excluded.result_json,
                 heartbeat_at = datetime('now'),
                 created_at = datetime('now')
             """,
@@ -375,12 +469,14 @@ class ResultStore(StoreBackend):
                     json.dumps(canon, sort_keys=True, default=_json_default),
                     _backend_of(canon),
                     spec_json,
+                    spec_digest,
                     result.description,
                     json.dumps(list(result.headers), default=_json_default),
                     json.dumps(list(result.rows), default=_json_default),
                     json.dumps(list(result.notes), default=_json_default),
                     duration_s,
                     telemetry_json,
+                    result_json,
                 ),
             )
             self._release_heartbeat(experiment, digest, seed)
@@ -403,17 +499,20 @@ class ResultStore(StoreBackend):
         digest = param_hash(canon)
         if spec_json is None:
             spec_json = cell_spec_json(experiment, canon, seed)
+        spec_digest = cell_spec_hash(spec_json)
 
         def txn() -> None:
             self._conn.execute(
                 """
             INSERT INTO runs (experiment, param_hash, seed, status, params, backend, spec_json,
-                              error, duration_s, heartbeat_at)
-            VALUES (?, ?, ?, 'failed', ?, ?, ?, ?, ?, datetime('now'))
+                              spec_hash, error, duration_s, heartbeat_at)
+            VALUES (?, ?, ?, 'failed', ?, ?, ?, ?, ?, ?, datetime('now'))
             ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
                 status = 'failed', params = excluded.params, backend = excluded.backend,
-                spec_json = excluded.spec_json, error = excluded.error,
+                spec_json = excluded.spec_json, spec_hash = excluded.spec_hash,
+                error = excluded.error,
                 headers = '[]', rows = '[]', notes = '[]', telemetry_json = NULL,
+                result_json = NULL,
                 duration_s = excluded.duration_s, heartbeat_at = datetime('now'),
                 created_at = datetime('now')
             """,
@@ -424,6 +523,7 @@ class ResultStore(StoreBackend):
                     json.dumps(canon, sort_keys=True, default=_json_default),
                     _backend_of(canon),
                     spec_json,
+                    spec_digest,
                     error,
                     duration_s,
                 ),
@@ -510,6 +610,7 @@ class ResultStore(StoreBackend):
             owner=row["owner"],
             claim_time=row["claim_time"],
             attempt=int(row["attempt"]),
+            spec_hash=row["spec_hash"],
         )
 
     def enqueue_cells(self, entries: Iterable[tuple[str, str, int, str]]) -> int:
@@ -521,14 +622,15 @@ class ResultStore(StoreBackend):
             for experiment, digest, seed, spec_json in entries:
                 pending += self._conn.execute(
                     """
-                    INSERT INTO queue (experiment, param_hash, seed, spec_json)
-                    VALUES (?, ?, ?, ?)
+                    INSERT INTO queue (experiment, param_hash, seed, spec_json, spec_hash)
+                    VALUES (?, ?, ?, ?, ?)
                     ON CONFLICT (experiment, param_hash, seed) DO UPDATE SET
-                        spec_json = excluded.spec_json, state = 'pending',
+                        spec_json = excluded.spec_json, spec_hash = excluded.spec_hash,
+                        state = 'pending',
                         owner = NULL, claim_time = NULL, attempt = 0
                     WHERE queue.state IN ('done', 'failed')
                     """,
-                    (experiment, digest, int(seed), str(spec_json)),
+                    (experiment, digest, int(seed), str(spec_json), cell_spec_hash(spec_json)),
                 ).rowcount
             self._conn.commit()
             return pending
@@ -692,20 +794,45 @@ class ResultStore(StoreBackend):
         ).fetchone()
         return row is not None
 
-    def is_completed_key(self, key: tuple[str, str, int]) -> bool:
-        """:meth:`is_completed` by ``(experiment, param_hash, seed)`` key.
+    def get_by_spec_hash(self, spec_hash: str) -> StoredRun | None:
+        """Content-addressed lookup: the stored run for one spec digest.
 
-        This is the content-addressed cache check queue workers make
-        before executing a claim: a re-submitted identical spec whose
-        result already landed is finished without running.
+        This is the shared cache check: queue workers consult it before
+        executing a claim, the sweep runner synthesises queue-backend
+        outcomes from it, and the simulation service resolves run ids
+        through it.  Returns the row whatever its status — callers decide
+        whether a ``failed`` row counts as a hit.
+        """
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE spec_hash = ? ORDER BY id LIMIT 1", (str(spec_hash),)
+        ).fetchone()
+        return self._decode(row) if row is not None else None
+
+    def queue_cell_by_spec_hash(self, spec_hash: str) -> QueuedCell | None:
+        """The queue row for one spec digest (None when never enqueued)."""
+        row = self._conn.execute(
+            "SELECT * FROM queue WHERE spec_hash = ? ORDER BY id LIMIT 1", (str(spec_hash),)
+        ).fetchone()
+        return self._decode_queue_row(row) if row is not None else None
+
+    def claim_age_s(self, key: tuple[str, str, int]) -> float | None:
+        """Seconds since the claimed cell's last liveness signal.
+
+        None when the cell is not currently claimed.  This is the
+        "heartbeat age" the service status endpoint reports so clients
+        can tell a live claim from one waiting out its lease.
         """
         experiment, digest, seed = key
         row = self._conn.execute(
-            "SELECT 1 FROM runs WHERE experiment = ? AND param_hash = ? AND seed = ? "
-            "AND status = 'ok'",
+            f"SELECT CAST({_CLAIM_AGE_SQL} AS REAL) AS age_s "
+            + _CLAIM_JOIN_SQL
+            + "WHERE q.state = 'claimed' AND q.experiment = ? AND q.param_hash = ? "
+            "AND q.seed = ?",
             (experiment, digest, int(seed)),
         ).fetchone()
-        return row is not None
+        if row is None or row["age_s"] is None:
+            return None
+        return float(row["age_s"])
 
     def completed_cells(self) -> set[tuple[str, str, int]]:
         """All ``(experiment, param_hash, seed)`` keys with a successful row."""
@@ -788,6 +915,8 @@ class ResultStore(StoreBackend):
             telemetry=json.loads(telemetry_json) if telemetry_json else None,
             heartbeat_at=row["heartbeat_at"],
             created_at=row["created_at"],
+            spec_hash=row["spec_hash"],
+            result_json=row["result_json"],
         )
 
     def close(self) -> None:

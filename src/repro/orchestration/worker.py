@@ -24,19 +24,21 @@ long (so operators can start workers before submitting work).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import signal
 import socket
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from ..observability.logs import get_logger
 from ..observability.telemetry import NULL_TELEMETRY, NullTelemetry
 from .backends import QueuedCell
 from .runner import _execute_cell
-from .store import ResultStore
+from .store import ResultStore, cell_spec_hash
 
 _logger = get_logger("orchestration.worker")
 
@@ -45,9 +47,11 @@ __all__ = [
     "DEFAULT_MAX_ATTEMPTS",
     "QueueWorker",
     "WorkerReport",
+    "WorkerShutdown",
     "default_worker_id",
     "print_worker_progress",
     "row_identity",
+    "signal_shutdown",
 ]
 
 #: seconds of heartbeat silence after which a claim counts as stale
@@ -60,6 +64,50 @@ DEFAULT_MAX_ATTEMPTS = 3
 def default_worker_id() -> str:
     """``host:pid`` — unique across the hosts sharing a store."""
     return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class WorkerShutdown(BaseException):
+    """Raised inside the drain loop when the process is told to stop.
+
+    Deliberately a ``BaseException`` (like ``KeyboardInterrupt``) so it
+    sails through the worker's per-cell ``except Exception`` error
+    handling and lands in the claim-requeue path: the in-flight cell goes
+    back to ``pending`` with its heartbeat row deleted, and another
+    worker can pick it up immediately instead of waiting out the lease.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signum)
+        self.signum = int(signum)
+
+    @property
+    def signal_name(self) -> str:
+        try:
+            return signal.Signals(self.signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            return f"signal {self.signum}"
+
+
+@contextlib.contextmanager
+def signal_shutdown(signals: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT)) -> Iterator[None]:
+    """Convert SIGTERM/SIGINT into :class:`WorkerShutdown` while active.
+
+    Installed by the ``drr-gossip worker`` CLI (and the serve-spawned
+    pool) around :meth:`QueueWorker.drain` so a terminated worker
+    releases its claim instead of dying mid-cell.  Only the main thread
+    of a process may install signal handlers, so library callers that
+    embed :class:`QueueWorker` elsewhere simply don't use this.
+    """
+
+    def raise_shutdown(signum: int, frame: object) -> None:
+        raise WorkerShutdown(signum)
+
+    previous = {s: signal.signal(s, raise_shutdown) for s in signals}
+    try:
+        yield
+    finally:
+        for s, handler in previous.items():
+            signal.signal(s, handler)
 
 
 def row_identity(spec_json: str) -> tuple[str, dict[str, Any], int]:
@@ -92,6 +140,9 @@ class WorkerReport:
     #: cells marked failed because their attempt budget ran out
     exhausted: int = 0
     wall_s: float = 0.0
+    #: name of the signal that stopped the drain early (graceful
+    #: shutdown); None when the loop ran to a natural drain
+    stopped: str | None = None
 
     @property
     def cells(self) -> int:
@@ -99,6 +150,8 @@ class WorkerReport:
 
     def summary(self) -> str:
         extra = f", {self.exhausted} gave up" if self.exhausted else ""
+        if self.stopped:
+            extra += f", stopped by {self.stopped}"
         return (
             f"worker {self.worker}: {self.executed} executed, {self.failed} failed, "
             f"{self.cached} cached{extra} ({self.wall_s:.1f}s)"
@@ -189,34 +242,48 @@ class QueueWorker:
         self.progress = progress
 
     def drain(self) -> WorkerReport:
-        """Work the queue until it drains (plus ``linger_s``); returns the tally."""
+        """Work the queue until it drains (plus ``linger_s``); returns the tally.
+
+        A :class:`WorkerShutdown` raised into the loop (SIGTERM/SIGINT
+        under :func:`signal_shutdown`) ends it gracefully: the in-flight
+        claim — if any — was already requeued by the claim handler, and
+        the report comes back with ``stopped`` set instead of the
+        exception propagating.
+        """
         report = WorkerReport(worker=self.worker_id)
         telemetry = self.telemetry
         start = time.perf_counter()
         drained_since: float | None = None
-        while self.max_cells is None or report.cells < self.max_cells:
-            report.reclaimed += len(self.store.reclaim_stale(self.lease_s))
-            for cell in self.store.fail_exhausted(self.max_attempts):
-                self._record_exhausted(cell, report)
-            with telemetry.span("worker.claim"):
-                claim = self.store.claim_cell(self.worker_id)
-            depth = self.store.queue_depth()
-            telemetry.gauge_max("queue.pending", depth["pending"])
-            telemetry.gauge_max("queue.claimed", depth["claimed"])
-            if claim is None:
-                # Nothing pending.  Claimed rows owned by others may still
-                # fail and come back via reclaim, so wait on those; a fully
-                # drained queue ends the loop once any linger grace is up.
-                if depth["pending"] == 0 and depth["claimed"] == 0:
-                    now = time.perf_counter()
-                    if drained_since is None:
-                        drained_since = now
-                    if now - drained_since >= self.linger_s:
-                        break
-                time.sleep(self.poll_interval_s)
-                continue
-            drained_since = None
-            self._run_claim(claim, report)
+        try:
+            while self.max_cells is None or report.cells < self.max_cells:
+                report.reclaimed += len(self.store.reclaim_stale(self.lease_s))
+                for cell in self.store.fail_exhausted(self.max_attempts):
+                    self._record_exhausted(cell, report)
+                with telemetry.span("worker.claim"):
+                    claim = self.store.claim_cell(self.worker_id)
+                depth = self.store.queue_depth()
+                telemetry.gauge_max("queue.pending", depth["pending"])
+                telemetry.gauge_max("queue.claimed", depth["claimed"])
+                if claim is None:
+                    # Nothing pending.  Claimed rows owned by others may still
+                    # fail and come back via reclaim, so wait on those; a fully
+                    # drained queue ends the loop once any linger grace is up.
+                    if depth["pending"] == 0 and depth["claimed"] == 0:
+                        now = time.perf_counter()
+                        if drained_since is None:
+                            drained_since = now
+                        if now - drained_since >= self.linger_s:
+                            break
+                    time.sleep(self.poll_interval_s)
+                    continue
+                drained_since = None
+                self._run_claim(claim, report)
+        except WorkerShutdown as shutdown:
+            report.stopped = shutdown.signal_name
+            _logger.info(
+                "worker %s: %s received, claim released, stopping",
+                self.worker_id, shutdown.signal_name,
+            )
         report.wall_s = time.perf_counter() - start
         _logger.info("%s", report.summary())
         return report
@@ -233,15 +300,18 @@ class QueueWorker:
 
     def _run_claim(self, claim: QueuedCell, report: WorkerReport) -> None:
         telemetry = self.telemetry
-        if self.skip_completed and self.store.is_completed_key(claim.key):
-            # Content-addressed dedup: an identical spec was already
-            # computed (this sweep or an earlier one) — serve the cached
-            # result instead of burning the cycles again.
-            self.store.finish_cell(claim.key, "done")
-            telemetry.count("worker.cached")
-            report.cached += 1
-            self._emit(claim, "cached", 0.0)
-            return
+        if self.skip_completed:
+            spec_hash = claim.spec_hash or cell_spec_hash(claim.spec_json)
+            cached = self.store.get_by_spec_hash(spec_hash)
+            if cached is not None and cached.ok:
+                # Content-addressed dedup: an identical spec was already
+                # computed (this sweep or an earlier one) — serve the cached
+                # result instead of burning the cycles again.
+                self.store.finish_cell(claim.key, "done")
+                telemetry.count("worker.cached")
+                report.cached += 1
+                self._emit(claim, "cached", 0.0)
+                return
         self.store.mark_heartbeat_key(claim.key, self.worker_id)
         try:
             with _LeaseHeartbeat(
@@ -263,10 +333,12 @@ class QueueWorker:
         with self.telemetry.span("worker.write"):
             if payload["ok"]:
                 doc = payload.get("telemetry")
+                envelope = payload.get("envelope")
                 self.store.record_result(
                     experiment, params, seed, payload["result"], duration,
                     spec_json=claim.spec_json,
                     telemetry_json=json.dumps(doc, sort_keys=True) if doc is not None else None,
+                    result_json=json.dumps(envelope, sort_keys=True) if envelope is not None else None,
                 )
                 self.store.finish_cell(claim.key, "done")
             else:

@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: an HTTP job API over the store's work queue.
+
+The layering (thin to thick)::
+
+    server.py   ThreadingHTTPServer — JSON transport, nothing else
+    routers.py  (method, path, body) → (status, document)
+    manager.py  spec validation, content-addressed dedup, store I/O
+    client.py   stdlib ServiceClient (submit / wait_for / result)
+
+Execution never happens in the service process: submissions become
+pending rows in the store's claimable work queue, and pull-based workers
+(``drr-gossip serve --workers N`` spawns a local pool; ``drr-gossip
+worker --store PATH`` adds more from any host sharing the store) drain
+them.  A run's id is its canonical spec hash, so identical submissions
+deduplicate into one execution and completed specs are served straight
+from the result cache.
+
+Start a service::
+
+    drr-gossip serve --store results/service.sqlite --workers 2
+
+and talk to it with :class:`ServiceClient` or plain curl (see the README
+"Simulation service" section).
+"""
+
+from .client import ServiceClient, ServiceError
+from .manager import ServiceManager
+from .routers import Router
+from .server import ServiceServer, WorkerPool
+
+__all__ = [
+    "Router",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceManager",
+    "ServiceServer",
+    "WorkerPool",
+]

@@ -1,0 +1,182 @@
+"""Tiny stdlib client for the simulation service.
+
+``http.client`` over one persistent connection (the server speaks
+HTTP/1.1 keep-alive), JSON bodies, and retry with exponential backoff on
+the two transient failure shapes a busy service produces: a 503 from a
+locked store, and a dropped/refused connection during restarts.  No
+third-party dependencies, same as the server.
+
+Typical use::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient("http://127.0.0.1:8642") as client:
+        submitted = client.submit({"protocol": "drr-gossip", "n": 4096, "seed": 7})
+        status = client.wait_for(submitted["run_id"], timeout_s=120)
+        envelope = client.result(submitted["run_id"])["result"]
+
+``submit`` takes a plain spec document (any shape a spec file accepts) or
+a :class:`~repro.api.RunSpec`; ``result`` returns the response document
+whose ``"result"`` key holds the full serialised
+:class:`~repro.api.RunResult` (``RunResult.from_dict`` rebuilds it).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Mapping
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: HTTP statuses the client retries (with backoff) instead of raising
+_RETRY_STATUSES = (503,)
+
+
+class ServiceError(RuntimeError):
+    """A non-retryable service response (4xx/5xx after retries)."""
+
+    def __init__(self, status: int, body: Mapping[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = int(status)
+        self.body = dict(body)
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client with 503/connection-retry semantics."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout_s: float = 30.0,
+        retries: int = 5,
+        backoff_s: float = 0.1,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// service URLs are supported, got {base_url!r}")
+        netloc = parsed.netloc or parsed.path  # tolerate a bare "host:port"
+        self.host = netloc.rsplit(":", 1)[0]
+        self.port = int(netloc.rsplit(":", 1)[1]) if ":" in netloc else 80
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(self, method: str, path: str, body: Any = None) -> dict[str, Any]:
+        """One API call; returns the decoded document or raises :class:`ServiceError`.
+
+        Retries transparently on 503 (store busy) and on connection
+        errors (service restarting), backing off exponentially; every
+        other non-2xx response raises immediately with the response body
+        attached.
+        """
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload is not None else {}
+        delay = self.backoff_s
+        last: ServiceError | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # server restarting or keep-alive connection torn down:
+                # reconnect from scratch on the next attempt
+                self._drop_connection()
+                if attempt == self.retries:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+                continue
+            doc = json.loads(raw) if raw else {}
+            if response.status in _RETRY_STATUSES:
+                last = ServiceError(response.status, doc)
+                if attempt == self.retries:
+                    raise last
+                time.sleep(delay)
+                delay *= 2
+                continue
+            if response.status >= 400 and response.status not in (409,):
+                raise ServiceError(response.status, doc)
+            doc["_status"] = response.status
+            return doc
+        raise last if last is not None else AssertionError("unreachable")
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: Any) -> dict[str, Any]:
+        """POST one spec (document or RunSpec) → ``{run_id, state, cached}``."""
+        doc = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        return self.request("POST", "/v1/runs", doc)
+
+    def submit_sweep(self, specs: Any, repetitions: int = 1) -> dict[str, Any]:
+        """POST a multi-spec fan-out → per-cell ``{run_id, state, cached}`` list."""
+        runs = [s.to_dict() if hasattr(s, "to_dict") else s for s in specs]
+        body: dict[str, Any] = {"runs": runs}
+        if repetitions != 1:
+            body["repetitions"] = repetitions
+        return self.request("POST", "/v1/sweeps", body)
+
+    def status(self, run_id: str) -> dict[str, Any]:
+        return self.request("GET", f"/v1/runs/{run_id}")
+
+    def result(self, run_id: str) -> dict[str, Any]:
+        """The result document (``_status`` 409 while the run is in flight)."""
+        return self.request("GET", f"/v1/runs/{run_id}/result")
+
+    def wait_for(
+        self, run_id: str, *, timeout_s: float = 300.0, poll_s: float = 0.2
+    ) -> dict[str, Any]:
+        """Poll until the run id reaches a terminal state; returns the status.
+
+        Raises :class:`TimeoutError` when ``timeout_s`` elapses first and
+        :class:`ServiceError` when the run ends ``failed``.
+        """
+        deadline = time.monotonic() + float(timeout_s)
+        while True:
+            status = self.status(run_id)
+            if status["state"] == "done":
+                return status
+            if status["state"] == "failed":
+                raise ServiceError(409, status)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"run {run_id} still {status['state']} after {timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    def queue(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/queue")
+
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/healthz")
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

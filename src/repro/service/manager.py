@@ -1,0 +1,234 @@
+"""The service's brain: spec validation, content-addressed dedup, store I/O.
+
+:class:`ServiceManager` is the only component of the service that touches
+the :class:`~repro.orchestration.store.ResultStore`.  The HTTP layer
+(:mod:`~repro.service.routers` / :mod:`~repro.service.server`) translates
+requests into manager calls and manager return values into responses —
+nothing else.  The manager, in turn, never executes a simulation: it
+validates submissions through the run-API spec machinery and enqueues
+them into the store's work queue, where pull-based workers
+(:mod:`~repro.orchestration.worker`) — in-process pools spawned by
+``drr-gossip serve --workers N`` or remote ``drr-gossip worker``
+processes sharing the store — pick them up.
+
+Content addressing is the whole trick.  A run's id *is* its canonical
+spec hash (:func:`~repro.orchestration.store.cell_spec_hash`, equal to
+``RunSpec.spec_hash()``), so:
+
+* an identical **completed** spec is a cache hit: the stored
+  ``RunResult`` envelope comes back immediately with ``cached: true``
+  and no queue row is touched;
+* an identical **in-flight** spec attaches to the existing queue row —
+  the second client polls the same run id and both get the one result;
+* only genuinely novel specs cost an execution.
+
+Thread-safety: the manager serves a :class:`ThreadingHTTPServer`, so it
+opens its store with ``check_same_thread=False`` and serialises every
+store access behind one lock.  That is deliberate — a cached hit is one
+indexed SELECT, so the lock is held for microseconds and the service
+stays a thin layer over SQLite's own write serialisation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Mapping
+
+from ..api import RunSpec, SpecValidationError, parse_spec_document
+from ..observability.logs import get_logger
+from ..observability.telemetry import NULL_TELEMETRY, NullTelemetry
+from ..orchestration.runner import cells_from_run_specs
+from ..orchestration.store import ResultStore, cell_spec_hash
+
+__all__ = ["ServiceManager"]
+
+_logger = get_logger("service.manager")
+
+#: queue states the service reports for a run id (plus "unknown")
+RUN_STATES = ("pending", "claimed", "done", "failed")
+
+
+class ServiceManager:
+    """Owns the store on behalf of the HTTP layer; all methods are thread-safe."""
+
+    def __init__(
+        self,
+        store_path: str,
+        *,
+        telemetry: NullTelemetry | None = None,
+    ) -> None:
+        self.store_path = str(store_path)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._store = ResultStore(store_path, check_same_thread=False)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # submission (POST /v1/runs, POST /v1/sweeps)
+    # ------------------------------------------------------------------ #
+    def submit(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate one spec document and enqueue/attach/serve-from-cache.
+
+        Returns ``{"run_id", "state", "cached"}``.  Raises
+        :class:`~repro.api.SpecValidationError` on a malformed document
+        (the router maps that to 400).
+        """
+        specs = parse_spec_document(doc, "request body")
+        if len(specs) != 1:
+            raise SpecValidationError(
+                f"POST /v1/runs takes exactly one run spec, got {len(specs)} "
+                "(use POST /v1/sweeps for fan-out)"
+            )
+        return self._submit_specs(specs)[0]
+
+    def submit_sweep(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Fan a multi-spec document out into per-cell submissions.
+
+        The document is the spec-file shape (``{"runs": [...]}`` or a
+        bare list) plus an optional top-level ``repetitions`` — extra
+        cells with deterministic derived seeds, exactly like
+        ``drr-gossip sweep --spec ... --reps``.
+        """
+        repetitions = 1
+        if isinstance(doc, Mapping) and "repetitions" in doc:
+            doc = dict(doc)
+            raw = doc.pop("repetitions")
+            try:
+                repetitions = int(raw)
+            except (TypeError, ValueError):
+                raise SpecValidationError(f"repetitions must be an integer, got {raw!r}")
+            if repetitions < 1:
+                raise SpecValidationError(f"repetitions must be >= 1, got {repetitions}")
+        specs = parse_spec_document(doc, "request body")
+        runs = self._submit_specs(specs, repetitions=repetitions)
+        return {
+            "count": len(runs),
+            "cached": sum(1 for r in runs if r["cached"]),
+            "runs": runs,
+        }
+
+    def _submit_specs(
+        self, specs: list[RunSpec], repetitions: int = 1
+    ) -> list[dict[str, Any]]:
+        cells = cells_from_run_specs(specs, repetitions=repetitions)
+        out: list[dict[str, Any]] = []
+        to_enqueue: list[tuple[str, str, int, str]] = []
+        telemetry = self.telemetry
+        with self._lock:
+            seen: set[str] = set()
+            for cell in cells:
+                spec_json = cell.spec_json()
+                # The cell's content address equals RunSpec.spec_hash()
+                # (cell_spec_hash pops the non-identity telemetry toggle),
+                # so the digest doubles as the public run id.
+                run_id = cell_spec_hash(spec_json)
+                if run_id in seen:
+                    # duplicate inside one submission: report the twin as
+                    # cached-on-arrival against the first occurrence
+                    out.append({"run_id": run_id, "state": "pending", "cached": True})
+                    continue
+                seen.add(run_id)
+                run = self._store.get_by_spec_hash(run_id)
+                if run is not None and run.ok:
+                    telemetry.count("service.cache_hits")
+                    out.append({"run_id": run_id, "state": "done", "cached": True})
+                    continue
+                row = self._store.queue_cell_by_spec_hash(run_id)
+                if row is not None and row.state in ("pending", "claimed"):
+                    # identical spec already in flight: attach, don't re-queue
+                    telemetry.count("service.attached")
+                    out.append({"run_id": run_id, "state": row.state, "cached": False})
+                    continue
+                to_enqueue.append((cell.experiment, cell.param_hash, cell.seed, spec_json))
+                out.append({"run_id": run_id, "state": "pending", "cached": False})
+            if to_enqueue:
+                self._store.enqueue_cells(to_enqueue)
+                telemetry.count("service.enqueued", len(to_enqueue))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # reads (GET /v1/runs/{id}, .../result, /v1/queue, /v1/healthz)
+    # ------------------------------------------------------------------ #
+    def status(self, run_id: str) -> dict[str, Any] | None:
+        """Queue/result state of one run id; None when the id is unknown."""
+        with self._lock:
+            run = self._store.get_by_spec_hash(run_id)
+            row = self._store.queue_cell_by_spec_hash(run_id)
+            heartbeat_age = (
+                self._store.claim_age_s(row.key)
+                if row is not None and row.state == "claimed"
+                else None
+            )
+        if run is None and row is None:
+            return None
+        if run is not None and run.ok:
+            state = "done"
+        elif row is not None:
+            state = row.state
+        else:
+            state = "failed"
+        doc: dict[str, Any] = {
+            "run_id": run_id,
+            "state": state,
+            "attempt": row.attempt if row is not None else 0,
+            "owner": row.owner if row is not None else None,
+            "heartbeat_age_s": heartbeat_age,
+            "has_result": bool(run is not None and run.ok),
+        }
+        if run is not None:
+            doc["duration_s"] = run.duration_s
+            if not run.ok:
+                doc["error"] = run.error
+        return doc
+
+    def result(self, run_id: str) -> tuple[int, dict[str, Any]]:
+        """The stored ``RunResult`` envelope: ``(http_status, body)``.
+
+        200 with the envelope once the run is done; 409 while it is
+        pending/claimed (body names the state, so clients back off and
+        poll); 409 with the error for a failed run; 404 for an unknown
+        id or a run that stored no envelope (non-protocol cells).
+        """
+        with self._lock:
+            run = self._store.get_by_spec_hash(run_id)
+            row = self._store.queue_cell_by_spec_hash(run_id)
+        if run is not None and run.ok:
+            if run.result_json is None:
+                return 404, {
+                    "error": f"run {run_id} stored no result envelope "
+                    "(recorded before the service existed, or not a protocol run)",
+                    "run_id": run_id,
+                }
+            return 200, {"run_id": run_id, "cached": True, "result": json.loads(run.result_json)}
+        if run is not None and not run.ok:
+            return 409, {"run_id": run_id, "state": "failed", "error": run.error}
+        if row is not None:
+            return 409, {"run_id": run_id, "state": row.state, "attempt": row.attempt}
+        return 404, {"error": f"unknown run id {run_id!r}", "run_id": run_id}
+
+    def queue(self) -> dict[str, Any]:
+        """Whole-queue depth plus the per-experiment breakdown."""
+        with self._lock:
+            depth = self._store.queue_depth()
+            counts = self._store.queue_counts()
+        return {"depth": depth, "experiments": counts}
+
+    def healthz(self) -> dict[str, Any]:
+        with self._lock:
+            depth = self._store.queue_depth()
+            runs = len(self._store)
+        return {
+            "status": "ok",
+            "store": self.store_path,
+            "queue": depth,
+            "stored_runs": runs,
+        }
+
+    def close(self) -> None:
+        self._store.close()
+
+    def __enter__(self) -> "ServiceManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

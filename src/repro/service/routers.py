@@ -1,0 +1,114 @@
+"""Request routing: (method, path, body) → (status, response document).
+
+The router is the thin layer of the service — it knows URL shapes and
+status codes, and nothing about specs, stores, or protocols (deliberately
+no imports from the substrate or the protocol registry; everything
+reaches the simulation layer through the
+:class:`~repro.service.manager.ServiceManager`).  Keeping it free of the
+``http.server`` machinery too means a unit test can drive the whole API
+surface as plain function calls, and an alternative transport (asgi,
+RPC) could reuse it unchanged.
+
+Routes
+------
+==========  ==========================  =====================================
+``POST``    ``/v1/runs``                submit one RunSpec → run id
+``GET``     ``/v1/runs/{id}``           queue/result status of one run id
+``GET``     ``/v1/runs/{id}/result``    the stored RunResult envelope
+``POST``    ``/v1/sweeps``              multi-spec fan-out → per-cell ids
+``GET``     ``/v1/queue``               queue depth + per-experiment counts
+``GET``     ``/v1/healthz``             liveness + store identity
+==========  ==========================  =====================================
+
+Error mapping: a malformed document is 400 (body carries the validation
+message), an unknown id is 404, a result read before the run finished is
+409, a store busy/locked error is 503 (clients retry with backoff), and
+anything unexpected is 500.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import Any, Mapping
+
+from ..api import SpecValidationError
+from ..observability.logs import get_logger
+from .manager import ServiceManager
+
+__all__ = ["Router"]
+
+_logger = get_logger("service.routers")
+
+_RUN_PATH = re.compile(r"^/v1/runs/(?P<run_id>[0-9a-f]{8,64})$")
+_RESULT_PATH = re.compile(r"^/v1/runs/(?P<run_id>[0-9a-f]{8,64})/result$")
+
+
+class Router:
+    """Dispatch one parsed request against a :class:`ServiceManager`."""
+
+    def __init__(self, manager: ServiceManager) -> None:
+        self.manager = manager
+
+    def route(
+        self, method: str, path: str, body: Mapping[str, Any] | list | None
+    ) -> tuple[int, dict[str, Any]]:
+        """Handle one request; always returns ``(http_status, json_doc)``."""
+        telemetry = self.manager.telemetry
+        telemetry.count("service.requests")
+        try:
+            with telemetry.span(f"service.{method} {self._route_label(path)}"):
+                return self._dispatch(method, path, body)
+        except SpecValidationError as exc:
+            telemetry.count("service.rejected")
+            return 400, {"error": str(exc)}
+        except sqlite3.OperationalError as exc:
+            message = str(exc).lower()
+            if "locked" in message or "busy" in message:
+                telemetry.count("service.busy")
+                return 503, {"error": "store busy, retry", "retry_after_s": 0.2}
+            raise
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            _logger.exception("unhandled error handling %s %s", method, path)
+            telemetry.count("service.errors")
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    @staticmethod
+    def _route_label(path: str) -> str:
+        """Collapse run ids out of the path so telemetry spans aggregate."""
+        if _RESULT_PATH.match(path):
+            return "/v1/runs/{id}/result"
+        if _RUN_PATH.match(path):
+            return "/v1/runs/{id}"
+        return path
+
+    def _dispatch(
+        self, method: str, path: str, body: Mapping[str, Any] | list | None
+    ) -> tuple[int, dict[str, Any]]:
+        manager = self.manager
+        if method == "POST" and path == "/v1/runs":
+            if body is None:
+                raise SpecValidationError("POST /v1/runs needs a JSON spec document body")
+            submitted = manager.submit(body)
+            return (200 if submitted["cached"] else 202), submitted
+        if method == "POST" and path == "/v1/sweeps":
+            if body is None:
+                raise SpecValidationError("POST /v1/sweeps needs a JSON spec document body")
+            return 202, manager.submit_sweep(body)
+        if method == "GET":
+            match = _RESULT_PATH.match(path)
+            if match:
+                return manager.result(match.group("run_id"))
+            match = _RUN_PATH.match(path)
+            if match:
+                status = manager.status(match.group("run_id"))
+                if status is None:
+                    return 404, {"error": f"unknown run id {match.group('run_id')!r}"}
+                return 200, status
+            if path == "/v1/queue":
+                return 200, manager.queue()
+            if path == "/v1/healthz":
+                return 200, manager.healthz()
+        if method not in ("GET", "POST"):
+            return 405, {"error": f"method {method} not allowed"}
+        return 404, {"error": f"no route for {method} {path}"}

@@ -1,0 +1,214 @@
+"""The HTTP transport: stdlib ``ThreadingHTTPServer`` over the router.
+
+Nothing here parses specs or reads the store — the handler decodes the
+JSON body, hands ``(method, path, body)`` to the
+:class:`~repro.service.routers.Router`, and writes the (status, document)
+it gets back.  ``ThreadingHTTPServer`` gives each connection its own
+thread; the :class:`~repro.service.manager.ServiceManager` behind the
+router is built for that (one locked store connection).
+
+Zero dependencies beyond the standard library, matching the package's
+``pip install .`` story: ``numpy`` is the only requirement and the
+service adds nothing.
+
+:class:`WorkerPool` is the optional execution half of ``drr-gossip
+serve --workers N``: it spawns N ``python -m repro worker`` subprocesses
+against the same store with an infinite linger (they poll until told to
+stop) and SIGTERMs them on shutdown — which the workers' graceful
+shutdown path (:func:`~repro.orchestration.worker.signal_shutdown`)
+turns into released claims, not abandoned leases.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from ..observability.logs import get_logger
+from ..observability.telemetry import NullTelemetry
+from .manager import ServiceManager
+from .routers import Router
+
+__all__ = ["ServiceServer", "WorkerPool"]
+
+_logger = get_logger("service.server")
+
+#: request bodies beyond this are rejected up front (a spec document is
+#: a few KB; nothing legitimate comes close)
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def _make_handler(router: Router):
+    class Handler(BaseHTTPRequestHandler):
+        # Keep-alive matters here: the client's poll loop reuses one
+        # connection, and HTTP/1.1 + explicit Content-Length enables it.
+        protocol_version = "HTTP/1.1"
+        # http.server writes status/headers/body as separate small sends;
+        # without TCP_NODELAY those interact with delayed ACKs into ~40ms
+        # per keep-alive request, dwarfing the cache lookup itself.
+        disable_nagle_algorithm = True
+
+        def _respond(self, status: int, doc: dict[str, Any]) -> None:
+            body = json.dumps(doc, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _handle(self, method: str) -> None:
+            body = None
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                self._respond(413, {"error": f"body too large ({length} bytes)"})
+                return
+            if length:
+                raw = self.rfile.read(length)
+                try:
+                    body = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    self._respond(400, {"error": f"invalid JSON body: {exc}"})
+                    return
+            status, doc = router.route(method, self.path, body)
+            self._respond(status, doc)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._handle("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            self._handle("POST")
+
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            _logger.debug("%s %s", self.address_string(), format % args)
+
+    return Handler
+
+
+class ServiceServer:
+    """One bound, optionally background-threaded, job-service endpoint."""
+
+    def __init__(
+        self,
+        store_path: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry: NullTelemetry | None = None,
+    ) -> None:
+        self.manager = ServiceManager(store_path, telemetry=telemetry)
+        self.router = Router(self.manager)
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self.router))
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve on a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's foreground mode)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.manager.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class WorkerPool:
+    """N ``python -m repro worker`` subprocesses draining the served store."""
+
+    def __init__(
+        self,
+        store_path: str,
+        workers: int,
+        *,
+        lease_s: float = 60.0,
+        max_attempts: int = 3,
+        poll_s: float = 0.2,
+        heartbeat_s: float = 15.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store_path = str(store_path)
+        self.workers = int(workers)
+        self._command = [
+            sys.executable, "-m", "repro", "worker",
+            "--store", self.store_path,
+            "--lease", str(lease_s),
+            "--max-attempts", str(max_attempts),
+            "--poll", str(poll_s),
+            "--heartbeat", str(heartbeat_s),
+            # linger forever: the pool lives as long as the service and
+            # exits via SIGTERM (graceful claim release), not via drain
+            "--linger", "inf",
+        ]
+        self._procs: list[subprocess.Popen] = []
+
+    def start(self) -> "WorkerPool":
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = package_root + (os.pathsep + existing if existing else "")
+        self._procs = [
+            subprocess.Popen(
+                self._command + ["--worker-id", f"serve:{os.getpid()}:w{index}"], env=env
+            )
+            for index in range(self.workers)
+        ]
+        _logger.info("started %d queue worker(s) on %s", self.workers, self.store_path)
+        return self
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """SIGTERM the pool; workers release in-flight claims and exit 0."""
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                _logger.warning("worker pid %d ignored SIGTERM, killing", proc.pid)
+                proc.kill()
+                proc.wait()
+        self._procs = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

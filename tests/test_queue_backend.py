@@ -457,6 +457,48 @@ class TestDistributedWorkers:
                 run = store.get(cell.experiment, cell.params, cell.seed)
                 assert run is not None and run.ok
 
+    def test_sigterm_mid_cell_releases_claim_and_exits_zero(self, tmp_path):
+        """Graceful shutdown: a SIGTERMed worker hands its claim back.
+
+        Unlike the SIGKILL case below, no lease has to expire — the
+        worker's signal handler requeues the in-flight cell (pending,
+        no owner, heartbeat row deleted) and the process exits 0.
+        """
+        path = tmp_path / "r.sqlite"
+        # ~1.4s of engine simulation: a window wide enough to SIGTERM into
+        spec = RunSpec(protocol="drr-gossip", params={"n": 4096}, backend="engine", seed=7)
+        cells = cells_from_run_specs([spec])
+        with ResultStore(path) as store:
+            _enqueue(store, cells)
+        victim = subprocess.Popen(
+            _worker_command(str(path), "polite", "--heartbeat", "300"),
+            env=_worker_env(), cwd=str(REPO_ROOT),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            with ResultStore(path) as store:
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    if store.queue_depth()["claimed"] == 1:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("worker never claimed the cell")
+                os.kill(victim.pid, signal.SIGTERM)
+                out, err = victim.communicate(timeout=30)
+                assert victim.returncode == 0, f"worker failed:\n{out}\n{err}"
+                assert "stopped by SIGTERM" in out
+                (row,) = store.queue_cells()
+                assert row.state == "pending"
+                assert row.owner is None
+                assert row.attempt == 1  # the claim is spent, not the budget
+                assert store.heartbeats() == []  # liveness row released too
+                assert store.query() == []  # nothing half-recorded
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
+
     def test_sigkilled_worker_claim_is_reclaimed_and_rerun(self, tmp_path):
         path = tmp_path / "r.sqlite"
         # ~1.4s of engine simulation: a window wide enough to SIGKILL into
