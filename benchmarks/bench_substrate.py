@@ -528,6 +528,152 @@ def smoke_sharded_lossy(n: int, shards: int) -> bool:
     return ok
 
 
+def smoke_churn_equivalence(n: int) -> bool:
+    """A mid-run churn scenario is identical on every available backend.
+
+    Runs push-sum and epoch-gossip-ave at ``n`` under loss + rate churn +
+    a scheduled crash/join, across every backend the host registers
+    (compiled joins automatically when numba is importable), and asserts
+    the full equivalence contract: ``same_outcome`` (rounds, message
+    counters, estimates) *and* identical degradation sections — which
+    ``same_outcome`` deliberately excludes, so the bench compares them
+    explicitly (as JSON, so NaN-valued entries still compare equal).
+    """
+    import json as _json
+
+    from repro.api import RunSpec, run
+    from repro.substrate import BACKENDS
+
+    failures = {
+        "loss_probability": 0.05,
+        "churn_rate": 0.002,
+        "join_rate": 0.001,
+        "churn_schedule": [[3, [2, 7, 11], "crash"], [9, [2], "join"]],
+    }
+    ok = True
+    try:
+        for protocol, params in (
+            ("push-sum", {"n": n, "workload": "uniform"}),
+            ("epoch-gossip-ave", {"n": n, "workload": "uniform", "epochs": 3}),
+        ):
+            results = {}
+            for backend in sorted(BACKENDS):
+                spec = RunSpec(
+                    protocol=protocol, params=params, seed=7,
+                    backend=backend, failures=failures,
+                )
+                start = time.perf_counter()
+                results[backend] = run(spec)
+                elapsed = time.perf_counter() - start
+                record("churn-equivalence", protocol=protocol, n=n, backend=backend,
+                       wall_s=elapsed, messages=results[backend].messages,
+                       rounds=results[backend].rounds)
+            reference = results["vectorized"]
+            print(
+                f"churn equivalence, {protocol}, n={n}: " + ", ".join(
+                    f"{b}={r.rounds}r/{r.messages}m" for b, r in sorted(results.items())
+                )
+            )
+            degradation_ref = _json.dumps(reference.degradation, sort_keys=True)
+            for backend, result in sorted(results.items()):
+                if not result.same_outcome(reference):
+                    print(f"FAIL: {protocol} on {backend} diverged from vectorized under churn")
+                    ok = False
+                if _json.dumps(result.degradation, sort_keys=True) != degradation_ref:
+                    print(f"FAIL: {protocol} on {backend} degradation metrics diverged")
+                    ok = False
+            if reference.degradation is None:
+                print(f"FAIL: {protocol} churn run carried no degradation section")
+                ok = False
+            elif not reference.degradation.get("messages_to_dead", 0):
+                print(f"FAIL: {protocol} churn run charged no messages to dead recipients")
+                ok = False
+    finally:
+        shutdown_pools()
+    if ok:
+        print(
+            f"OK: churn scenario identical across {len(BACKENDS)} backend(s) "
+            f"({', '.join(sorted(BACKENDS))})"
+        )
+    return ok
+
+
+def smoke_churn_overhead(n: int, max_overhead_pct: float = 2.0, repeats: int = 5) -> bool:
+    """A churn-off run must stay within ``max_overhead_pct`` of the hot path.
+
+    Same honesty trick as the telemetry gate: the instrumented substrate
+    primitives are patched back to their ``__wrapped__`` originals, giving
+    the hook-free hot path (the bar every PR since 5 has been measured
+    against) in the same process.  The shipped path — churn support
+    compiled in but no churn configured — must cost < ``max_overhead_pct``
+    over that baseline, and must reproduce its outcome bit-for-bit: specs
+    without churn keys take the ``alive=None`` fast paths and never hash a
+    single churn fate.
+    """
+    from repro.substrate import delivery
+    from repro.substrate.kernel import VectorizedKernel
+
+    values = np.random.default_rng(0).uniform(0.0, 100.0, size=n)
+
+    def run_once():
+        return drr_gossip_average(values, rng=1, config=DRRGossipConfig(backend="vectorized"))
+
+    def best_of(fn):
+        return min(_time(fn) for _ in range(repeats))
+
+    run_once()  # warm-up outside every timed region
+
+    primitives = ("deliver_batch", "probe_exchange", "relay_to_roots")
+    kernel_names = {"deliver_batch": "deliver"}
+    saved_module = {name: getattr(delivery, name) for name in primitives}
+    saved_kernel = {
+        kernel_names.get(name, name): getattr(VectorizedKernel, kernel_names.get(name, name))
+        for name in primitives
+    }
+    try:
+        for name in primitives:
+            setattr(delivery, name, saved_module[name].__wrapped__)
+            kernel_name = kernel_names.get(name, name)
+            setattr(VectorizedKernel, kernel_name, staticmethod(saved_module[name].__wrapped__))
+        baseline_s = best_of(run_once)
+        baseline = run_once()
+    finally:
+        for name in primitives:
+            setattr(delivery, name, saved_module[name])
+        for kernel_name, fn in saved_kernel.items():
+            setattr(VectorizedKernel, kernel_name, staticmethod(fn))
+
+    shipped_s = best_of(run_once)
+    shipped = run_once()
+
+    record("churn-off-overhead", protocol="drr-gossip-average", n=n,
+           backend="vectorized[hook-free]", wall_s=baseline_s)
+    record("churn-off-overhead", protocol="drr-gossip-average", n=n,
+           backend="vectorized", wall_s=shipped_s)
+    overhead_pct = 100.0 * (shipped_s - baseline_s) / max(baseline_s, 1e-9)
+    print(
+        f"churn-off overhead, n={n}: hook-free {baseline_s * 1e3:.1f} ms, "
+        f"shipped churn-off {shipped_s * 1e3:.1f} ms ({overhead_pct:+.2f}%)"
+    )
+    ok = True
+    if shipped_s > baseline_s * (1.0 + max_overhead_pct / 100.0) + 0.02:
+        print(
+            f"FAIL: churn-off path costs {overhead_pct:.2f}% "
+            f"(bar: < {max_overhead_pct:g}% of the hook-free hot path)"
+        )
+        ok = False
+    if (
+        shipped.messages != baseline.messages
+        or shipped.rounds != baseline.rounds
+        or not np.array_equal(shipped.estimates, baseline.estimates)
+    ):
+        print("FAIL: churn-off run diverged from the pre-churn hot path outcome")
+        ok = False
+    if ok:
+        print(f"OK: churn-off path is free (< {max_overhead_pct:g}%) and bit-identical")
+    return ok
+
+
 def smoke_compiled(n: int, min_ratio: float) -> bool:
     """Compiled-backend gate: exact equivalence + a jitted probe-exchange win.
 
@@ -734,6 +880,22 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the sharded equivalence smoke (the dedicated CI job)",
     )
     parser.add_argument(
+        "--churn-only", action="store_true",
+        help="run only the churn equivalence + churn-off overhead gates (the churn-smoke CI job)",
+    )
+    parser.add_argument(
+        "--churn-n", type=int, default=10_000,
+        help="nodes for the cross-backend churn equivalence smoke",
+    )
+    parser.add_argument(
+        "--churn-overhead-n", type=int, default=100_000,
+        help="nodes for the churn-off overhead gate",
+    )
+    parser.add_argument(
+        "--max-churn-overhead", type=float, default=2.0,
+        help="maximum churn-off overhead over the hook-free hot path, in percent",
+    )
+    parser.add_argument(
         "--json", type=str, default=DEFAULT_BENCH_FILE, metavar="PATH",
         help="append measured rows to this trajectory file",
     )
@@ -750,6 +912,13 @@ def main(argv: list[str] | None = None) -> int:
             ok = smoke_scale_large(
                 args.scale_large_n, args.large_shards, args.large_budget, args.large_min_ratio
             ) and ok
+        if not args.no_json and BENCH_ROWS:
+            path = append_bench_rows(BENCH_ROWS, args.json)
+            print(f"recorded {len(BENCH_ROWS)} benchmark row(s) in {path}")
+        return 0 if ok else 1
+    if args.churn_only:
+        ok = smoke_churn_equivalence(args.churn_n)
+        ok = smoke_churn_overhead(args.churn_overhead_n, args.max_churn_overhead) and ok
         if not args.no_json and BENCH_ROWS:
             path = append_bench_rows(BENCH_ROWS, args.json)
             print(f"recorded {len(BENCH_ROWS)} benchmark row(s) in {path}")

@@ -88,6 +88,7 @@ def run(spec: RunSpec | Mapping, *, telemetry: NullTelemetry | None = None) -> R
         wall_time_s=wall_time,
         raw=output.raw,
         telemetry=tel.as_dict() if tel is not None and tel.enabled else None,
+        degradation=output.degradation,
     )
 
 

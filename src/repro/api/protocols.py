@@ -114,6 +114,9 @@ class ProtocolOutput:
     summary: dict[str, float] | Callable[[], dict[str, float]] = field(default_factory=dict)
     #: the underlying protocol result object (not serialised)
     raw: Any = None
+    #: fault-degradation section (survivor counts, per-epoch error curve,
+    #: ...); populated by churn-capable adapters on churn runs, else None
+    degradation: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -142,13 +145,25 @@ class ProtocolSpec:
     name: str
     runner: Callable[..., ProtocolOutput]
     description: str
-    #: 'forbidden' (complete-graph protocol), 'graph', or 'chord'
+    #: 'forbidden' (complete-graph protocol), 'optional-graph' (complete
+    #: graph by default, sparse graph when one is supplied), 'graph', or
+    #: 'chord'
     topology: str
     params: tuple[ProtocolParam, ...] = ()
+    #: 'none' (static membership only), 'crashes' (mid-run crashes but no
+    #: joins), or 'full' (crashes and joins).  Dispatch rejects churn specs
+    #: that exceed the protocol's capability instead of silently ignoring
+    #: the churn model.
+    churn: str = "none"
 
     @classmethod
     def from_callable(
-        cls, name: str, runner: Callable[..., ProtocolOutput], topology: str, description: str | None = None
+        cls,
+        name: str,
+        runner: Callable[..., ProtocolOutput],
+        topology: str,
+        description: str | None = None,
+        churn: str = "none",
     ) -> "ProtocolSpec":
         """Derive the parameter schema from the adapter's signature.
 
@@ -170,7 +185,10 @@ class ProtocolSpec:
         if description is None:
             doc = inspect.getdoc(runner) or name
             description = doc.splitlines()[0]
-        return cls(name=name, runner=runner, description=description, topology=topology, params=tuple(params))
+        return cls(
+            name=name, runner=runner, description=description,
+            topology=topology, params=tuple(params), churn=churn,
+        )
 
     @property
     def param_names(self) -> tuple[str, ...]:
@@ -203,6 +221,13 @@ class ProtocolSpec:
                     f"protocol {self.name!r} runs on the complete graph and takes no topology"
                 )
             return
+        if self.topology == "optional-graph":
+            if topology is not None and topology.family == "chord":
+                raise SpecValidationError(
+                    f"protocol {self.name!r} runs on the complete graph or a "
+                    f"graph topology, not chord"
+                )
+            return
         if topology is None:
             raise SpecValidationError(
                 f"protocol {self.name!r} needs a topology ({self.topology})"
@@ -216,6 +241,24 @@ class ProtocolSpec:
                 f"protocol {self.name!r} runs on a graph topology, not chord"
             )
 
+    def validate_failures(self, failure_model: FailureModel) -> None:
+        """Reject churn the protocol cannot honour (loss/crashes always ok)."""
+        if not failure_model.has_churn or self.churn == "full":
+            return
+        if self.churn == "none":
+            raise SpecValidationError(
+                f"protocol {self.name!r} assumes static membership and does "
+                f"not support mid-run churn (churn-capable protocols: "
+                f"{', '.join(churn_capable_protocols()) or 'none'})"
+            )
+        if failure_model.has_joins:
+            raise SpecValidationError(
+                f"protocol {self.name!r} is crash-only under churn: a node "
+                f"cannot rejoin a structure built before it returned (set "
+                f"join_rate=0 and use no 'join' schedule events, or use the "
+                f"'epoch-gossip-ave' protocol, which restarts every epoch)"
+            )
+
     def run(self, ctx: RunContext, params: Mapping[str, Any]) -> ProtocolOutput:
         return self.runner(ctx, **dict(params))
 
@@ -224,15 +267,26 @@ class ProtocolSpec:
 PROTOCOLS: dict[str, ProtocolSpec] = {}
 
 
-def register_protocol(name: str, *, topology: str = "forbidden", description: str | None = None):
+def register_protocol(
+    name: str,
+    *,
+    topology: str = "forbidden",
+    description: str | None = None,
+    churn: str = "none",
+):
     """Register a protocol adapter (decorator)."""
-    if topology not in ("forbidden", "graph", "chord"):
-        raise ValueError(f"topology must be 'forbidden', 'graph', or 'chord', got {topology!r}")
+    if topology not in ("forbidden", "optional-graph", "graph", "chord"):
+        raise ValueError(
+            f"topology must be 'forbidden', 'optional-graph', 'graph', or "
+            f"'chord', got {topology!r}"
+        )
+    if churn not in ("none", "crashes", "full"):
+        raise ValueError(f"churn must be 'none', 'crashes', or 'full', got {churn!r}")
 
     def _register(fn: Callable[..., ProtocolOutput]) -> Callable[..., ProtocolOutput]:
         if name in PROTOCOLS and PROTOCOLS[name].runner is not fn:
             raise ValueError(f"protocol {name!r} is already registered")
-        PROTOCOLS[name] = ProtocolSpec.from_callable(name, fn, topology, description)
+        PROTOCOLS[name] = ProtocolSpec.from_callable(name, fn, topology, description, churn)
         return fn
 
     return _register
@@ -250,6 +304,10 @@ def protocol_names() -> list[str]:
     return sorted(PROTOCOLS)
 
 
+def churn_capable_protocols() -> list[str]:
+    return sorted(name for name, spec in PROTOCOLS.items() if spec.churn != "none")
+
+
 # --------------------------------------------------------------------------- #
 # adapters: repro.core
 # --------------------------------------------------------------------------- #
@@ -260,6 +318,28 @@ def _error_summary(estimates: np.ndarray, exact: float) -> dict[str, float]:
     diffs = np.abs(estimates[finite] - exact)
     err = float(np.max(diffs)) if exact == 0.0 else float(np.max(diffs) / abs(exact))
     return {"exact": float(exact), "max_rel_error": err}
+
+
+def _churn_degradation(
+    ctx: RunContext, metrics: MetricsCollector, estimates: np.ndarray, exact: float
+) -> dict[str, Any] | None:
+    """Shared degradation section for churn runs (None when churn is off).
+
+    ``survivor_mass_rel_error`` is the worst relative error of a surviving
+    node's estimate against the exact aggregate *of the survivors* -- the
+    honest success measure once the founding membership no longer exists.
+    """
+    if not ctx.failure_model.has_churn:
+        return None
+    finite = np.isfinite(np.asarray(estimates, dtype=float))
+    section: dict[str, Any] = {
+        "population": float(estimates.size),
+        "survivors": float(np.count_nonzero(finite)),
+        "survivor_exact": float(exact),
+        "survivor_mass_rel_error": _error_summary(estimates, exact)["max_rel_error"],
+        "messages_to_dead": float(metrics.total_messages_to_dead),
+    }
+    return section
 
 
 @register_protocol("drr", description="Phase I: Distributed Random Ranking forest construction")
@@ -291,6 +371,7 @@ def _run_drr_spec(ctx: RunContext, n: int | None = None, probe_budget: int | Non
 @register_protocol(
     "drr-gossip",
     description="Full DRR-gossip pipeline (Algorithms 7/8) for any supported aggregate",
+    churn="crashes",
 )
 def _run_drr_gossip_spec(
     ctx: RunContext,
@@ -339,6 +420,7 @@ def _run_drr_gossip_spec(
             "trees": float(result.drr.forest.root_count),
         },
         raw=result,
+        degradation=_churn_degradation(ctx, result.metrics, result.estimates, result.exact),
     )
 
 
@@ -370,7 +452,11 @@ def _run_local_drr_spec(ctx: RunContext) -> ProtocolOutput:
 # --------------------------------------------------------------------------- #
 # adapters: repro.baselines
 # --------------------------------------------------------------------------- #
-@register_protocol("push-sum", description="Kempe et al. push-sum (uniform gossip Average)")
+@register_protocol(
+    "push-sum",
+    description="Kempe et al. push-sum (uniform gossip Average)",
+    churn="full",
+)
 def _run_push_sum_spec(
     ctx: RunContext,
     n: int | None = None,
@@ -391,10 +477,15 @@ def _run_push_sum_spec(
         estimates=result.estimates,
         summary=_error_summary(result.estimates, result.exact),
         raw=result,
+        degradation=_churn_degradation(ctx, result.metrics, result.estimates, result.exact),
     )
 
 
-@register_protocol("push-max", description="Address-oblivious push-max (uniform gossip Max)")
+@register_protocol(
+    "push-max",
+    description="Address-oblivious push-max (uniform gossip Max)",
+    churn="full",
+)
 def _run_push_max_spec(
     ctx: RunContext,
     n: int | None = None,
@@ -415,6 +506,50 @@ def _run_push_max_spec(
         estimates=result.estimates,
         summary=_error_summary(result.estimates, result.exact),
         raw=result,
+        degradation=_churn_degradation(ctx, result.metrics, result.estimates, result.exact),
+    )
+
+
+@register_protocol(
+    "epoch-gossip-ave",
+    topology="optional-graph",
+    description="Epoch-restarted push-pull averaging for dynamic membership",
+    churn="full",
+)
+def _run_epoch_gossip_spec(
+    ctx: RunContext,
+    n: int | None = None,
+    workload: str = "uniform",
+    values: list | None = None,
+    epochs: int = 3,
+    epoch_rounds: int | None = None,
+) -> ProtocolOutput:
+    from ..baselines import epoch_gossip_ave
+
+    size = ctx.topology.n if ctx.topology is not None else n
+    vals = ctx.resolve_values(size, workload, values)
+    try:
+        result = epoch_gossip_ave(
+            vals, rng=ctx.rng, epochs=_as_int(epochs, "'epochs'"),
+            epoch_rounds=None if epoch_rounds is None else _as_int(epoch_rounds, "'epoch_rounds'"),
+            failure_model=ctx.failure_model, topology=ctx.topology,
+            backend=ctx.backend,
+        )
+    except ValueError as exc:
+        raise SpecValidationError(str(exc)) from exc
+    summary = _error_summary(result.estimates, result.exact)
+    summary["epochs"] = float(result.epochs)
+    summary["epoch_rounds"] = float(result.epoch_rounds)
+    degradation = _churn_degradation(ctx, result.metrics, result.estimates, result.exact)
+    if degradation is not None:
+        degradation["epoch_errors"] = [float(e) for e in result.epoch_errors]
+        degradation["epoch_survivors"] = [float(s) for s in result.epoch_survivors]
+    return ProtocolOutput(
+        metrics=result.metrics,
+        estimates=result.estimates,
+        summary=summary,
+        raw=result,
+        degradation=degradation,
     )
 
 

@@ -49,6 +49,15 @@ class RunResult:
         RSS, counters, sharded-pool utilization), or None when telemetry
         was disabled.  An observation about the execution, not part of the
         outcome: excluded from :meth:`same_outcome` like ``wall_time_s``.
+    degradation:
+        Fault-degradation section for churn runs (survivor counts, the
+        survivor-relative error, messages wasted on dead recipients, and —
+        for epoch-restarted protocols — the per-epoch error curve), or
+        None when the spec's failure model has no mid-run churn.  Values
+        may legitimately be NaN (e.g. the error curve of an epoch whose
+        survivors all hold NaN), so the section is excluded from
+        :meth:`same_outcome`; the churn equivalence tests compare it
+        explicitly instead.
     """
 
     __slots__ = (
@@ -64,6 +73,7 @@ class RunResult:
         "wall_time_s",
         "raw",
         "telemetry",
+        "degradation",
     )
 
     def __init__(
@@ -80,6 +90,7 @@ class RunResult:
         wall_time_s: float,
         raw: Any = None,
         telemetry: Mapping[str, Any] | None = None,
+        degradation: Mapping[str, Any] | None = None,
     ) -> None:
         self.spec = spec
         self.rounds = int(rounds)
@@ -93,6 +104,7 @@ class RunResult:
         self.wall_time_s = float(wall_time_s)
         self.raw = raw
         self.telemetry = dict(telemetry) if telemetry is not None else None
+        self.degradation = dict(degradation) if degradation is not None else None
 
     @property
     def estimates(self) -> np.ndarray | None:
@@ -174,6 +186,7 @@ class RunResult:
             "summary": {str(k): float(v) for k, v in self.summary.items()},
             "wall_time_s": float(self.wall_time_s),
             **({"telemetry": self.telemetry} if self.telemetry is not None else {}),
+            **({"degradation": self.degradation} if self.degradation is not None else {}),
         }
 
     @classmethod
@@ -191,6 +204,7 @@ class RunResult:
             summary={str(k): float(v) for k, v in dict(doc.get("summary", {})).items()},
             wall_time_s=float(doc.get("wall_time_s", 0.0)),
             telemetry=doc.get("telemetry"),
+            degradation=doc.get("degradation"),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -240,6 +254,11 @@ class RunResult:
         ]
         for key in sorted(self.summary):
             parts.append(f"{key:<17}: {self.summary[key]:.6g}")
+        if self.degradation is not None:
+            for key in sorted(self.degradation):
+                value = self.degradation[key]
+                if isinstance(value, (int, float)):
+                    parts.append(f"churn {key:<11}: {float(value):.6g}")
         parts.append(f"wall time        : {self.wall_time_s:.3f}s")
         if self.telemetry is not None:
             from ..observability.telemetry import format_telemetry

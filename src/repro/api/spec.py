@@ -274,6 +274,7 @@ class RunSpec:
         spec = get_protocol(self.protocol)  # raises SpecValidationError when unknown
         object.__setattr__(self, "params", spec.validate_params(self.params))
         spec.validate_topology(self.topology)
+        spec.validate_failures(self.failures)
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would choke on the params dict;

@@ -7,6 +7,12 @@ Every baseline runs on the backend-selectable execution substrate: pass
 """
 
 from .efficient_gossip import EfficientGossipResult, efficient_gossip
+from .epoch_gossip import (
+    EpochGossipNode,
+    EpochGossipResult,
+    default_epoch_rounds,
+    epoch_gossip_ave,
+)
 from .flooding import FloodingResult, FloodNode, flood_max
 from .rumor_spreading import (
     PushPullRumorNode,
@@ -27,6 +33,10 @@ from .uniform_gossip import (
 __all__ = [
     "EfficientGossipResult",
     "efficient_gossip",
+    "EpochGossipNode",
+    "EpochGossipResult",
+    "default_epoch_rounds",
+    "epoch_gossip_ave",
     "FloodingResult",
     "FloodNode",
     "flood_max",

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..simulator.failures import FailureModel, LossOracle
+from ..simulator.failures import ChurnOracle, FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -104,15 +104,16 @@ def push_sum(
 
     alive = ~failure_model.sample_crashes(n, rng)
     oracle = LossOracle.for_run(failure_model, rng)
+    churn = ChurnOracle.for_run(failure_model, rng)
     total_rounds = rounds if rounds is not None else default_push_rounds(n, epsilon)
 
     return run_on(
         backend,
         vectorized=lambda kernel: _push_sum_vectorized(
-            kernel, values, n, rng, total_rounds, oracle, alive, metrics
+            kernel, values, n, rng, total_rounds, oracle, alive, metrics, churn
         ),
         engine=lambda kernel: _push_sum_engine(
-            kernel, values, n, rng, total_rounds, failure_model, oracle, alive, metrics
+            kernel, values, n, rng, total_rounds, failure_model, oracle, alive, metrics, churn
         ),
     )
 
@@ -126,15 +127,28 @@ def _push_sum_vectorized(
     oracle: LossOracle,
     alive: np.ndarray,
     metrics: MetricsCollector,
+    churn: ChurnOracle | None = None,
 ) -> UniformGossipResult:
     s = np.where(alive, values, 0.0).astype(float)
     w = alive.astype(float).copy()
+    # Convergence is tracked against the membership at start; the result's
+    # ``exact`` is recomputed over the final survivors under churn.
     exact = float(values[alive].mean())
     convergence: list[float] = []
     alive_idx = np.flatnonzero(alive)
-    alive_arg = None if alive.all() else alive
+    alive_arg = alive if churn is not None else (None if alive.all() else alive)
+    dead_targets = churn is not None
 
     for r in range(total_rounds):
+        if churn is not None:
+            died, joined = churn.step(r, alive)
+            if joined.size:
+                # A joiner restarts from its own local value.
+                s[joined] = values[joined]
+                w[joined] = 1.0
+            if died.size or joined.size:
+                alive_idx = np.flatnonzero(alive)
+                kernel.refresh_alive(alive)
         metrics.record_round()
         senders = alive_idx
         targets = kernel.sample_uniform(rng, n, senders.size)
@@ -145,6 +159,7 @@ def _push_sum_vectorized(
         delivered = kernel.deliver(
             metrics, oracle, MessageKind.PUSH, targets,
             senders=senders, round_index=r, alive=alive_arg, payload_words=2,
+            dead_targets=dead_targets,
         )
         np.add.at(s, targets[delivered], send_s[delivered])
         np.add.at(w, targets[delivered], send_w[delivered])
@@ -153,6 +168,8 @@ def _push_sum_vectorized(
         err = np.nanmax(np.abs(est[alive] - exact) / max(1e-300, abs(exact))) if exact != 0 else np.nanmax(np.abs(est[alive]))
         convergence.append(float(err))
 
+    if churn is not None:
+        exact = float(values[alive].mean())
     with np.errstate(invalid="ignore", divide="ignore"):
         estimates = np.where(w > 0, s / np.where(w > 0, w, 1.0), np.nan)
     estimates[~alive] = np.nan
@@ -171,13 +188,23 @@ class PushSumNode(ProtocolNode):
 
     def __init__(self, node_id: int, value: float, rounds: int) -> None:
         super().__init__(node_id)
+        self.value = float(value)
         self.s = float(value)
         self.w = 1.0
         self.rounds = rounds
         self.rounds_done = 0
 
+    def on_activated(self, round_index: int) -> None:
+        # A joiner restarts from its own local value (it cannot resume the
+        # state it lost when it died).
+        self.s = self.value
+        self.w = 1.0
+
     def begin_round(self, ctx: RoundContext) -> list[Send]:
-        if self.rounds_done >= self.rounds:
+        # Gate on the round index, not rounds attended: a node revived by
+        # churn does not get extra sending rounds.  Without churn both gates
+        # are identical (an alive node attends every round).
+        if ctx.round_index >= self.rounds:
             return []
         self.rounds_done += 1
         target = ctx.random_node()
@@ -217,8 +244,17 @@ def _push_sum_engine(
     oracle: LossOracle,
     alive: np.ndarray,
     metrics: MetricsCollector,
+    churn: ChurnOracle | None = None,
 ) -> UniformGossipResult:
     nodes = [PushSumNode(i, float(values[i]), total_rounds) for i in range(n)]
+    # Under churn a revived node may have attended fewer than ``rounds``
+    # rounds forever, so completion is by round count, exactly like the
+    # columnar loop.
+    stop_condition = (
+        (lambda current_nodes, round_index: round_index >= total_rounds)
+        if churn is not None
+        else None
+    )
     outcome = kernel.run(
         nodes,
         rng=rng,
@@ -226,12 +262,15 @@ def _push_sum_engine(
         failure_model=failure_model,
         alive=alive,
         loss_oracle=oracle,
+        churn_oracle=churn,
         max_substeps=2,
         max_rounds=total_rounds + 4,
+        stop_condition=stop_condition,
     )
+    final_alive = outcome.final_alive if outcome.final_alive is not None else alive
     estimates = np.array([node.result() for node in nodes], dtype=float)
-    estimates[~alive] = np.nan
-    exact = float(values[alive].mean())
+    estimates[~final_alive] = np.nan
+    exact = float(values[final_alive].mean())
     return UniformGossipResult(
         estimates=estimates,
         exact=exact,
@@ -271,15 +310,21 @@ def push_max(
 
     alive = ~failure_model.sample_crashes(n, rng)
     oracle = LossOracle.for_run(failure_model, rng)
+    churn = ChurnOracle.for_run(failure_model, rng)
+    if churn is not None and stop_when_converged:
+        raise ValueError(
+            "stop_when_converged is a static-membership oracle stopping rule; "
+            "it is not defined under mid-run churn"
+        )
     total_rounds = rounds if rounds is not None else int(math.ceil(2.0 * math.log2(max(2, n)) + 6))
 
     return run_on(
         backend,
         vectorized=lambda kernel: _push_max_vectorized(
-            kernel, values, n, rng, total_rounds, oracle, alive, metrics, stop_when_converged
+            kernel, values, n, rng, total_rounds, oracle, alive, metrics, stop_when_converged, churn
         ),
         engine=lambda kernel: _push_max_engine(
-            kernel, values, n, rng, total_rounds, failure_model, oracle, alive, metrics, stop_when_converged
+            kernel, values, n, rng, total_rounds, failure_model, oracle, alive, metrics, stop_when_converged, churn
         ),
     )
 
@@ -294,21 +339,31 @@ def _push_max_vectorized(
     alive: np.ndarray,
     metrics: MetricsCollector,
     stop_when_converged: bool,
+    churn: ChurnOracle | None = None,
 ) -> UniformGossipResult:
     current = np.where(alive, values, -np.inf).astype(float)
     exact = float(values[alive].max())
     alive_idx = np.flatnonzero(alive)
-    alive_arg = None if alive.all() else alive
+    alive_arg = alive if churn is not None else (None if alive.all() else alive)
+    dead_targets = churn is not None
     convergence: list[float] = []
 
     executed = 0
     for r in range(total_rounds):
+        if churn is not None:
+            died, joined = churn.step(r, alive)
+            if joined.size:
+                current[joined] = values[joined]
+            if died.size or joined.size:
+                alive_idx = np.flatnonzero(alive)
+                kernel.refresh_alive(alive)
         metrics.record_round()
         executed += 1
         targets = kernel.sample_uniform(rng, n, alive_idx.size)
         delivered = kernel.deliver(
             metrics, oracle, MessageKind.PUSH, targets,
             senders=alive_idx, round_index=r, alive=alive_arg,
+            dead_targets=dead_targets,
         )
         np.maximum.at(current, targets[delivered], current[alive_idx][delivered])
         informed = float(np.mean(current[alive] >= exact))
@@ -316,6 +371,8 @@ def _push_max_vectorized(
         if stop_when_converged and informed >= 1.0:
             break
 
+    if churn is not None:
+        exact = float(values[alive].max())
     estimates = current.copy()
     estimates[~alive] = np.nan
     return UniformGossipResult(
@@ -333,12 +390,18 @@ class PushMaxNode(ProtocolNode):
 
     def __init__(self, node_id: int, value: float, rounds: int) -> None:
         super().__init__(node_id)
+        self.initial = float(value)
         self.value = float(value)
         self.rounds = rounds
         self.rounds_done = 0
 
+    def on_activated(self, round_index: int) -> None:
+        # A joiner restarts from its own value; whatever maximum it had
+        # learned died with it.
+        self.value = self.initial
+
     def begin_round(self, ctx: RoundContext) -> list[Send]:
-        if self.rounds_done >= self.rounds:
+        if ctx.round_index >= self.rounds:
             return []
         self.rounds_done += 1
         return [
@@ -369,6 +432,7 @@ def _push_max_engine(
     alive: np.ndarray,
     metrics: MetricsCollector,
     stop_when_converged: bool,
+    churn: ChurnOracle | None = None,
 ) -> UniformGossipResult:
     exact = float(values[alive].max())
     nodes = [PushMaxNode(i, float(values[i]), total_rounds) for i in range(n)]
@@ -380,6 +444,9 @@ def _push_max_engine(
         def stop_condition(current_nodes, round_index):  # noqa: ANN001 - engine signature
             return all(current_nodes[i].value >= exact for i in alive_idx)
 
+    elif churn is not None:
+        stop_condition = lambda current_nodes, round_index: round_index >= total_rounds  # noqa: E731
+
     outcome = kernel.run(
         nodes,
         rng=rng,
@@ -387,12 +454,16 @@ def _push_max_engine(
         failure_model=failure_model,
         alive=alive,
         loss_oracle=oracle,
+        churn_oracle=churn,
         max_substeps=2,
         max_rounds=total_rounds + 4,
         stop_condition=stop_condition,
     )
+    final_alive = outcome.final_alive if outcome.final_alive is not None else alive
+    if churn is not None:
+        exact = float(values[final_alive].max())
     estimates = np.array([node.value for node in nodes], dtype=float)
-    estimates[~alive] = np.nan
+    estimates[~final_alive] = np.nan
     return UniformGossipResult(
         estimates=estimates,
         exact=exact,

@@ -453,9 +453,15 @@ def _broadcast_vectorized(
         payload[root] = float(value)
         receive_round[root] = 0
 
-    # A parent serves its known alive children one per round in ascending id
+    # A parent serves its known children one per round in ascending id
     # order; precompute each child's 1-based position in that service order.
-    serveable = drr.known_child_mask & alive
+    # Children are served whether or not they are still alive: a parent has
+    # no way to learn that a child died after tree construction (mid-run
+    # churn), so it wastes that round -- the transmission is charged and
+    # swallowed, exactly as the message-level engine does.  Under the
+    # initial-crash model every known child is alive, so this filter change
+    # is invisible there.
+    serveable = drr.known_child_mask
     kids = np.flatnonzero(serveable)
     parent_keys = forest.parent[kids]
     if n <= 2**31 - 1:

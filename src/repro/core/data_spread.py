@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import ChurnOracle, FailureModel
 from ..simulator.metrics import MetricsCollector
 from .gossip_max import GossipMaxResult, run_gossip_max
 
@@ -31,6 +31,8 @@ def run_data_spread(
     gossip_rounds: int | None = None,
     sampling_rounds: int | None = None,
     alive: np.ndarray | None = None,
+    churn: ChurnOracle | None = None,
+    churn_base_round: int = 0,
     backend: str = "vectorized",
 ) -> GossipMaxResult:
     """Spread ``value`` from root ``spreader`` to all roots (Algorithm 5).
@@ -63,5 +65,7 @@ def run_data_spread(
         sampling_rounds=sampling_rounds,
         phase_name="data-spread",
         alive=alive,
+        churn=churn,
+        churn_base_round=churn_base_round,
         backend=backend,
     )

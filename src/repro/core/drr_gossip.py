@@ -28,7 +28,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..simulator.failures import FailureModel
+from ..simulator.failures import ChurnOracle, FailureModel
 from ..simulator.metrics import MetricsCollector
 from ..simulator.rng import make_rng
 from ..substrate import normalize_backend
@@ -174,6 +174,29 @@ def _run_phase_one(
 def _alive_mask(drr: DRRResult) -> np.ndarray:
     alive = drr.forest.alive
     return alive if alive is not None else np.ones(drr.forest.n, dtype=bool)
+
+
+def _pipeline_churn(
+    config: DRRGossipConfig, rng: np.random.Generator
+) -> ChurnOracle | None:
+    """Derive the pipeline's churn oracle; the DRR pipelines are crash-only.
+
+    Churn strikes during the long-running Phase III gossip procedures; the
+    tree-building phases (DRR, Convergecast, the Broadcasts) are treated as
+    instantaneous, exactly like the initial-crash model.  A joined node
+    cannot re-enter a tree whose construction already finished, so join
+    events are rejected up front.  Deriving the oracle here (zero variates
+    consumed) keys it to the run, not to any single procedure.
+    """
+    churn = ChurnOracle.for_run(config.failure_model, rng)
+    if churn is not None and churn.has_joins:
+        raise ValueError(
+            "drr-gossip pipelines are crash-only under churn: a node cannot "
+            "rejoin a tree whose construction already finished (set "
+            "join_rate=0 and use no join schedule events; the "
+            "epoch-gossip-ave protocol supports joins)"
+        )
+    return churn
 
 
 def _alive_roots(drr: DRRResult) -> np.ndarray:
@@ -325,6 +348,7 @@ def _extremum_pipeline(
     rng = make_rng(rng)
     config = config or DRRGossipConfig()
     metrics = MetricsCollector(n=n)
+    churn = _pipeline_churn(config, rng)
     work_values = -values if negate else values
 
     drr = _run_phase_one(n, rng, config, metrics)
@@ -342,6 +366,7 @@ def _extremum_pipeline(
         gossip_rounds=config.gossip_rounds,
         sampling_rounds=config.sampling_rounds,
         alive=_alive_mask(drr),
+        churn=churn,
         backend=config.backend,
     )
     payload, received = _broadcast_estimates(drr, gossip.estimates, rng, config, metrics)
@@ -363,13 +388,18 @@ def _identify_largest_root(
     rng: np.random.Generator,
     config: DRRGossipConfig,
     metrics: MetricsCollector,
-) -> int:
+    churn: ChurnOracle | None = None,
+    churn_base_round: int = 0,
+) -> tuple[int, int]:
     """Gossip-max on (tree size, root id) so exactly one root learns it is largest.
 
     The paper runs Gossip-max on the tree sizes; because sizes are integers,
     ties are possible, so we gossip the pair ``(size, root id)`` encoded as
     ``size * (n + 1) + root id`` which is exact in double precision for every
     network size the simulator can hold and makes the winner unique.
+
+    Returns ``(winner, rounds_consumed)``; the caller advances the churn
+    clock by the second element.
     """
     encoded = tree_sizes * (n + 1) + roots
     outcome = run_gossip_max(
@@ -384,6 +414,8 @@ def _identify_largest_root(
         sampling_rounds=config.sampling_rounds,
         phase_name="gossip-max-sizes",
         alive=_alive_mask(drr),
+        churn=churn,
+        churn_base_round=churn_base_round,
         backend=config.backend,
     )
     # Every root compares the gossiped maximum against its own encoding; the
@@ -395,7 +427,7 @@ def _identify_largest_root(
         # true largest tree so the pipeline still returns an answer (the
         # error shows up in the accuracy metrics, not as a crash).
         winner = int(roots[int(np.argmax(encoded))])
-    return winner
+    return winner, outcome.gossip_rounds + outcome.sampling_rounds
 
 
 def _pushsum_pipeline(
@@ -413,6 +445,7 @@ def _pushsum_pipeline(
     rng = make_rng(rng)
     config = config or DRRGossipConfig()
     metrics = MetricsCollector(n=n)
+    churn = _pipeline_churn(config, rng)
 
     if aggregate == Aggregate.RANK:
         if query is None:
@@ -432,8 +465,13 @@ def _pushsum_pipeline(
     tree_sizes = cov.weight_vector(roots)
     root_of = broadcast_root_addresses(drr, roots, rng, config, metrics)
 
-    largest = _identify_largest_root(
-        drr, roots, tree_sizes, root_of, n, rng, config, metrics
+    # Phase III runs under one sequential churn clock: gossip-max-sizes,
+    # then gossip-ave, then data-spread each advance `churn_base` by the
+    # rounds they consumed, so a node's fate at global churn round t is
+    # independent of how the budget splits across the procedures.
+    largest, churn_base = _identify_largest_root(
+        drr, roots, tree_sizes, root_of, n, rng, config, metrics,
+        churn=churn, churn_base_round=0,
     )
 
     if aggregate == Aggregate.AVERAGE:
@@ -456,8 +494,11 @@ def _pushsum_pipeline(
         epsilon=config.epsilon,
         alive=alive,
         trace_root=largest,
+        churn=churn,
+        churn_base_round=churn_base,
         backend=config.backend,
     )
+    churn_base += ave.rounds
     answer = ave.estimate_at(largest)
     if not np.isfinite(answer):
         answer = float(local_sums.sum() / max(1.0, weights.sum()))
@@ -474,6 +515,8 @@ def _pushsum_pipeline(
         gossip_rounds=config.gossip_rounds,
         sampling_rounds=config.sampling_rounds,
         alive=alive,
+        churn=churn,
+        churn_base_round=churn_base,
         backend=config.backend,
     )
     payload, received = _broadcast_estimates(drr, spread.estimates, rng, config, metrics)

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..simulator.failures import FailureModel, LossOracle
+from ..simulator.failures import ChurnOracle, FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -103,6 +103,8 @@ def run_gossip_ave(
     phase_name: str = "gossip-ave",
     alive: np.ndarray | None = None,
     trace_root: int | None = None,
+    churn: ChurnOracle | None = None,
+    churn_base_round: int = 0,
     backend: str = "vectorized",
 ) -> GossipAveResult:
     """Run Gossip-ave (Algorithm 6) over the forest's roots.
@@ -118,7 +120,14 @@ def run_gossip_ave(
         Number of gossip rounds; ``None`` selects
         :func:`default_ave_rounds` for the requested ``epsilon``.
     trace_root:
-        If given, the estimate of this root is recorded after every round.
+        If given, the estimate of this root is recorded after every round
+        it is alive for (plus the terminal estimate under churn).
+    churn:
+        Mid-run churn oracle (``None`` auto-derives one from
+        ``failure_model``); crash-only, like :func:`run_gossip_max` -- a
+        revived root would re-inject mass the invariant already counted.
+        ``churn_base_round`` offsets this procedure's rounds in the oracle's
+        identity space.  The ``alive`` mask is evolved in place.
     backend:
         Substrate backend: ``"vectorized"`` (default), ``"sharded"``, or ``"engine"``.
     """
@@ -145,6 +154,15 @@ def run_gossip_ave(
     if alive is None:
         alive = np.ones(n, dtype=bool)
     oracle = LossOracle.for_run(failure_model, rng)
+    if churn is None:
+        churn = ChurnOracle.for_run(failure_model, rng)
+    if churn is not None and churn.has_joins:
+        raise ValueError(
+            "gossip-ave is crash-only under churn: a revived root would "
+            "re-inject mass the conservation invariant already counted "
+            "(set join_rate=0 and use no join schedule events, or run the "
+            "epoch-gossip-ave protocol instead)"
+        )
 
     total_rounds = (
         rounds
@@ -156,11 +174,11 @@ def run_gossip_ave(
         backend,
         vectorized=lambda kernel: _gossip_ave_vectorized(
             kernel, roots, local_sums, local_weights, root_of, n, oracle,
-            rng, metrics, total_rounds, alive, trace_root,
+            rng, metrics, total_rounds, alive, trace_root, churn, churn_base_round,
         ),
         engine=lambda kernel: _gossip_ave_engine(
             kernel, roots, local_sums, local_weights, root_of, n, failure_model,
-            oracle, rng, metrics, total_rounds, alive, trace_root,
+            oracle, rng, metrics, total_rounds, alive, trace_root, churn, churn_base_round,
         ),
     )
 
@@ -181,11 +199,14 @@ def _gossip_ave_vectorized(
     total_rounds: int,
     alive: np.ndarray,
     trace_root: int | None,
+    churn: ChurnOracle | None,
+    churn_base_round: int,
 ) -> GossipAveResult:
     m = roots.size
     position = np.full(n, -1, dtype=np.int64)
     position[roots] = np.arange(m)
-    alive_arg = None if alive.all() else alive
+    alive_arg = alive if churn is not None else (None if alive.all() else alive)
+    dead_targets = churn is not None
     estimate_dtype = tuning.get_tuning().estimate_dtype()
 
     s = local_sums.astype(estimate_dtype)
@@ -193,21 +214,46 @@ def _gossip_ave_vectorized(
     history: list[float] = []
     trace_pos = int(position[trace_root]) if trace_root is not None else None
 
-    for r in range(total_rounds):
-        metrics.record_round()
-        targets = kernel.sample_uniform(rng, n, m)
+    def _trace_estimate() -> float:
+        return float(s[trace_pos] / g[trace_pos]) if g[trace_pos] > 0 else float("nan")
 
-        # Each root keeps half and ships half, whether or not the shipment
-        # survives (lost mass is lost -- that is the paper's model).
-        send_s = s / 2.0
-        send_g = g / 2.0
-        s -= send_s
-        g -= send_g
+    for r in range(total_rounds):
+        if churn is not None:
+            died, joined = churn.step(churn_base_round + r, alive)
+            if died.size or joined.size:
+                kernel.refresh_alive(alive)
+            send_pos = np.flatnonzero(alive[roots])
+        else:
+            send_pos = None
+        metrics.record_round()
+        # The engine's traced node snapshots its estimate at the start of
+        # each round it is alive for; recording here (rather than at the
+        # bottom of the loop) reproduces that sequence exactly, dead gaps
+        # included, and is identical without churn.
+        if trace_pos is not None and r > 0 and (churn is None or alive[trace_root]):
+            history.append(_trace_estimate())
+
+        senders = roots if send_pos is None else roots[send_pos]
+        targets = kernel.sample_uniform(rng, n, senders.size)
+
+        # Each live root keeps half and ships half, whether or not the
+        # shipment survives (lost mass is lost -- that is the paper's
+        # model).  Dead roots' mass freezes where it fell.
+        if send_pos is None:
+            send_s = s / 2.0
+            send_g = g / 2.0
+            s -= send_s
+            g -= send_g
+        else:
+            send_s = s[send_pos] / 2.0
+            send_g = g[send_pos] / 2.0
+            s[send_pos] -= send_s
+            g[send_pos] -= send_g
 
         receiver = kernel.relay_to_roots(
-            metrics, oracle, targets, senders=roots, round_index=r,
+            metrics, oracle, targets, senders=senders, round_index=r,
             kind=MessageKind.GOSSIP, position=position, root_of=root_of,
-            alive=alive_arg, payload_words=2,
+            alive=alive_arg, payload_words=2, dead_targets=dead_targets,
         )
         # The fused scatter-add pre-sums the round's contributions before
         # folding into s/g, so results differ from per-message folding at
@@ -215,8 +261,8 @@ def _gossip_ave_vectorized(
         # like every other sum-type reordering between the backends.
         kernel.fold_pushes(receiver, send_s, send_g, s, g)
 
-        if trace_pos is not None:
-            history.append(float(s[trace_pos] / g[trace_pos]) if g[trace_pos] > 0 else float("nan"))
+    if trace_pos is not None and total_rounds > 0:
+        history.append(_trace_estimate())
 
     with np.errstate(divide="ignore", invalid="ignore"):
         ratio = np.where(g > 0, s / g, np.float64(np.nan))
@@ -303,6 +349,8 @@ def _gossip_ave_engine(
     total_rounds: int,
     alive: np.ndarray,
     trace_root: int | None,
+    churn: ChurnOracle | None,
+    churn_base_round: int,
 ) -> GossipAveResult:
     is_root = np.zeros(n, dtype=bool)
     is_root[roots] = True
@@ -314,16 +362,26 @@ def _gossip_ave_engine(
         for i in range(n)
     ]
     # Three sub-steps: push, forward; nothing answers back within the round.
-    kernel.run(
+    outcome = kernel.run(
         nodes,
         rng=rng,
         metrics=metrics,
         failure_model=failure_model,
         alive=alive,
         loss_oracle=oracle,
+        churn_oracle=churn,
+        churn_base_round=churn_base_round,
         max_substeps=3,
         max_rounds=total_rounds + 4,
+        # Pin the round count under churn: were every root to die, the
+        # surviving forwarders are trivially complete and the engine would
+        # otherwise stop short of the vectorized loop's fixed budget.
+        stop_condition=(
+            (lambda nodes, r: r >= total_rounds) if churn is not None else None
+        ),
     )
+    if outcome.final_alive is not None:
+        alive[:] = outcome.final_alive
 
     estimates: dict[int, float] = {}
     sums: dict[int, float] = {}

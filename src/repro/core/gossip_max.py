@@ -37,7 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..simulator.failures import FailureModel, LossOracle
+from ..simulator.failures import ChurnOracle, FailureModel, LossOracle
 from ..simulator.message import Message, MessageKind, Send
 from ..simulator.metrics import MetricsCollector
 from ..simulator.node import ProtocolNode, RoundContext
@@ -122,6 +122,8 @@ def run_gossip_max(
     sampling_rounds: int | None = None,
     phase_name: str = "gossip-max",
     alive: np.ndarray | None = None,
+    churn: ChurnOracle | None = None,
+    churn_base_round: int = 0,
     backend: str = "vectorized",
 ) -> GossipMaxResult:
     """Run Gossip-max (Algorithm 4) over the forest's roots.
@@ -141,7 +143,16 @@ def run_gossip_max(
     gossip_rounds / sampling_rounds:
         Round budgets; ``None`` selects the defaults above.
     alive:
-        Liveness mask over all n nodes; dead targets swallow messages.
+        Liveness mask over all n nodes; dead targets swallow messages.  Under
+        churn the array is evolved **in place** so multi-procedure pipelines
+        observe the deaths of earlier procedures.
+    churn:
+        Mid-run churn oracle (``None`` auto-derives one from
+        ``failure_model`` when it carries churn).  Root-relay procedures are
+        crash-only: a revived root would have missed rounds of mass flow, so
+        join events are rejected here.  ``churn_base_round`` offsets this
+        procedure's rounds in the oracle's identity space (the pipeline runs
+        several procedures under one churn clock).
     backend:
         Substrate backend: ``"vectorized"`` (default), ``"sharded"``, or ``"engine"``.
     """
@@ -162,6 +173,14 @@ def run_gossip_max(
     if alive is None:
         alive = np.ones(n, dtype=bool)
     oracle = LossOracle.for_run(failure_model, rng)
+    if churn is None:
+        churn = ChurnOracle.for_run(failure_model, rng)
+    if churn is not None and churn.has_joins:
+        raise ValueError(
+            "gossip-max is crash-only under churn: a revived root would have "
+            "missed rounds of push flow (set join_rate=0 and use no join "
+            "schedule events, or run the epoch-gossip-ave protocol instead)"
+        )
 
     delta = failure_model.loss_probability
     g_rounds = gossip_rounds if gossip_rounds is not None else default_gossip_rounds(n, delta)
@@ -171,11 +190,11 @@ def run_gossip_max(
         backend,
         vectorized=lambda kernel: _gossip_max_vectorized(
             kernel, roots, root_values, root_of, n, oracle, rng, metrics,
-            g_rounds, s_rounds, alive,
+            g_rounds, s_rounds, alive, churn, churn_base_round,
         ),
         engine=lambda kernel: _gossip_max_engine(
             kernel, roots, root_values, root_of, n, failure_model, oracle, rng, metrics,
-            g_rounds, s_rounds, alive,
+            g_rounds, s_rounds, alive, churn, churn_base_round,
         ),
     )
 
@@ -195,12 +214,18 @@ def _gossip_max_vectorized(
     g_rounds: int,
     s_rounds: int,
     alive: np.ndarray,
+    churn: ChurnOracle | None,
+    churn_base_round: int,
 ) -> GossipMaxResult:
     m = roots.size
     # position of each root id in the `roots` array; -1 for non-roots
     position = np.full(n, -1, dtype=np.int64)
     position[roots] = np.arange(m)
-    alive_arg = None if alive.all() else alive
+    # Under churn the mask changes every round, so the None fast path (and
+    # its hash-free reliable delivery) is only taken on static-membership
+    # runs; dead-target accounting likewise only exists under churn.
+    alive_arg = alive if churn is not None else (None if alive.all() else alive)
+    dead_targets = churn is not None
 
     values = root_values.copy()
     true_max = float(values.max())
@@ -209,15 +234,28 @@ def _gossip_max_vectorized(
     # gossip procedure
     # ------------------------------------------------------------------ #
     for r in range(g_rounds):
+        if churn is not None:
+            died, joined = churn.step(churn_base_round + r, alive)
+            if died.size or joined.size:
+                kernel.refresh_alive(alive)
+            send_pos = np.flatnonzero(alive[roots])
+        else:
+            send_pos = None
         metrics.record_round()
-        targets = kernel.sample_uniform(rng, n, m)
+        # Only live roots push; the live subset preserves root order, so the
+        # engine (which draws per alive node in id order) consumes the RNG
+        # identically.  Dead roots' values freeze.
+        senders = roots if send_pos is None else roots[send_pos]
+        targets = kernel.sample_uniform(rng, n, senders.size)
         receivers = kernel.relay_to_roots(
-            metrics, oracle, targets, senders=roots, round_index=r,
-            kind=MessageKind.GOSSIP, position=position, root_of=root_of, alive=alive_arg,
+            metrics, oracle, targets, senders=senders, round_index=r,
+            kind=MessageKind.GOSSIP, position=position, root_of=root_of,
+            alive=alive_arg, dead_targets=dead_targets,
         )
         valid = receivers >= 0
         if valid.any():
-            np.maximum.at(values, receivers[valid], values[valid])
+            pushed = values[valid] if send_pos is None else values[send_pos[valid]]
+            np.maximum.at(values, receivers[valid], pushed)
 
     after_gossip_fraction = float(np.mean(values >= true_max))
 
@@ -225,21 +263,33 @@ def _gossip_max_vectorized(
     # sampling procedure
     # ------------------------------------------------------------------ #
     for t in range(s_rounds):
+        r = g_rounds + t
+        if churn is not None:
+            died, joined = churn.step(churn_base_round + r, alive)
+            if died.size or joined.size:
+                kernel.refresh_alive(alive)
+            send_pos = np.flatnonzero(alive[roots])
+        else:
+            send_pos = None
         metrics.record_round()
-        targets = kernel.sample_uniform(rng, n, m)
+        senders = roots if send_pos is None else roots[send_pos]
+        targets = kernel.sample_uniform(rng, n, senders.size)
         sampled_roots = kernel.relay_to_roots(
-            metrics, oracle, targets, senders=roots, round_index=g_rounds + t,
-            kind=MessageKind.INQUIRY, position=position, root_of=root_of, alive=alive_arg,
+            metrics, oracle, targets, senders=senders, round_index=r,
+            kind=MessageKind.INQUIRY, position=position, root_of=root_of,
+            alive=alive_arg, dead_targets=dead_targets,
         )
         valid = sampled_roots >= 0
+        valid_idx = np.flatnonzero(valid)
+        inquirer_pos = valid_idx if send_pos is None else send_pos[valid_idx]
         # The sampled root answers the inquiring root directly (one hop).
         reply_ok = kernel.deliver(
             metrics, oracle, MessageKind.INQUIRY_REPLY,
-            roots[np.flatnonzero(valid)],
-            senders=roots[sampled_roots[valid]], round_index=g_rounds + t,
-            alive=alive_arg,
+            roots[inquirer_pos],
+            senders=roots[sampled_roots[valid]], round_index=r,
+            alive=alive_arg, dead_targets=dead_targets,
         )
-        inquirers = np.flatnonzero(valid)[reply_ok]
+        inquirers = inquirer_pos[reply_ok]
         answered_by = sampled_roots[valid][reply_ok]
         if inquirers.size:
             values[inquirers] = np.maximum(values[inquirers], values[answered_by])
@@ -381,6 +431,8 @@ def _gossip_max_engine(
     g_rounds: int,
     s_rounds: int,
     alive: np.ndarray,
+    churn: ChurnOracle | None,
+    churn_base_round: int,
 ) -> GossipMaxResult:
     is_root = np.zeros(n, dtype=bool)
     is_root[roots] = True
@@ -392,17 +444,32 @@ def _gossip_max_engine(
         for i in range(n)
     ]
     # Four sub-steps: push/inquiry, forward, and (sampling only) the reply
-    # all complete within the round they were initiated.
-    kernel.run(
+    # all complete within the round they were initiated.  Under crash-only
+    # churn the dead are excluded from the completion check, so the live
+    # roots still terminate the run exactly at g + s rounds.
+    outcome = kernel.run(
         nodes,
         rng=rng,
         metrics=metrics,
         failure_model=failure_model,
         alive=alive,
         loss_oracle=oracle,
+        churn_oracle=churn,
+        churn_base_round=churn_base_round,
         max_substeps=4,
         max_rounds=g_rounds + s_rounds + 4,
+        # If churn kills *every* root mid-run the survivors are all
+        # forwarders (trivially complete) and the engine would stop early;
+        # the vectorized loop always runs its full budget, so pin the round
+        # count under churn.
+        stop_condition=(
+            (lambda nodes, r: r >= g_rounds + s_rounds) if churn is not None else None
+        ),
     )
+    if outcome.final_alive is not None:
+        # The network evolves a copy; mirror the deaths back into the
+        # caller's mask so both backends leave it in the same state.
+        alive[:] = outcome.final_alive
 
     true_max = float(root_values.max())
     estimates: dict[int, float] = {}

@@ -60,6 +60,7 @@ __all__ = [
     "run_lower_bound_experiment",
     "run_phase_breakdown",
     "run_ablation",
+    "run_churn_degradation",
     "DEFAULT_NS",
 ]
 
@@ -793,6 +794,90 @@ def run_ablation(
 
 
 # --------------------------------------------------------------------------- #
+# E13: degradation under mid-run churn
+# --------------------------------------------------------------------------- #
+def run_churn_degradation(
+    n: int = 1024,
+    churn_rates: Sequence[float] = (0.0, 0.002, 0.005, 0.01, 0.02),
+    repetitions: int = 3,
+    seed: int = 13,
+    delta: float = 0.0,
+    join_rate: float = 0.0,
+    backend: str = "vectorized",
+) -> ExperimentResult:
+    """How gracefully each averaging protocol degrades under node churn.
+
+    Sweeps the per-round crash probability and compares the tree-structured
+    DRR-gossip pipeline against address-oblivious push-sum and the
+    epoch-restarted push-pull protocol.  The success measure is the
+    survivor-mass relative error (worst surviving node against the exact
+    aggregate of the survivors) plus the fraction of messages wasted on
+    dead recipients.  ``join_rate`` only applies to the protocols whose
+    churn capability includes joins (DRR-gossip is crash-only: a node
+    cannot rejoin a tree built before it returned).
+    """
+    protocols: tuple[tuple[str, dict, bool], ...] = (
+        ("drr-gossip", {"n": n, "aggregate": "average", "workload": "normal"}, False),
+        ("push-sum", {"n": n, "workload": "normal"}, True),
+        ("epoch-gossip-ave", {"n": n, "workload": "normal"}, True),
+    )
+    rows: list[dict] = []
+    for churn_rate in churn_rates:
+        for protocol, params, supports_joins in protocols:
+            failure_model = FailureModel(
+                loss_probability=delta,
+                churn_rate=churn_rate,
+                join_rate=join_rate if supports_joins else 0.0,
+            )
+            errors, survivors, wasted, rounds, messages = [], [], [], [], []
+            for rep in range(repetitions):
+                result = dispatch_run(
+                    RunSpec(
+                        protocol=protocol,
+                        params=params,
+                        failures=failure_model,
+                        backend=backend,
+                        seed=derive_seed(seed, "churn", protocol, churn_rate, rep),
+                    )
+                )
+                degradation = result.degradation or {}
+                errors.append(
+                    degradation.get("survivor_mass_rel_error", result.summary["max_rel_error"])
+                )
+                survivors.append(degradation.get("survivors", float(n)))
+                wasted.append(degradation.get("messages_to_dead", 0.0))
+                rounds.append(result.rounds)
+                messages.append(result.messages)
+            rows.append(
+                {
+                    "churn_rate": float(churn_rate),
+                    "protocol": protocol,
+                    "survivor_mass_rel_error": float(np.max(errors)),
+                    "survivors_mean": float(np.mean(survivors)),
+                    "messages_to_dead_frac": float(np.sum(wasted) / max(1, np.sum(messages))),
+                    "rounds_mean": float(np.mean(rounds)),
+                    "messages_per_node": float(np.mean(messages) / n),
+                }
+            )
+    headers = list(rows[0].keys())
+    return ExperimentResult(
+        experiment="E13-churn-degradation",
+        description="Degradation of DRR-gossip vs push-sum vs epoch-restarted gossip under churn",
+        headers=headers,
+        rows=rows,
+        seed=seed,
+        parameters={
+            "n": n,
+            "churn_rates": list(churn_rates),
+            "repetitions": repetitions,
+            "delta": delta,
+            "join_rate": join_rate,
+            "backend": backend,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
 # registry wiring
 # --------------------------------------------------------------------------- #
 #: CLI/sweep name -> driver.  Importing this module registers every driver on
@@ -809,6 +894,7 @@ EXPERIMENT_DRIVERS: dict[str, Callable[..., ExperimentResult]] = {
     "lower-bound": run_lower_bound_experiment,
     "phase-breakdown": run_phase_breakdown,
     "ablation": run_ablation,
+    "churn-degradation": run_churn_degradation,
 }
 
 for _name, _driver in EXPERIMENT_DRIVERS.items():

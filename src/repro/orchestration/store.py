@@ -743,6 +743,40 @@ class ResultStore(StoreBackend):
         failed = self._write_retry("fail_exhausted", txn)
         return [dataclass_replace(cell, state="failed") for cell in failed]
 
+    def retry_cell(self, spec_hash: str) -> QueuedCell | None:
+        """Reset a *failed* queue row back to pending, clearing its attempts.
+
+        Content-addressed like the service's run ids: the row is found by
+        its spec digest.  Only a ``failed`` row is touched — pending,
+        claimed, and done rows come back ``None`` so callers can report
+        the conflict (the service maps that to 409).  The attempt counter
+        restarts from zero, giving a poison cell that exhausted its
+        budget a full fresh allowance.
+        """
+
+        def txn() -> QueuedCell | None:
+            self._begin_immediate()
+            row = self._conn.execute(
+                "SELECT id FROM queue WHERE spec_hash = ? AND state = 'failed' "
+                "ORDER BY id LIMIT 1",
+                (str(spec_hash),),
+            ).fetchone()
+            if row is None:
+                self._conn.commit()
+                return None
+            self._conn.execute(
+                "UPDATE queue SET state = 'pending', owner = NULL, claim_time = NULL, "
+                "attempt = 0 WHERE id = ?",
+                (row["id"],),
+            )
+            updated = self._conn.execute(
+                "SELECT * FROM queue WHERE id = ?", (row["id"],)
+            ).fetchone()
+            self._conn.commit()
+            return self._decode_queue_row(updated)
+
+        return self._write_retry("retry_cell", txn)
+
     def queue_counts(self, experiment: str | None = None) -> list[dict[str, Any]]:
         sql = (
             "SELECT experiment, "

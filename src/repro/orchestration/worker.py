@@ -27,6 +27,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import random
 import signal
 import socket
 import threading
@@ -43,6 +44,7 @@ from .store import ResultStore, cell_spec_hash
 _logger = get_logger("orchestration.worker")
 
 __all__ = [
+    "BACKOFF_CAP_FACTOR",
     "DEFAULT_LEASE_S",
     "DEFAULT_MAX_ATTEMPTS",
     "QueueWorker",
@@ -59,6 +61,9 @@ DEFAULT_LEASE_S = 60.0
 
 #: claims per cell before it is marked failed instead of reclaimed again
 DEFAULT_MAX_ATTEMPTS = 3
+
+#: idle backoff ceiling as a multiple of ``poll_interval_s``
+BACKOFF_CAP_FACTOR = 8.0
 
 
 def default_worker_id() -> str:
@@ -240,6 +245,23 @@ class QueueWorker:
         self.skip_completed = skip_completed
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.progress = progress
+        # Idle-poll jitter only — never touches run reproducibility, which
+        # is carried entirely by the specs' own seeds.
+        self._jitter = random.Random()
+
+    def idle_backoff_s(self, empty_polls: int) -> float:
+        """Sleep duration after the ``empty_polls``-th consecutive empty poll.
+
+        Exponential with full jitter: the target doubles from
+        ``poll_interval_s`` up to ``BACKOFF_CAP_FACTOR`` times it, and the
+        actual sleep is drawn uniformly from ``[target / 2, target]`` so a
+        fleet of idle workers sharing one store spreads its polls out
+        instead of hammering the SQLite file in lockstep.  A successful
+        claim resets the ladder to the base interval.
+        """
+        cap = self.poll_interval_s * BACKOFF_CAP_FACTOR
+        target = min(self.poll_interval_s * (2.0 ** max(0, empty_polls)), cap)
+        return target * (0.5 + 0.5 * self._jitter.random())
 
     def drain(self) -> WorkerReport:
         """Work the queue until it drains (plus ``linger_s``); returns the tally.
@@ -254,6 +276,7 @@ class QueueWorker:
         telemetry = self.telemetry
         start = time.perf_counter()
         drained_since: float | None = None
+        empty_polls = 0
         try:
             while self.max_cells is None or report.cells < self.max_cells:
                 report.reclaimed += len(self.store.reclaim_stale(self.lease_s))
@@ -274,9 +297,11 @@ class QueueWorker:
                             drained_since = now
                         if now - drained_since >= self.linger_s:
                             break
-                    time.sleep(self.poll_interval_s)
+                    time.sleep(self.idle_backoff_s(empty_polls))
+                    empty_polls += 1
                     continue
                 drained_since = None
+                empty_polls = 0
                 self._run_claim(claim, report)
         except WorkerShutdown as shutdown:
             report.stopped = shutdown.signal_name

@@ -145,6 +145,10 @@ class ServiceClient:
         """The result document (``_status`` 409 while the run is in flight)."""
         return self.request("GET", f"/v1/runs/{run_id}/result")
 
+    def retry(self, run_id: str) -> dict[str, Any]:
+        """Reset a failed run's queue row to pending (``_status`` 409 otherwise)."""
+        return self.request("POST", f"/v1/runs/{run_id}/retry")
+
     def wait_for(
         self, run_id: str, *, timeout_s: float = 300.0, poll_s: float = 0.2
     ) -> dict[str, Any]:

@@ -147,6 +147,48 @@ class ServiceManager:
         return out
 
     # ------------------------------------------------------------------ #
+    # retry (POST /v1/runs/{id}/retry)
+    # ------------------------------------------------------------------ #
+    def retry(self, run_id: str) -> tuple[int, dict[str, Any]]:
+        """Resubmit a *failed* queue row: ``(http_status, body)``.
+
+        202 with the refreshed row when the run id's queue row was
+        ``failed`` (it goes back to ``pending`` with a cleared attempt
+        budget, so workers pick it up again); 409 naming the current
+        state for any other row — a done run is a cache hit, a
+        pending/claimed one is already on its way; 404 for an id the
+        store has never seen.  This is the operator path for poison
+        cells the attempt budget gave up on — no SQLite surgery needed.
+        """
+        with self._lock:
+            cell = self._store.retry_cell(run_id)
+            run = self._store.get_by_spec_hash(run_id) if cell is None else None
+            row = self._store.queue_cell_by_spec_hash(run_id) if cell is None else None
+        if cell is not None:
+            self.telemetry.count("service.retried")
+            _logger.info("run %s: failed queue row reset to pending", run_id)
+            return 202, {"run_id": run_id, "state": cell.state, "retried": True}
+        if run is None and row is None:
+            return 404, {"error": f"unknown run id {run_id!r}", "run_id": run_id}
+        if run is not None and run.ok:
+            state = "done"
+        elif row is not None:
+            state = row.state
+        else:
+            state = "failed"
+        detail = (
+            "its failure predates the queue row (resubmit the spec instead)"
+            if state == "failed"
+            else f"only failed runs can be retried, this one is {state!r}"
+        )
+        return 409, {
+            "error": f"run {run_id} is {state!r}, not retryable: {detail}",
+            "run_id": run_id,
+            "state": state,
+            "retried": False,
+        }
+
+    # ------------------------------------------------------------------ #
     # reads (GET /v1/runs/{id}, .../result, /v1/queue, /v1/healthz)
     # ------------------------------------------------------------------ #
     def status(self, run_id: str) -> dict[str, Any] | None:

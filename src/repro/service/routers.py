@@ -15,6 +15,7 @@ Routes
 ``POST``    ``/v1/runs``                submit one RunSpec → run id
 ``GET``     ``/v1/runs/{id}``           queue/result status of one run id
 ``GET``     ``/v1/runs/{id}/result``    the stored RunResult envelope
+``POST``    ``/v1/runs/{id}/retry``     reset a failed queue row to pending
 ``POST``    ``/v1/sweeps``              multi-spec fan-out → per-cell ids
 ``GET``     ``/v1/queue``               queue depth + per-experiment counts
 ``GET``     ``/v1/healthz``             liveness + store identity
@@ -42,6 +43,7 @@ _logger = get_logger("service.routers")
 
 _RUN_PATH = re.compile(r"^/v1/runs/(?P<run_id>[0-9a-f]{8,64})$")
 _RESULT_PATH = re.compile(r"^/v1/runs/(?P<run_id>[0-9a-f]{8,64})/result$")
+_RETRY_PATH = re.compile(r"^/v1/runs/(?P<run_id>[0-9a-f]{8,64})/retry$")
 
 
 class Router:
@@ -78,6 +80,8 @@ class Router:
         """Collapse run ids out of the path so telemetry spans aggregate."""
         if _RESULT_PATH.match(path):
             return "/v1/runs/{id}/result"
+        if _RETRY_PATH.match(path):
+            return "/v1/runs/{id}/retry"
         if _RUN_PATH.match(path):
             return "/v1/runs/{id}"
         return path
@@ -91,6 +95,10 @@ class Router:
                 raise SpecValidationError("POST /v1/runs needs a JSON spec document body")
             submitted = manager.submit(body)
             return (200 if submitted["cached"] else 202), submitted
+        if method == "POST":
+            match = _RETRY_PATH.match(path)
+            if match:
+                return manager.retry(match.group("run_id"))
         if method == "POST" and path == "/v1/sweeps":
             if body is None:
                 raise SpecValidationError("POST /v1/sweeps needs a JSON spec document body")

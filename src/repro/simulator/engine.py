@@ -86,6 +86,9 @@ class EngineResult:
     nodes: Sequence[ProtocolNode]
     stopped_by_condition: bool = False
     carried_over_messages: int = 0
+    #: Final liveness mask after mid-run churn (``None`` when the network
+    #: has no churn oracle; the initial mask is then still current).
+    final_alive: np.ndarray | None = None
 
     def results_by_node(self) -> dict[int, object]:
         return {node.node_id: node.result() for node in self.nodes}
@@ -198,12 +201,25 @@ class SynchronousEngine:
             if self.config.max_rounds is not None
             else default_round_limit(self.network.n)
         )
+        churn = self.network.has_churn
         alive_ids = self.network.alive_ids
         round_index = 0
         completed = False
         stopped = False
 
         while round_index < max_rounds:
+            if churn:
+                # Churn strikes at the top of the round: the dead stop
+                # sending/receiving immediately (carried-over deliveries
+                # below already see the updated mask), joiners participate
+                # from this round's begin_round on.
+                died, joined = self.network.apply_churn(round_index)
+                for node_id in died:
+                    self.nodes[node_id].on_deactivated(round_index)
+                for node_id in joined:
+                    self.nodes[node_id].on_activated(round_index)
+                if died.size or joined.size:
+                    alive_ids = self.network.alive_ids
             ctx = self._context(round_index)
             self.metrics.record_round()
             call_budget: dict[int, int] = {}
@@ -252,4 +268,5 @@ class SynchronousEngine:
             nodes=self.nodes,
             stopped_by_condition=stopped,
             carried_over_messages=len(self._pending),
+            final_alive=self.network.alive.copy() if churn else None,
         )

@@ -41,7 +41,15 @@ import numpy as np
 
 from .errors import ConfigurationError
 
-__all__ = ["FailureModel", "LossOracle", "kind_salt", "paper_delta_range", "set_batch_hasher"]
+__all__ = [
+    "ChurnOracle",
+    "FailureModel",
+    "LossOracle",
+    "kind_salt",
+    "paper_delta_range",
+    "set_batch_hasher",
+    "set_churn_hasher",
+]
 
 
 def paper_delta_range(n: int) -> tuple[float, float]:
@@ -68,10 +76,30 @@ class FailureModel:
         never receive, and are excluded from the "all nodes learn the
         aggregate" success criterion (matching the paper, where crashed
         nodes simply do not participate).
+    churn_rate:
+        Per-round probability that a currently-alive node crashes at the
+        *start* of that round (mid-run churn, beyond the paper's model).  A
+        node that dies stops sending, receiving, and contributing.  Fates
+        are identity-keyed like message loss (see :class:`ChurnOracle`), so
+        they are independent of backend batching.
+    join_rate:
+        Per-round probability that a currently-dead node (re)joins at the
+        start of that round.  Joining nodes restart from their own local
+        value; what "restart" means is protocol-specific (push-sum re-seeds
+        ``(value, 1)``, epoch gossip re-seeds at the next epoch boundary
+        semantics, etc.).
+    churn_schedule:
+        Explicit churn events ``((round, node_ids, event), ...)`` with
+        ``event`` one of ``"crash"`` / ``"join"``, applied *after* the rate
+        processes for that round (a scheduled event overrides a rate fate
+        for the same node and round).  Rounds are 0-based protocol rounds.
     """
 
     loss_probability: float = 0.0
     crash_fraction: float = 0.0
+    churn_rate: float = 0.0
+    join_rate: float = 0.0
+    churn_schedule: tuple = ()
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.loss_probability < 1.0):
@@ -82,12 +110,86 @@ class FailureModel:
             raise ConfigurationError(
                 f"crash_fraction must be in [0, 1), got {self.crash_fraction}"
             )
+        if not (0.0 <= self.churn_rate < 1.0):
+            raise ConfigurationError(
+                f"churn_rate must be in [0, 1), got {self.churn_rate}"
+            )
+        if not (0.0 <= self.join_rate < 1.0):
+            raise ConfigurationError(
+                f"join_rate must be in [0, 1), got {self.join_rate}"
+            )
+        object.__setattr__(
+            self, "churn_schedule", self._normalize_schedule(self.churn_schedule)
+        )
+
+    @staticmethod
+    def _normalize_schedule(schedule) -> tuple:
+        """Canonicalise a churn schedule to ``((round, ids, event), ...)``.
+
+        Events are sorted by round (stable within a round) so two specs that
+        list the same events in different orders are the same model; node ids
+        are deduplicated and sorted.
+        """
+        if schedule is None:
+            return ()
+        out = []
+        for entry in schedule:
+            try:
+                round_index, node_ids, event = entry
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"churn schedule entries must be (round, node_ids, event), got {entry!r}"
+                ) from None
+            try:
+                round_index = int(round_index)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"churn schedule round must be an integer, got {round_index!r}"
+                ) from None
+            if round_index < 0:
+                raise ConfigurationError(
+                    f"churn schedule round must be non-negative, got {round_index}"
+                )
+            event = str(event)
+            if event not in ("crash", "join"):
+                raise ConfigurationError(
+                    f"churn schedule event must be 'crash' or 'join', got {event!r}"
+                )
+            if isinstance(node_ids, (int, np.integer)):
+                node_ids = (int(node_ids),)
+            ids = tuple(sorted({int(i) for i in node_ids}))
+            if any(i < 0 for i in ids):
+                raise ConfigurationError("churn schedule node ids must be non-negative")
+            out.append((round_index, ids, event))
+        out.sort(key=lambda e: e[0])
+        return tuple(out)
 
     # ------------------------------------------------------------------ #
     @property
     def reliable(self) -> bool:
-        """True when no message can be lost and no node crashes."""
+        """True when no message can be lost and no node crashes *initially*.
+
+        Mid-run churn is orthogonal: the delivery fast paths key off the
+        evolving ``alive`` mask, not off this flag, so ``reliable`` keeps its
+        pre-churn meaning (no loss hashing needed).
+        """
         return self.loss_probability == 0.0 and self.crash_fraction == 0.0
+
+    @property
+    def has_churn(self) -> bool:
+        """True when any mid-run churn process is configured."""
+        return (
+            self.churn_rate != 0.0
+            or self.join_rate != 0.0
+            or bool(self.churn_schedule)
+        )
+
+    @property
+    def has_joins(self) -> bool:
+        """True when the churn model can revive nodes mid-run."""
+        return self.join_rate != 0.0 or any(
+            event == "join" for _round, _ids, event in self.churn_schedule
+        )
 
     def two_hop_loss_probability(self) -> float:
         """Loss probability ``rho`` of a two-hop relay (Theorem 5).
@@ -124,22 +226,48 @@ class FailureModel:
         return rng.random(count) < self.loss_probability
 
     def describe(self) -> str:
+        churn = ""
+        if self.has_churn:
+            bits = []
+            if self.churn_rate:
+                bits.append(f"churn_rate={self.churn_rate:g}")
+            if self.join_rate:
+                bits.append(f"join_rate={self.join_rate:g}")
+            if self.churn_schedule:
+                bits.append(f"{len(self.churn_schedule)} scheduled events")
+            churn = ", " + ", ".join(bits)
         if self.reliable:
-            return "reliable (delta=0, no crashes)"
+            if not churn:
+                return "reliable (delta=0, no crashes)"
+            return f"reliable links (delta=0{churn})"
         return (
             f"lossy (delta={self.loss_probability:g}, "
-            f"crash_fraction={self.crash_fraction:g})"
+            f"crash_fraction={self.crash_fraction:g}{churn})"
         )
 
     # ------------------------------------------------------------------ #
     # spec serialisation (the run API's FailureSpec form)
     # ------------------------------------------------------------------ #
     def to_spec(self) -> dict:
-        """JSON-representable form used inside :class:`repro.api.RunSpec`."""
-        return {
+        """JSON-representable form used inside :class:`repro.api.RunSpec`.
+
+        Churn keys are omitted when zero/empty so the spec (and therefore
+        the spec/param hashes of every pre-churn run) is byte-identical to
+        what earlier versions produced.
+        """
+        spec = {
             "loss_probability": float(self.loss_probability),
             "crash_fraction": float(self.crash_fraction),
         }
+        if self.churn_rate:
+            spec["churn_rate"] = float(self.churn_rate)
+        if self.join_rate:
+            spec["join_rate"] = float(self.join_rate)
+        if self.churn_schedule:
+            spec["churn_schedule"] = [
+                [r, list(ids), event] for r, ids, event in self.churn_schedule
+            ]
+        return spec
 
     @classmethod
     def from_spec(cls, spec: "Mapping | FailureModel") -> "FailureModel":
@@ -148,15 +276,27 @@ class FailureModel:
             return spec
         if not isinstance(spec, Mapping):
             raise ConfigurationError(f"failure spec must be a mapping, got {spec!r}")
-        unknown = set(spec) - {"loss_probability", "crash_fraction"}
+        unknown = set(spec) - {
+            "loss_probability",
+            "crash_fraction",
+            "churn_rate",
+            "join_rate",
+            "churn_schedule",
+        }
         if unknown:
             raise ConfigurationError(
                 f"failure spec has unknown keys {sorted(unknown)} "
-                "(valid: loss_probability, crash_fraction)"
+                "(valid: loss_probability, crash_fraction, churn_rate, "
+                "join_rate, churn_schedule)"
             )
         return cls(
             loss_probability=float(spec.get("loss_probability", 0.0)),
             crash_fraction=float(spec.get("crash_fraction", 0.0)),
+            churn_rate=float(spec.get("churn_rate", 0.0)),
+            join_rate=float(spec.get("join_rate", 0.0)),
+            churn_schedule=tuple(
+                tuple(entry) for entry in spec.get("churn_schedule", ())
+            ),
         )
 
 
@@ -340,3 +480,168 @@ class LossOracle:
             return np.zeros(count, dtype=bool)
         x = self._mix(round_index, np.asarray(kind_salts, dtype=np.uint64), senders, recipients, nonces)
         return np.broadcast_to((x >> np.uint64(11)) < self._threshold, recipients.shape)
+
+
+# --------------------------------------------------------------------------- #
+# identity-keyed mid-run churn
+# --------------------------------------------------------------------------- #
+
+#: optional compiled churn-mask hasher installed by
+#: :mod:`repro.substrate.compiled` when numba is importable.  Signature
+#: ``(key, salt, round_index, ids, threshold) -> bool mask``; must be
+#: bit-identical to the NumPy chain in :meth:`ChurnOracle._fates`.
+_CHURN_HASHER = None
+
+
+def set_churn_hasher(hasher) -> None:
+    """Install (or, with ``None``, remove) the accelerated churn-mask hasher."""
+    global _CHURN_HASHER
+    _CHURN_HASHER = hasher
+
+
+class ChurnOracle:
+    """Per-round, per-node churn fates keyed by node identity.
+
+    Like :class:`LossOracle`, churn fates are a pure function of identity —
+    ``hash(run_key, round, node) < rate`` — never of the shared RNG stream,
+    so every backend (and every shard count, and every batching order)
+    computes the same fates for the same seed.  The run key is derived from
+    the generator *state* with a ``"churn"`` domain tag, so churn fates are
+    disjoint from loss fates even for the same round and node id.
+
+    ``step`` is the single shared implementation all backends call: it
+    mutates the ``alive`` mask in place at the top of a round and reports
+    who died and who joined.  One guard keeps runs well-defined: if a round's
+    fates would kill every remaining node, the lowest-id victim is spared.
+    """
+
+    __slots__ = (
+        "churn_rate",
+        "join_rate",
+        "key",
+        "_crash_threshold",
+        "_join_threshold",
+        "_crash_salt",
+        "_join_salt",
+        "_schedule",
+    )
+
+    def __init__(
+        self,
+        churn_rate: float,
+        join_rate: float = 0.0,
+        schedule: tuple = (),
+        key: int = 0,
+    ) -> None:
+        if not (0.0 <= churn_rate < 1.0):
+            raise ConfigurationError(f"churn_rate must be in [0, 1), got {churn_rate}")
+        if not (0.0 <= join_rate < 1.0):
+            raise ConfigurationError(f"join_rate must be in [0, 1), got {join_rate}")
+        self.churn_rate = float(churn_rate)
+        self.join_rate = float(join_rate)
+        self.key = int(key) & 0xFFFFFFFFFFFFFFFF
+        self._crash_threshold = np.uint64(int(self.churn_rate * float(1 << 53)))
+        self._join_threshold = np.uint64(int(self.join_rate * float(1 << 53)))
+        self._crash_salt = np.uint64(kind_salt("churn/crash"))
+        self._join_salt = np.uint64(kind_salt("churn/join"))
+        #: round -> [(ids, event), ...] in schedule order
+        by_round: dict[int, list] = {}
+        for round_index, ids, event in FailureModel._normalize_schedule(schedule):
+            by_round.setdefault(round_index, []).append(
+                (np.asarray(ids, dtype=np.int64), event)
+            )
+        self._schedule = by_round
+
+    @property
+    def has_joins(self) -> bool:
+        """Whether this oracle can ever revive a node.
+
+        Crash-only protocols (the root-relay Phase III procedures) accept
+        churn but reject joins; they test this instead of re-deriving it
+        from the spec.
+        """
+        if self.join_rate > 0.0:
+            return True
+        return any(
+            event == "join"
+            for entries in self._schedule.values()
+            for _ids, event in entries
+        )
+
+    @classmethod
+    def for_run(
+        cls, failure_model: "FailureModel | None", rng: np.random.Generator
+    ) -> "ChurnOracle | None":
+        """Derive the run-scoped churn oracle, or ``None`` when churn is off.
+
+        Like :meth:`LossOracle.for_run` this hashes the generator *state*
+        and consumes zero variates; the ``"churn"`` domain tag keeps the key
+        disjoint from the loss key derived from the same state.
+        """
+        if failure_model is None or not failure_model.has_churn:
+            return None
+        digest = hashlib.blake2b(
+            repr(rng.bit_generator.state).encode("utf-8") + b"|churn", digest_size=8
+        ).digest()
+        return cls(
+            failure_model.churn_rate,
+            failure_model.join_rate,
+            failure_model.churn_schedule,
+            int.from_bytes(digest, "big"),
+        )
+
+    def _fates(self, round_index: int, ids: np.ndarray, salt, threshold) -> np.ndarray:
+        """Boolean fate mask for ``ids`` at ``round_index`` under ``threshold``."""
+        if ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        if _CHURN_HASHER is not None and ids.size >= _BATCH_HASHER_MIN:
+            return _CHURN_HASHER(self.key, salt, round_index, ids, threshold)
+        with np.errstate(over="ignore"):
+            x = _splitmix64(np.uint64(self.key) ^ salt)
+            x = _splitmix64(x ^ _as_u64(round_index))
+            x = _splitmix64(x ^ _as_u64(ids))
+        return (x >> np.uint64(11)) < threshold
+
+    def step(
+        self, round_index: int, alive: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply round ``round_index``'s churn to ``alive`` **in place**.
+
+        Returns ``(died_ids, joined_ids)`` (int64 arrays, ascending).  Rate
+        fates are evaluated on the mask as it stood at entry; scheduled
+        events for this round are applied last and override rate fates for
+        the same node.
+        """
+        n = alive.shape[0]
+        die = np.zeros(n, dtype=bool)
+        join = np.zeros(n, dtype=bool)
+        if self.churn_rate > 0.0:
+            alive_ids = np.flatnonzero(alive)
+            die[alive_ids] = self._fates(
+                round_index, alive_ids, self._crash_salt, self._crash_threshold
+            )
+        if self.join_rate > 0.0:
+            dead_ids = np.flatnonzero(~alive)
+            join[dead_ids] = self._fates(
+                round_index, dead_ids, self._join_salt, self._join_threshold
+            )
+        for ids, event in self._schedule.get(int(round_index), ()):
+            ids = ids[ids < n]
+            if event == "crash":
+                die[ids] = True
+                join[ids] = False
+            else:
+                join[ids] = True
+                die[ids] = False
+        die &= alive
+        join &= ~alive
+        # Never let a round extinguish the network: spare the lowest-id victim.
+        if not join.any() and die.any():
+            survivors = int(np.count_nonzero(alive)) - int(np.count_nonzero(die))
+            if survivors == 0:
+                die[np.flatnonzero(die)[0]] = False
+        died = np.flatnonzero(die)
+        joined = np.flatnonzero(join)
+        alive[died] = False
+        alive[joined] = True
+        return died, joined

@@ -43,9 +43,13 @@ class PhaseMetrics:
     messages_lost: int = 0
     words: int = 0
     messages_by_kind: Counter = field(default_factory=Counter)
+    #: transmissions addressed to a node that was dead when they arrived
+    #: (churn runs only; a subset of the undeliverable count).  Kept out of
+    #: :meth:`as_dict` when zero so churn-free results serialise unchanged.
+    messages_to_dead: int = 0
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "rounds": self.rounds,
             "messages": self.messages,
@@ -53,6 +57,9 @@ class PhaseMetrics:
             "words": self.words,
             "messages_by_kind": dict(self.messages_by_kind),
         }
+        if self.messages_to_dead:
+            out["messages_to_dead"] = self.messages_to_dead
+        return out
 
 
 class MetricsCollector:
@@ -149,6 +156,17 @@ class MetricsCollector:
         phase.messages_by_kind[str(kind)] += count
         phase.messages_lost += lost
 
+    def record_dead_targets(self, count: int) -> None:
+        """Record ``count`` transmissions wasted on dead recipients.
+
+        Only churn-aware call sites charge this (the messages were already
+        counted by :meth:`record_messages`; this tracks the degradation
+        axis separately), so churn-free runs never touch the counter.
+        """
+        if count < 0:
+            raise ValueError("dead-target count cannot be negative")
+        self._current.messages_to_dead += count
+
     # ------------------------------------------------------------------ #
     # totals
     # ------------------------------------------------------------------ #
@@ -167,6 +185,10 @@ class MetricsCollector:
     @property
     def total_words(self) -> int:
         return sum(p.words for p in self._phases.values())
+
+    @property
+    def total_messages_to_dead(self) -> int:
+        return sum(p.messages_to_dead for p in self._phases.values())
 
     @property
     def total_bits(self) -> int:
@@ -206,6 +228,7 @@ class MetricsCollector:
             mine.messages_lost += phase.messages_lost
             mine.words += phase.words
             mine.messages_by_kind.update(phase.messages_by_kind)
+            mine.messages_to_dead += phase.messages_to_dead
 
     def as_dict(self) -> dict:
         return {

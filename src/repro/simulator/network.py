@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from .errors import ConfigurationError, UnknownNodeError
-from .failures import FailureModel, LossOracle
+from .failures import ChurnOracle, FailureModel, LossOracle
 from .message import Message
 from .metrics import MetricsCollector
 
@@ -55,6 +55,14 @@ class Network:
         the oracle.  Multi-stage protocols that run several engine
         executions under one oracle (each restarting its round counter at
         zero) use it to keep round identities unique across stages.
+    churn_oracle:
+        Optional run-scoped :class:`ChurnOracle`.  When attached, the engine
+        applies :meth:`apply_churn` at the top of every round (mutating
+        ``alive`` in place) and :meth:`deliver` additionally charges
+        transmissions addressed to dead nodes as ``messages_to_dead``.
+    churn_base_round:
+        Like ``loss_base_round`` but for churn identities across the engine
+        executions of a multi-stage protocol.
     """
 
     def __init__(
@@ -66,6 +74,8 @@ class Network:
         alive: np.ndarray | None = None,
         loss_oracle: LossOracle | None = None,
         loss_base_round: int = 0,
+        churn_oracle: ChurnOracle | None = None,
+        churn_base_round: int = 0,
     ) -> None:
         if n <= 0:
             raise ConfigurationError(f"network needs at least one node, got n={n}")
@@ -86,6 +96,8 @@ class Network:
             else LossOracle.for_run(self.failure_model, self._rng)
         )
         self.loss_base_round = int(loss_base_round)
+        self.churn_oracle = churn_oracle
+        self.churn_base_round = int(churn_base_round)
 
     # ------------------------------------------------------------------ #
     # population
@@ -94,6 +106,21 @@ class Network:
     def alive_ids(self) -> np.ndarray:
         """Ids of nodes that did not crash before round 1."""
         return np.flatnonzero(self.alive)
+
+    @property
+    def has_churn(self) -> bool:
+        return self.churn_oracle is not None
+
+    def apply_churn(self, round_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Apply mid-run churn for ``round_index``, mutating ``alive`` in place.
+
+        Returns ``(died_ids, joined_ids)``.  No-op (empty arrays) when no
+        churn oracle is attached.
+        """
+        if self.churn_oracle is None:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        return self.churn_oracle.step(self.churn_base_round + round_index, self.alive)
 
     @property
     def alive_count(self) -> int:
@@ -193,7 +220,12 @@ class Network:
             )
             nonces = np.fromiter((m.nonce for m in messages), dtype=np.int64, count=count)
             lost = oracle.sample_salted(rounds, salts, senders, recipients, nonces)
-        undeliverable = lost | ~self.alive[recipients]
+        dead_targets = ~self.alive[recipients]
+        if self.churn_oracle is not None:
+            wasted = int(np.count_nonzero(dead_targets))
+            if wasted:
+                metrics.record_dead_targets(wasted)
+        undeliverable = lost | dead_targets
         # Charge per (kind, payload_words) group -- same totals, same
         # per-kind counters as the old per-message loop.
         groups: dict[tuple[str, int], list[int]] = {}

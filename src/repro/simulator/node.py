@@ -103,6 +103,20 @@ class ProtocolNode(abc.ABC):
         """React to delivered messages, optionally replying/forwarding."""
         return []
 
+    def on_deactivated(self, round_index: int) -> None:
+        """Called when mid-run churn kills this node.  Default: no-op.
+
+        A dead node gets no further ``begin_round``/``on_messages`` calls;
+        protocols that track per-node liveness state override this.
+        """
+
+    def on_activated(self, round_index: int) -> None:
+        """Called when mid-run churn (re)activates this node.  Default: no-op.
+
+        Protocols override this to re-seed the node's state from its local
+        value (a joining node restarts; it does not resume).
+        """
+
     @abc.abstractmethod
     def is_complete(self) -> bool:
         """Return True once the node has finished its part of the protocol."""

@@ -282,6 +282,21 @@ def _k_relay(key, kind_salt_u, fwd_salt_u, round_u, senders, targets, position,
     return first_ok, forwards, arrived
 
 
+@njit(cache=True, parallel=True)
+def _k_churn_mask(key, salt, round_u, ids, threshold, out):
+    """Fused churn-fate mask: the ChurnOracle hash chain + threshold compare."""
+    hits = 0
+    for i in prange(ids.size):
+        x = _sm64(key ^ salt)
+        x = _sm64(x ^ round_u)
+        x = _sm64(x ^ np.uint64(ids[i]))
+        hit = (x >> _S11) < threshold
+        out[i] = hit
+        if hit:
+            hits += 1
+    return hits
+
+
 @njit(cache=True)
 def _k_occurrence(keys, base, counts, out):
     """True single-pass occurrence ranks over a pre-allocated counts scratch."""
@@ -355,6 +370,17 @@ def _batch_hash(key, kind_value, round_index, senders, recipients, nonces):
     return out
 
 
+def _churn_mask(key, salt, round_index, ids, threshold):
+    """The accelerated :meth:`ChurnOracle._fates` installed into ``failures``."""
+    ids = np.asarray(ids)
+    out = np.empty(ids.size, dtype=np.bool_)
+    _k_churn_mask(
+        np.uint64(key), np.uint64(salt), np.uint64(int(round_index)),
+        ids, np.uint64(threshold), out,
+    )
+    return out
+
+
 # --------------------------------------------------------------------------- #
 # the kernel
 # --------------------------------------------------------------------------- #
@@ -415,7 +441,8 @@ class CompiledKernel(ShardedKernel):
 
     @instrumented("compiled.deliver")
     def _inline_deliver(self, metrics, oracle, kind, targets, *, senders,
-                        round_index, alive=None, payload_words=1, nonces=None):
+                        round_index, alive=None, payload_words=1, nonces=None,
+                        dead_targets=False):
         targets = np.asarray(targets)
         count = int(targets.size)
         if not NUMBA_AVAILABLE or oracle.reliable or count == 0:
@@ -423,7 +450,12 @@ class CompiledKernel(ShardedKernel):
                 metrics, oracle, kind, targets,
                 senders=senders, round_index=round_index, alive=alive,
                 payload_words=payload_words, nonces=nonces,
+                dead_targets=dead_targets,
             )
+        if dead_targets and alive is not None:
+            wasted = count - int(np.count_nonzero(alive[targets]))
+            if wasted:
+                metrics.record_dead_targets(wasted)
         rounds, rstep = _identity64(round_index)
         sends, sstep = _identity64(senders)
         nons, nstep = _identity64(nonces if nonces is not None else 0)
@@ -469,7 +501,7 @@ class CompiledKernel(ShardedKernel):
     @instrumented("compiled.relay")
     def _inline_relay_to_roots(self, metrics, oracle, targets, *, senders,
                                round_index, kind, position, root_of,
-                               alive=None, payload_words=1):
+                               alive=None, payload_words=1, dead_targets=False):
         targets = np.asarray(targets)
         count = int(targets.size)
         if not NUMBA_AVAILABLE or (oracle.reliable and alive is None) or count == 0:
@@ -477,8 +509,12 @@ class CompiledKernel(ShardedKernel):
                 metrics, oracle, targets,
                 senders=senders, round_index=round_index, kind=kind,
                 position=position, root_of=root_of, alive=alive,
-                payload_words=payload_words,
+                payload_words=payload_words, dead_targets=dead_targets,
             )
+        if dead_targets and alive is not None:
+            wasted = count - int(np.count_nonzero(alive[targets]))
+            if wasted:
+                metrics.record_dead_targets(wasted)
         counts = self._scratch_for("relay_counts", int(position.size), np.int32)
         fwd = self._scratch_for("relay_fwd", count, np.int64)[:count]
         nonce = self._scratch_for("relay_nonce", count, np.int64)[:count]
@@ -501,6 +537,15 @@ class CompiledKernel(ShardedKernel):
                 MessageKind.FORWARD, forwards,
                 payload_words=payload_words, lost=forwards - arrived,
             )
+            if dead_targets and alive is not None:
+                # ``fwd`` (still valid scratch) holds each slot's forwarder
+                # node id, -1 when no FORWARD was sent.
+                hop_from = fwd[fwd >= 0]
+                wasted = int(hop_from.size) - int(
+                    np.count_nonzero(alive[root_of[hop_from]])
+                )
+                if wasted:
+                    metrics.record_dead_targets(wasted)
         return receiver
 
     def occurrence_index(self, keys):
@@ -561,6 +606,7 @@ def register(force_python: bool = False) -> bool:
         UNAVAILABLE_BACKENDS.pop(CompiledKernel.name, None)
         if NUMBA_AVAILABLE:
             failures.set_batch_hasher(_batch_hash)
+            failures.set_churn_hasher(_churn_mask)
         return True
     deregister()
     return False
@@ -571,6 +617,7 @@ def deregister() -> None:
     BACKENDS.pop(CompiledKernel.name, None)
     UNAVAILABLE_BACKENDS[CompiledKernel.name] = NUMBA_REQUIREMENT
     failures.set_batch_hasher(None)
+    failures.set_churn_hasher(None)
 
 
 @contextlib.contextmanager

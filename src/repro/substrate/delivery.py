@@ -177,6 +177,7 @@ def deliver_batch(
     alive: np.ndarray | None = None,
     payload_words: int = 1,
     nonces: np.ndarray | None = None,
+    dead_targets: bool = False,
 ) -> np.ndarray:
     """Deliver one batch of transmissions; returns the delivered mask.
 
@@ -188,11 +189,18 @@ def deliver_batch(
     ``senders`` and ``round_index`` identify the transmissions for the loss
     oracle; either may be a scalar shared by the whole batch or an array
     aligned with ``targets``.  ``alive=None`` means every node is alive.
+    ``dead_targets=True`` (churn runs only) additionally charges
+    transmissions addressed to dead nodes as ``messages_to_dead``, matching
+    the engine's per-delivery accounting under an attached churn oracle.
     """
     targets = np.asarray(targets)
     count = int(targets.size)
     if count == 0:
         return np.zeros(0, dtype=bool)
+    if dead_targets and alive is not None:
+        wasted = count - int(np.count_nonzero(alive[targets]))
+        if wasted:
+            metrics.record_dead_targets(wasted)
     if oracle.reliable:
         # Reliable link: fate is decided by recipient liveness alone.
         if alive is None:
@@ -273,6 +281,7 @@ def relay_to_roots(
     root_of: np.ndarray,
     alive: np.ndarray | None = None,
     payload_words: int = 1,
+    dead_targets: bool = False,
 ) -> np.ndarray:
     """Resolve uniform push targets to receiving root positions (-1 = dropped).
 
@@ -311,6 +320,10 @@ def relay_to_roots(
         return _relay_reliable(
             metrics, kind, targets, position, root_of, payload_words
         )
+    if dead_targets and alive is not None:
+        wasted = int(targets.size) - int(np.count_nonzero(alive[targets]))
+        if wasted:
+            metrics.record_dead_targets(wasted)
     receiver = np.full(targets.shape, -1, dtype=np.int64)
     first_lost = oracle.sample(round_index, kind, senders, targets)
     first_hop_ok = ~first_lost if alive is None else ~first_lost & alive[targets]
@@ -333,6 +346,10 @@ def relay_to_roots(
     if send_idx.size:
         hop_from = targets[send_idx]
         hop_to = root_of[hop_from]
+        if dead_targets and alive is not None:
+            wasted = int(send_idx.size) - int(np.count_nonzero(alive[hop_to]))
+            if wasted:
+                metrics.record_dead_targets(wasted)
         if oracle.reliable:
             arrived = alive[hop_to] if alive is not None else np.ones(send_idx.size, dtype=bool)
         else:

@@ -46,7 +46,7 @@ import numpy as np
 
 from ..simulator.engine import EngineConfig, EngineResult, SynchronousEngine
 from ..simulator.errors import ConfigurationError
-from ..simulator.failures import FailureModel, LossOracle
+from ..simulator.failures import ChurnOracle, FailureModel, LossOracle
 from ..simulator.metrics import MetricsCollector
 from ..simulator.network import Network
 from ..simulator.node import ProtocolNode
@@ -112,6 +112,14 @@ class VectorizedKernel(Kernel):
     #: fused scatter-add folding a gossip round's pushes into the accumulators
     fold_pushes = staticmethod(fold_pushes)
 
+    def refresh_alive(self, alive: np.ndarray) -> None:
+        """Hook called after a churn step mutates the ``alive`` mask in place.
+
+        The single-process kernel reads the caller's array directly, so
+        there is nothing to do; the sharded kernel overrides this to rewrite
+        the shared-memory mirror its workers read.
+        """
+
 
 class EngineKernel(Kernel):
     """Message-level execution on the :class:`SynchronousEngine`."""
@@ -129,6 +137,8 @@ class EngineKernel(Kernel):
         neighbor_fn: Callable[[int], Sequence[int]] | None = None,
         loss_oracle: LossOracle | None = None,
         loss_base_round: int = 0,
+        churn_oracle: ChurnOracle | None = None,
+        churn_base_round: int = 0,
         max_substeps: int = 2,
         max_rounds: int | None = None,
         strict: bool = True,
@@ -146,7 +156,9 @@ class EngineKernel(Kernel):
         in the shared entry point, for both backends.  ``loss_base_round``
         offsets this execution's round counter in the oracle's identity
         space (multi-stage protocols run several engine executions under
-        one oracle).
+        one oracle).  ``churn_oracle`` / ``churn_base_round`` are the same
+        pattern for mid-run churn; the evolved mask comes back on
+        :attr:`EngineResult.final_alive`.
         """
         network = Network(
             len(nodes),
@@ -156,6 +168,8 @@ class EngineKernel(Kernel):
             alive=alive,
             loss_oracle=loss_oracle,
             loss_base_round=loss_base_round,
+            churn_oracle=churn_oracle,
+            churn_base_round=churn_base_round,
         )
         engine = SynchronousEngine(
             network=network,

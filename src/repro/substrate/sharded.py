@@ -449,8 +449,10 @@ class ShardPool:
 
         The copy happens once per array object; rounds reuse the mirror.
         Arrays passed here must not be mutated for the duration of the run
-        (true of every liveness mask / rank vector / forwarding table the
-        protocols build — they are fixed in the shared preamble).
+        (true of every rank vector / forwarding table the protocols build —
+        they are fixed in the shared preamble) unless every mutation is
+        followed by :meth:`update_mirror` before the next pooled call, which
+        is how churn protocols keep the liveness mirror current.
 
         The cache key and lifetime guard are the *caller's* array object —
         never the contiguous staging copy, whose only reference would die
@@ -478,6 +480,25 @@ class ShardPool:
         ref = weakref.ref(array, _on_death)
         self._mirrors[key] = (ref, segment, contiguous.dtype.str, int(contiguous.size))
         return segment.name, contiguous.dtype.str, int(contiguous.size)
+
+    def update_mirror(self, array: np.ndarray) -> bool:
+        """Rewrite a cached mirror's contents from the (mutated) source array.
+
+        Mid-run churn mutates the liveness mask in place; workers read the
+        shared-memory mirror, so the fresh contents must be copied in before
+        the next pooled call.  Shared memory makes this a parent-side
+        ``memcpy`` — no IPC, no re-attach.  Returns ``False`` when ``array``
+        was never mirrored (nothing to refresh; the next :meth:`mirror` call
+        copies current contents anyway).
+        """
+        cached = self._mirrors.get(id(array))
+        if cached is None or cached[0]() is None:
+            return False
+        _, segment, dtype, count = cached
+        view = np.frombuffer(segment.buf, dtype=dtype, count=count)
+        view[:] = np.ascontiguousarray(array).ravel()
+        del view
+        return True
 
     def _forget_mirror(self, key: int, name: str) -> None:
         if os.getpid() != self._owner_pid:
@@ -723,6 +744,18 @@ class ShardedKernel(VectorizedKernel):
     _inline_probe_exchange = staticmethod(VectorizedKernel.probe_exchange)
     _inline_relay_to_roots = staticmethod(VectorizedKernel.relay_to_roots)
 
+    def refresh_alive(self, alive: np.ndarray) -> None:
+        """Push an in-place churn update of ``alive`` into the pool's mirror.
+
+        Only an *existing* pool with an existing mirror needs the rewrite;
+        otherwise the next :meth:`ShardPool.mirror` call copies the current
+        contents and there is nothing to do (in particular this never spins
+        up a pool).
+        """
+        pool = _pools.get(self.shards)
+        if pool is not None and pool.alive():
+            pool.update_mirror(alive)
+
     # -- primitives ---------------------------------------------------- #
     def deliver(
         self,
@@ -736,6 +769,7 @@ class ShardedKernel(VectorizedKernel):
         alive: np.ndarray | None = None,
         payload_words: int = 1,
         nonces: np.ndarray | None = None,
+        dead_targets: bool = False,
     ) -> np.ndarray:
         targets = np.asarray(targets)
         count = int(targets.size)
@@ -745,7 +779,12 @@ class ShardedKernel(VectorizedKernel):
                 metrics, oracle, kind, targets,
                 senders=senders, round_index=round_index, alive=alive,
                 payload_words=payload_words, nonces=nonces,
+                dead_targets=dead_targets,
             )
+        if dead_targets and alive is not None and count:
+            wasted = count - int(np.count_nonzero(alive[targets]))
+            if wasted:
+                metrics.record_dead_targets(wasted)
         layout: dict[str, np.ndarray] = {"targets": targets}
         if isinstance(senders, np.ndarray):
             layout["senders"] = senders
@@ -831,6 +870,7 @@ class ShardedKernel(VectorizedKernel):
         root_of: np.ndarray,
         alive: np.ndarray | None = None,
         payload_words: int = 1,
+        dead_targets: bool = False,
     ) -> np.ndarray:
         targets = np.asarray(targets)
         count = int(targets.size)
@@ -840,8 +880,12 @@ class ShardedKernel(VectorizedKernel):
                 metrics, oracle, targets,
                 senders=senders, round_index=round_index, kind=kind,
                 position=position, root_of=root_of, alive=alive,
-                payload_words=payload_words,
+                payload_words=payload_words, dead_targets=dead_targets,
             )
+        if dead_targets and alive is not None and count:
+            wasted = count - int(np.count_nonzero(alive[targets]))
+            if wasted:
+                metrics.record_dead_targets(wasted)
         if oracle.reliable:
             arena, specs = pool.stage(
                 {"targets": targets, "__out__": np.zeros(count, dtype=np.int64)}
@@ -868,12 +912,15 @@ class ShardedKernel(VectorizedKernel):
                     payload_words=payload_words,
                     lost=forwards - forward_arrived,
                 )
+                if dead_targets and alive is not None and forwards > forward_arrived:
+                    # Reliable links: a forward is blocked only by a dead root.
+                    metrics.record_dead_targets(forwards - forward_arrived)
             return np.array(pool.out_column(arena, specs["__out__"]))
         return self._relay_lossy_pooled(
             pool, metrics, oracle, targets,
             senders=senders, round_index=round_index, kind=kind,
             position=position, root_of=root_of, alive=alive,
-            payload_words=payload_words,
+            payload_words=payload_words, dead_targets=dead_targets,
         )
 
     def _relay_lossy_pooled(
@@ -890,6 +937,7 @@ class ShardedKernel(VectorizedKernel):
         root_of: np.ndarray,
         alive: np.ndarray | None,
         payload_words: int,
+        dead_targets: bool = False,
     ) -> np.ndarray:
         """The lossy relay on the pool: two barriers, cross-shard nonces.
 
@@ -974,6 +1022,15 @@ class ShardedKernel(VectorizedKernel):
                 payload_words=payload_words,
                 lost=forwards - forward_arrived,
             )
+            if dead_targets and alive is not None:
+                # ``fwd`` holds each forwarding slot's hop_from node id (-1
+                # when no forward was sent); its root is the forward's target.
+                hop_from = fwd_col[fwd_col >= 0]
+                wasted = int(hop_from.size) - int(
+                    np.count_nonzero(alive[root_of[hop_from]])
+                )
+                if wasted:
+                    metrics.record_dead_targets(wasted)
         return np.array(pool.out_column(arena, specs["__out__"]))
 
 

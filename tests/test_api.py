@@ -35,6 +35,7 @@ PROTOCOL_SPECS: dict[str, dict] = {
     "push-sum": {"params": {"n": 64, "workload": "normal"}},
     "push-max": {"params": {"n": 64, "workload": "uniform"}},
     "efficient-gossip": {"params": {"n": 64, "aggregate": "max", "workload": "uniform"}},
+    "epoch-gossip-ave": {"params": {"n": 64, "workload": "uniform", "epochs": 2}},
     "push-rumor": {"params": {"n": 64}},
     "push-pull-rumor": {"params": {"n": 64}},
     "flood-max": {"topology": {"family": "grid", "n": 64}, "params": {"workload": "uniform"}},

@@ -315,6 +315,46 @@ class TestQueueWorker:
 
             assert param_hash(params) == cell.param_hash
 
+    def test_idle_backoff_doubles_with_jitter_and_caps(self, tmp_path):
+        from repro.orchestration.worker import BACKOFF_CAP_FACTOR
+
+        with ResultStore(tmp_path / "r.sqlite") as store:
+            worker = QueueWorker(store, worker_id="w1", poll_interval_s=0.1)
+            for polls, target in ((0, 0.1), (1, 0.2), (2, 0.4), (3, 0.8)):
+                for _ in range(20):
+                    sleep = worker.idle_backoff_s(polls)
+                    assert target / 2 <= sleep <= target
+            # the ladder tops out at BACKOFF_CAP_FACTOR x base
+            cap = 0.1 * BACKOFF_CAP_FACTOR
+            for polls in (3, 10, 1000):
+                assert worker.idle_backoff_s(polls) <= cap
+            # and jitter actually varies the draw
+            draws = {round(worker.idle_backoff_s(5), 6) for _ in range(20)}
+            assert len(draws) > 1
+
+    def test_idle_backoff_resets_after_claim(self, tmp_path):
+        """A drain over a queue that refills: the post-claim poll is fast again.
+
+        Exercised indirectly: the loop counts consecutive empty polls and
+        passes that to idle_backoff_s, so claiming once must restart the
+        ladder.  We drive drain() with max_cells to keep it bounded.
+        """
+        cells = expand_cells(_tiny_definition(reps=1))[:1]
+        with ResultStore(tmp_path / "r.sqlite") as store:
+            _enqueue(store, cells)
+            sleeps: list[float] = []
+            worker = QueueWorker(
+                store, worker_id="w1", poll_interval_s=0.01, linger_s=0.05
+            )
+            original = worker.idle_backoff_s
+            worker.idle_backoff_s = lambda polls: sleeps.append(polls) or original(polls)
+            report = worker.drain()
+            assert report.executed == 1
+            # every idle sleep the linger produced restarted from zero after
+            # the successful claim and then climbed monotonically
+            assert sleeps == sorted(sleeps)
+            assert sleeps[0] == 0
+
     def test_invalid_worker_knobs_rejected(self, tmp_path):
         with ResultStore(tmp_path / "r.sqlite") as store:
             for kwargs in (
@@ -535,6 +575,69 @@ class TestDistributedWorkers:
                 assert row.attempt == 2  # the victim's claim plus the rescue
                 run = store.get(cells[0].experiment, cells[0].params, cells[0].seed)
                 assert run is not None and run.ok
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
+
+
+    def test_sigkilled_worker_mid_churn_sweep_reclaims_and_matches_local(self, tmp_path):
+        """Fault injection meets fault tolerance: a churn cell survives its worker.
+
+        A worker is SIGKILLed while executing a run whose *spec* injects
+        mid-run node churn; the lease reclaim path reruns the cell, and —
+        because churn fates are identity-keyed, not stream-keyed — the
+        rescued result is bit-identical to a local execution of the spec.
+        """
+        from repro.api import RunResult, run
+
+        path = tmp_path / "r.sqlite"
+        spec = RunSpec(
+            protocol="drr-gossip",
+            params={"n": 4096},
+            backend="engine",
+            seed=7,
+            failures={
+                "loss_probability": 0.05,
+                "churn_rate": 0.001,
+                "churn_schedule": [[3, [2, 7, 11], "crash"]],
+            },
+        )
+        cells = cells_from_run_specs([spec])
+        with ResultStore(path) as store:
+            _enqueue(store, cells)
+        victim = subprocess.Popen(
+            _worker_command(str(path), "victim", "--heartbeat", "300"),
+            env=_worker_env(), cwd=str(REPO_ROOT),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            with ResultStore(path) as store:
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    if store.queue_depth()["claimed"] == 1:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("worker never claimed the cell")
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.wait(timeout=30)
+                time.sleep(1.2)  # let the orphaned lease age past lease_s below
+                report = QueueWorker(
+                    store, worker_id="rescuer", lease_s=1.0, poll_interval_s=0.05
+                ).drain()
+                assert report.reclaimed == 1
+                assert report.executed == 1
+                (row,) = store.queue_cells()
+                assert row.state == "done"
+                assert row.attempt == 2
+                stored = store.get_by_spec_hash(spec.spec_hash())
+                assert stored is not None and stored.ok
+                rescued = RunResult.from_dict(json.loads(stored.result_json))
+            local = run(spec)
+            assert rescued.same_outcome(local)
+            assert rescued.degradation == local.degradation
+            assert rescued.degradation is not None  # churn section survived the queue
         finally:
             if victim.poll() is None:
                 victim.kill()

@@ -145,6 +145,67 @@ class TestServiceManager:
             assert status == 409
             assert body == {"run_id": run_id, "state": "failed", "error": "boom"}
 
+    def test_retry_resets_failed_row_to_pending(self, tmp_path):
+        """The operator path for poison cells: failed → pending, fresh budget."""
+        path = tmp_path / "s.sqlite"
+        with ServiceManager(path) as manager:
+            run_id = manager.submit(_spec_doc(64, seed=21))["run_id"]
+            # fail the row the way a worker does: claim, record, finish
+            with ResultStore(path) as store:
+                cell = store.claim_cell("crasher")
+                experiment, params, seed = row_identity(cell.spec_json)
+                store.record_failure(experiment, params, seed, "boom", spec_json=cell.spec_json)
+                store.finish_cell(cell.key, "failed")
+            assert manager.status(run_id)["state"] == "failed"
+            status, body = manager.retry(run_id)
+            assert status == 202
+            assert body == {"run_id": run_id, "state": "pending", "retried": True}
+            with ResultStore(path) as store:
+                row = store.queue_cell_by_spec_hash(run_id)
+                assert row.state == "pending"
+                assert row.attempt == 0  # full fresh attempt budget
+                assert row.owner is None
+            assert manager.status(run_id)["state"] == "pending"
+            # the retried cell executes and overwrites the failure row
+            _drain(path)
+            assert manager.status(run_id)["state"] == "done"
+            assert manager.result(run_id)[0] == 200
+
+    def test_retry_conflicts_on_every_non_failed_state(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ServiceManager(path) as manager:
+            status, body = manager.retry("ff" * 8)
+            assert status == 404
+            run_id = manager.submit(_spec_doc(64, seed=22))["run_id"]
+            status, body = manager.retry(run_id)
+            assert status == 409
+            assert body["state"] == "pending"
+            assert body["retried"] is False
+            with ResultStore(path) as store:
+                store.claim_cell("w1")
+            status, body = manager.retry(run_id)
+            assert status == 409
+            assert body["state"] == "claimed"
+            with ResultStore(path) as store:
+                store.requeue_cell(store.queue_cell_by_spec_hash(run_id).key)
+            _drain(path)
+            status, body = manager.retry(run_id)
+            assert status == 409
+            assert body["state"] == "done"
+
+    def test_retry_without_queue_row_names_the_gap(self, tmp_path):
+        """A failure recorded before the service era has no row to reset."""
+        path = tmp_path / "s.sqlite"
+        (cell,) = cells_from_run_specs([RunSpec(**_spec_doc())])
+        experiment, params, seed = row_identity(cell.spec_json())
+        with ResultStore(path) as store:
+            store.record_failure(experiment, params, seed, "boom", spec_json=cell.spec_json())
+        with ServiceManager(path) as manager:
+            status, body = manager.retry(cell_spec_hash(cell.spec_json()))
+            assert status == 409
+            assert body["state"] == "failed"
+            assert "resubmit" in body["error"]
+
     def test_healthz_reports_store_identity(self, tmp_path):
         path = tmp_path / "s.sqlite"
         with ServiceManager(path) as manager:
@@ -191,6 +252,16 @@ class TestRouter:
             # non-hex id falls through to the 404 route, never the manager
             assert router.route("GET", "/v1/runs/not-a-hash", None)[0] == 404
             assert router.route("GET", "/v1/runs/ABCDEF12", None)[0] == 404
+            assert router.route("POST", "/v1/runs/not-a-hash/retry", None)[0] == 404
+
+    def test_retry_route_maps_manager_codes(self, tmp_path):
+        with ServiceManager(tmp_path / "s.sqlite") as manager:
+            router = Router(manager)
+            assert router.route("POST", f"/v1/runs/{'ff' * 8}/retry", None)[0] == 404
+            run_id = manager.submit(_spec_doc())["run_id"]
+            status, doc = router.route("POST", f"/v1/runs/{run_id}/retry", None)
+            assert status == 409
+            assert doc["state"] == "pending"
 
     def test_requests_counted_and_spans_aggregated(self, tmp_path):
         telemetry = Telemetry()
@@ -301,6 +372,27 @@ class TestServiceHTTP:
                 final = client.result(run_id)
                 assert final["_status"] == 200
                 assert final["result"]["spec"]["seed"] == 2
+
+    def test_retry_endpoint_end_to_end(self, tmp_path):
+        with _service(tmp_path) as (server, path):
+            with ServiceClient(server.url) as client:
+                run_id = client.submit(_spec_doc(64, seed=31))["run_id"]
+                conflict = client.retry(run_id)
+                assert conflict["_status"] == 409
+                assert conflict["retried"] is False
+                with ResultStore(path) as store:
+                    cell = store.claim_cell("crasher")
+                    experiment, params, seed = row_identity(cell.spec_json)
+                    store.record_failure(
+                        experiment, params, seed, "boom", spec_json=cell.spec_json
+                    )
+                    store.finish_cell(cell.key, "failed")
+                retried = client.retry(run_id)
+                assert retried["_status"] == 202
+                assert retried["retried"] is True
+                _drain(path)
+                assert client.status(run_id)["state"] == "done"
+                assert client.result(run_id)["_status"] == 200
 
     def test_http_error_surfaces_as_service_error(self, tmp_path):
         with _service(tmp_path) as (server, _):

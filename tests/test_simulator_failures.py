@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.simulator.errors import ConfigurationError
-from repro.simulator.failures import FailureModel, LossOracle, kind_salt, paper_delta_range
+from repro.simulator.failures import (
+    ChurnOracle,
+    FailureModel,
+    LossOracle,
+    kind_salt,
+    paper_delta_range,
+)
 
 
 class TestValidation:
@@ -116,6 +122,162 @@ class TestLossOracle:
 
         assert kind_salt(MessageKind.GOSSIP) == kind_salt("gossip")
         assert kind_salt("gossip") != kind_salt("push")
+
+
+class TestChurnOracle:
+    """Churn fates are identity-keyed: a pure function of (key, round, node)."""
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnOracle(1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnOracle(0.1, join_rate=-0.1)
+
+    def test_for_run_none_when_churn_off_and_consumes_no_draws(self):
+        rng = np.random.default_rng(7)
+        state = rng.bit_generator.state
+        assert ChurnOracle.for_run(FailureModel(loss_probability=0.3), rng) is None
+        oracle = ChurnOracle.for_run(FailureModel(churn_rate=0.1), rng)
+        assert oracle is not None
+        # key derivation hashes the generator state, drawing nothing
+        assert rng.bit_generator.state == state
+
+    def test_churn_key_disjoint_from_loss_key(self):
+        """Same generator state, different domain tags -> decorrelated fates."""
+        fm = FailureModel(loss_probability=0.5, churn_rate=0.5)
+        rng = np.random.default_rng(11)
+        loss = LossOracle.for_run(fm, rng)
+        churn = ChurnOracle.for_run(fm, rng)
+        assert churn.key != loss.key
+        # and the per-node fates genuinely decorrelate: dying in round r is
+        # independent of losing a self-addressed message in round r
+        ids = np.arange(4096)
+        alive = np.ones(ids.size, dtype=bool)
+        died, _ = churn.step(0, alive)
+        lost = loss.sample(0, "push", ids, ids)
+        died_mask = np.zeros(ids.size, dtype=bool)
+        died_mask[died] = True
+        assert not np.array_equal(died_mask, lost)
+
+    def test_fates_independent_of_batch_order_and_sharding(self):
+        """The mask a round produces is the same however ids are chunked."""
+        oracle = ChurnOracle(0.3, join_rate=0.0, key=99)
+        ids = np.arange(10_000, dtype=np.int64)
+        whole = oracle._fates(5, ids, oracle._crash_salt, oracle._crash_threshold)
+        # sharded: any contiguous split concatenates to the same fates
+        for shards in (2, 3, 7):
+            parts = [
+                oracle._fates(5, chunk, oracle._crash_salt, oracle._crash_threshold)
+                for chunk in np.array_split(ids, shards)
+            ]
+            assert np.array_equal(np.concatenate(parts), whole)
+        # batch order: a permuted batch gets the permuted fates
+        perm = np.random.default_rng(3).permutation(ids.size)
+        shuffled = oracle._fates(
+            5, ids[perm], oracle._crash_salt, oracle._crash_threshold
+        )
+        assert np.array_equal(shuffled, whole[perm])
+
+    def test_step_fates_stable_across_repeated_replay(self):
+        """Replaying the same rounds from the same key reproduces every fate."""
+        fm = FailureModel(churn_rate=0.05, join_rate=0.02)
+        rng = np.random.default_rng(23)
+        oracle = ChurnOracle.for_run(fm, rng)
+        replay = ChurnOracle(
+            fm.churn_rate, fm.join_rate, fm.churn_schedule, key=oracle.key
+        )
+        alive_a = np.ones(512, dtype=bool)
+        alive_b = np.ones(512, dtype=bool)
+        for round_index in range(20):
+            died_a, joined_a = oracle.step(round_index, alive_a)
+            died_b, joined_b = replay.step(round_index, alive_b)
+            assert np.array_equal(died_a, died_b)
+            assert np.array_equal(joined_a, joined_b)
+        assert np.array_equal(alive_a, alive_b)
+
+    def test_schedule_overrides_rate_fates_and_normalises(self):
+        # schedules listed in different orders are the same model
+        a = FailureModel(churn_schedule=((8, (4, 2, 4), "join"), (3, 5, "crash")))
+        b = FailureModel(churn_schedule=((3, (5,), "crash"), (8, (2, 4), "join")))
+        assert a.churn_schedule == b.churn_schedule == (
+            (3, (5,), "crash"),
+            (8, (2, 4), "join"),
+        )
+        oracle = ChurnOracle(0.0, schedule=a.churn_schedule, key=1)
+        alive = np.ones(10, dtype=bool)
+        alive[2] = alive[4] = False
+        died, joined = oracle.step(3, alive)
+        assert died.tolist() == [5]
+        assert joined.tolist() == []
+        died, joined = oracle.step(8, alive)
+        assert joined.tolist() == [2, 4]
+        assert alive[2] and alive[4] and not alive[5]
+
+    def test_schedule_validation(self):
+        with pytest.raises(ConfigurationError, match="crash.*join|'crash' or 'join'"):
+            FailureModel(churn_schedule=((1, (0,), "explode"),))
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            FailureModel(churn_schedule=((-1, (0,), "crash"),))
+        with pytest.raises(ConfigurationError, match="round, node_ids, event"):
+            FailureModel(churn_schedule=((1, 2),))
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            FailureModel(churn_schedule=("bad",))
+
+    def test_last_survivor_guard(self):
+        oracle = ChurnOracle(0.0, schedule=((0, (0, 1, 2), "crash"),), key=4)
+        alive = np.ones(3, dtype=bool)
+        died, joined = oracle.step(0, alive)
+        # the lowest-id victim is spared so the network never empties
+        assert died.tolist() == [1, 2]
+        assert alive.tolist() == [True, False, False]
+
+    def test_has_joins(self):
+        assert not ChurnOracle(0.1).has_joins
+        assert ChurnOracle(0.1, join_rate=0.1).has_joins
+        assert ChurnOracle(0.0, schedule=((2, (1,), "join"),)).has_joins
+        assert not FailureModel(churn_rate=0.2).has_joins
+        assert FailureModel(join_rate=0.2).has_joins
+
+    def test_spec_round_trip_and_unknown_keys(self):
+        fm = FailureModel(
+            loss_probability=0.1,
+            churn_rate=0.02,
+            join_rate=0.01,
+            churn_schedule=((4, (1, 3), "crash"),),
+        )
+        assert FailureModel.from_spec(fm.to_spec()) == fm
+        # churn-free specs serialise exactly as they always did
+        assert FailureModel(loss_probability=0.1).to_spec() == {
+            "loss_probability": 0.1,
+            "crash_fraction": 0.0,
+        }
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            FailureModel.from_spec({"churn": 0.1})
+
+
+class TestChurnBackendIndependence:
+    """Run-level property: fates survive backend and shard-count changes."""
+
+    def test_push_sum_identical_across_shard_counts(self):
+        from repro.api import RunSpec, run
+
+        doc = dict(
+            protocol="push-sum",
+            params={"n": 256, "workload": "uniform"},
+            seed=77,
+            failures={
+                "loss_probability": 0.05,
+                "churn_rate": 0.01,
+                "join_rate": 0.004,
+            },
+        )
+        baseline = run(RunSpec(**doc, backend="vectorized"))
+        for shards in (1, 2, 5):
+            sharded = run(
+                RunSpec(**doc, backend="sharded", backend_options={"shards": shards})
+            )
+            assert sharded.same_outcome(baseline), f"shards={shards} diverged"
+            assert sharded.degradation == baseline.degradation
 
 
 class TestDerivedQuantities:

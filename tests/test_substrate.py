@@ -75,6 +75,29 @@ FAILURE_MODELS = [
 ]
 FM_IDS = ["reliable", "lossy", "lossy+crashes"]
 
+#: The four-way fault axis for churn-capable protocols: the three static
+#: models above plus mid-run churn (rate crashes, rate joins, and explicit
+#: schedule events).  Used by :class:`TestChurnEquivalence`.
+CHURN_AXIS_MODELS = FAILURE_MODELS + [
+    FailureModel(
+        loss_probability=0.05,
+        crash_fraction=0.05,
+        churn_rate=0.01,
+        join_rate=0.005,
+        churn_schedule=((3, (2, 7), "crash"), (8, (2,), "join")),
+    ),
+]
+CHURN_AXIS_IDS = FM_IDS + ["churn"]
+
+#: Crash-only churn for the DRR-gossip pipeline (trees cannot re-admit
+#: joiners; the API rejects join events for it).
+CRASH_ONLY_CHURN = FailureModel(
+    loss_probability=0.05,
+    crash_fraction=0.02,
+    churn_rate=0.004,
+    churn_schedule=((5, (3, 9), "crash"),),
+)
+
 #: The backends measured against the ``engine`` fidelity reference.  With
 #: numba installed, ``compiled`` registers itself and the matrix is
 #: four-way; without it the backend appears in the *parametrized* tests as
@@ -104,6 +127,7 @@ def assert_metrics_identical(a: MetricsCollector, b: MetricsCollector) -> None:
     assert a.total_rounds == b.total_rounds
     assert a.total_messages == b.total_messages
     assert a.total_messages_lost == b.total_messages_lost
+    assert a.total_messages_to_dead == b.total_messages_to_dead
     assert a.total_words == b.total_words
     assert dict(a.messages_by_kind()) == dict(b.messages_by_kind())
     assert a.messages_by_phase() == b.messages_by_phase()
@@ -716,6 +740,118 @@ class TestBaselineEquivalence:
             assert np.allclose(fast.estimates, engine.estimates, rtol=1e-12, equal_nan=True)
             assert fast.rounds == engine.rounds
             assert_metrics_identical(fast.metrics, engine.metrics)
+
+
+# --------------------------------------------------------------------------- #
+# mid-run churn: the four-way fault axis
+# --------------------------------------------------------------------------- #
+class TestChurnEquivalence:
+    """Every backend must agree under mid-run churn, not just static faults.
+
+    The axis is reliable / lossy / lossy+crashes / churn; churn adds rate
+    crashes, rate joins, and explicit schedule events on top of loss and
+    initial crashes.  Fates come from the identity-keyed
+    :class:`~repro.simulator.failures.ChurnOracle`, so the evolving alive
+    mask — and everything downstream of it — is the same on every backend.
+    """
+
+    @pytest.mark.parametrize("backend", FAST_BACKEND_PARAMS)
+    @pytest.mark.parametrize("fm", CHURN_AXIS_MODELS, ids=CHURN_AXIS_IDS)
+    def test_push_sum_four_way(self, fm, backend, sharded_workers):
+        values = np.random.default_rng(3).uniform(0, 10, size=300)
+        fast = push_sum(values, rng=4, failure_model=fm, backend=backend)
+        engine = push_sum(values, rng=4, failure_model=fm, backend="engine")
+        assert np.allclose(fast.estimates, engine.estimates, rtol=1e-12, equal_nan=True)
+        assert fast.exact == engine.exact
+        assert fast.rounds == engine.rounds
+        assert_metrics_identical(fast.metrics, engine.metrics)
+        if fm.has_churn:
+            assert fast.metrics.total_messages_to_dead > 0
+        else:
+            assert fast.metrics.total_messages_to_dead == 0
+
+    @pytest.mark.parametrize("backend", FAST_BACKEND_PARAMS)
+    @pytest.mark.parametrize("fm", CHURN_AXIS_MODELS, ids=CHURN_AXIS_IDS)
+    def test_push_max_four_way(self, fm, backend, sharded_workers):
+        values = np.random.default_rng(3).uniform(0, 10, size=300)
+        fast = push_max(values, rng=6, failure_model=fm, backend=backend)
+        engine = push_max(values, rng=6, failure_model=fm, backend="engine")
+        assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
+        assert fast.exact == engine.exact
+        assert fast.rounds == engine.rounds
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    @pytest.mark.parametrize("backend", FAST_BACKEND_PARAMS)
+    @pytest.mark.parametrize("fm", CHURN_AXIS_MODELS, ids=CHURN_AXIS_IDS)
+    def test_epoch_gossip_four_way(self, fm, backend, sharded_workers):
+        from repro.baselines import epoch_gossip_ave
+
+        values = np.random.default_rng(5).normal(8.0, 3.0, size=300)
+        fast = epoch_gossip_ave(
+            values, rng=2, epochs=3, epoch_rounds=8, failure_model=fm, backend=backend
+        )
+        engine = epoch_gossip_ave(
+            values, rng=2, epochs=3, epoch_rounds=8, failure_model=fm, backend="engine"
+        )
+        assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
+        assert fast.exact == engine.exact
+        assert fast.rounds == engine.rounds
+        assert fast.epoch_errors == engine.epoch_errors
+        assert fast.epoch_survivors == engine.epoch_survivors
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    @pytest.mark.parametrize("backend", FAST_BACKEND_PARAMS)
+    @pytest.mark.parametrize("fm", CHURN_AXIS_MODELS, ids=CHURN_AXIS_IDS)
+    def test_epoch_gossip_graph_four_way(self, fm, backend, sharded_workers):
+        from repro.baselines import epoch_gossip_ave
+
+        topology = grid_graph(144)
+        values = np.random.default_rng(6).normal(0.0, 5.0, size=144)
+        fast = epoch_gossip_ave(
+            values, rng=3, epochs=2, epoch_rounds=10, failure_model=fm,
+            topology=topology, backend=backend,
+        )
+        engine = epoch_gossip_ave(
+            values, rng=3, epochs=2, epoch_rounds=10, failure_model=fm,
+            topology=topology, backend="engine",
+        )
+        assert np.array_equal(fast.estimates, engine.estimates, equal_nan=True)
+        assert fast.epoch_errors == engine.epoch_errors
+        assert fast.epoch_survivors == engine.epoch_survivors
+        assert_metrics_identical(fast.metrics, engine.metrics)
+
+    @pytest.mark.parametrize("aggregate", [Aggregate.MAX, Aggregate.AVERAGE, Aggregate.COUNT])
+    def test_drr_gossip_pipeline_under_churn(self, aggregate, small_values, sharded_workers):
+        """The full pipeline (crash-only churn) agrees across all backends."""
+        runs = {
+            backend: drr_gossip(
+                small_values, aggregate, rng=29,
+                config=DRRGossipConfig(failure_model=CRASH_ONLY_CHURN, backend=backend),
+            )
+            for backend in available_backends()
+        }
+        engine = runs["engine"]
+        exact_cls = TestPipelineEquivalence()
+        for backend in FAST_BACKENDS:
+            exact_cls.assert_pipeline_matches(runs[backend], engine, aggregate)
+            assert runs[backend].metrics.total_messages_to_dead == engine.metrics.total_messages_to_dead
+
+    def test_drr_gossip_rejects_joins(self, small_values):
+        fm = FailureModel(churn_rate=0.01, join_rate=0.01)
+        with pytest.raises(ValueError, match="crash-only"):
+            drr_gossip(small_values, Aggregate.AVERAGE, rng=1, config=DRRGossipConfig(failure_model=fm))
+
+    def test_churn_off_runs_are_bit_identical_to_pre_churn(self):
+        """A churn-free model must not perturb the RNG stream or fates:
+        the whole churn subsystem is omitted-when-zero."""
+        values = np.random.default_rng(3).uniform(0, 10, size=256)
+        for fm in FAILURE_MODELS:
+            assert not fm.has_churn
+            for backend in ("vectorized", "engine"):
+                a = push_sum(values, rng=9, failure_model=fm, backend=backend)
+                b = push_sum(values, rng=9, failure_model=fm, backend=backend)
+                assert np.array_equal(a.estimates, b.estimates, equal_nan=True)
+                assert a.metrics.total_messages_to_dead == 0
 
 
 # --------------------------------------------------------------------------- #
